@@ -1,0 +1,77 @@
+// Coordination ablation (§6.1): decentralized ready/done flags vs a
+// centralized master barrier between stages, measured as wall-clock time of
+// real graphAllgather executions on the threaded runtime.
+//
+// The paper argues centralized coordination pays a master round-trip and
+// straggler wait per stage; here the cost shows up as barrier convoying.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "partition/multilevel.h"
+#include "planner/spst.h"
+#include "runtime/allgather_engine.h"
+
+namespace dgcl {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Coordination ablation (§6.1): decentralized flags vs central barrier");
+  Rng rng(71);
+  CsrGraph graph = GenerateRmat({.scale = 12, .num_edges = 30000}, rng);
+  Topology topo = BuildPaperTopology(8);
+  MultilevelPartitioner metis;
+  CommRelation rel = std::move(BuildCommRelation(graph, *metis.Partition(graph, 8))).value();
+  SpstPlanner spst;
+  CompiledPlan plan = CompilePlan(*spst.Plan(rel, topo, 64), topo);
+  auto engine = AllgatherEngine::Create(rel, plan, topo);
+  if (!engine.ok()) {
+    std::printf("engine setup failed\n");
+    return;
+  }
+  std::vector<EmbeddingMatrix> local;
+  for (uint32_t d = 0; d < rel.num_devices; ++d) {
+    local.push_back(EmbeddingMatrix::Zero(
+        static_cast<uint32_t>(rel.local_vertices[d].size()), 16));
+  }
+
+  constexpr int kWarmup = 3;
+  constexpr int kIters = 20;
+  TablePrinter table({"Coordination", "graphAllgather wall time (ms, median-ish mean)"});
+  for (CoordinationMode mode :
+       {CoordinationMode::kDecentralized, CoordinationMode::kCentralized}) {
+    engine->set_coordination_mode(mode);
+    for (int i = 0; i < kWarmup; ++i) {
+      (void)engine->Forward(local);
+    }
+    WallTimer timer;
+    for (int i = 0; i < kIters; ++i) {
+      auto result = engine->Forward(local);
+      if (!result.ok()) {
+        std::printf("forward failed\n");
+        return;
+      }
+    }
+    const double ms = timer.ElapsedMillis() / kIters;
+    table.AddRow({mode == CoordinationMode::kDecentralized ? "decentralized (ready/done flags)"
+                                                           : "centralized (master barrier)",
+                  TablePrinter::Fmt(ms, 3)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Note: wall-clock on the host CPU. The decentralized protocol lets devices\n"
+      "run ahead through stages they do not participate in; the barrier convoys\n"
+      "everyone to the slowest device every stage. Caveat: on a host with fewer\n"
+      "cores than simulated devices, the flags' spin-waits oversubscribe the CPU\n"
+      "while the barrier parks threads, which can invert the comparison — on real\n"
+      "per-GPU processes (the paper's setting) the decentralized protocol wins.\n");
+}
+
+}  // namespace
+}  // namespace dgcl
+
+int main() {
+  dgcl::Run();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Extension strategies from §3 ("other options for distributed GNN
+// training"), evaluated with the same harness as Figure 7:
+//  * DGCL+cache — caching remote layer-0 features eliminates the widest
+//    allgather (option 1 of §3);
+//  * DGCL-R — replication across machines only (option 3; Table 5).
+// Not a paper table; DESIGN.md lists it as an extension experiment.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace dgcl {
+namespace {
+
+void RunGpuCount(uint32_t gpus) {
+  TablePrinter table({"Dataset", "DGCL", "DGCL+cache", "DGCL-R", "cache comm saving"});
+  for (DatasetId id : {DatasetId::kReddit, DatasetId::kComOrkut, DatasetId::kWebGoogle,
+                       DatasetId::kWikiTalk}) {
+    auto bundle = bench::MakeSimulator(id, gpus, GnnModel::kGcn);
+    if (!bundle.ok()) {
+      continue;
+    }
+    EpochSimulator& sim = (*bundle)->sim();
+    auto dgcl = sim.Simulate(Method::kDgcl);
+    auto cache = sim.Simulate(Method::kDgclCache);
+    auto dgclr = sim.Simulate(Method::kDgclR);
+    std::string saving = "n/a";
+    if (dgcl.ok() && cache.ok() && !dgcl->oom && !cache->oom && dgcl->comm_ms > 0) {
+      saving = TablePrinter::Fmt((1.0 - cache->comm_ms / dgcl->comm_ms) * 100, 0) + "%";
+    }
+    table.AddRow({bench::BenchDataset(id).name, bench::EpochCell(dgcl),
+                  bench::EpochCell(cache), bench::EpochCell(dgclr), saving});
+  }
+  std::printf("%s\n",
+              table.Render("per-epoch ms, GCN, " + std::to_string(gpus) + " GPUs").c_str());
+}
+
+}  // namespace
+}  // namespace dgcl
+
+int main() {
+  dgcl::bench::PrintHeader("Extension strategies (§3): feature caching and machine replication");
+  dgcl::RunGpuCount(8);
+  dgcl::RunGpuCount(16);
+  std::printf(
+      "Feature caching removes the layer-1 (feature-width) allgather — the widest\n"
+      "transfer of the epoch — at the cost of pinning remote features in memory.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 10: relation between the cost-model estimate and the actual
+// (simulated) time of one graphAllgather, swept by communicating only a
+// fraction of the vertices. The paper reports a linear relation with <5%
+// divergence from the fitted line in most cases.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "planner/spst.h"
+
+namespace dgcl {
+namespace {
+
+void RunDataset(DatasetId id) {
+  auto bundle = bench::MakeSimulator(id, 8, GnnModel::kGcn);
+  if (!bundle.ok()) {
+    return;
+  }
+  EpochSimulator& sim = (*bundle)->sim();
+  SpstPlanner spst;
+  TablePrinter table({"volume fraction", "estimated cost (ms)", "actual time (ms)"});
+  std::vector<double> est;
+  std::vector<double> act;
+  for (double fraction : {0.25, 0.4, 0.55, 0.7, 0.85, 1.0}) {
+    double estimated = 0.0;
+    auto seconds = sim.SimulateAllgatherSeconds(spst, bench::BenchDataset(id).feature_dim,
+                                                fraction, &estimated);
+    if (!seconds.ok()) {
+      continue;
+    }
+    est.push_back(estimated * 1e3);
+    act.push_back(*seconds * 1e3);
+    table.AddRow({TablePrinter::Fmt(fraction, 2), TablePrinter::Fmt(estimated * 1e3, 3),
+                  TablePrinter::Fmt(*seconds * 1e3, 3)});
+  }
+  // Least-squares fit actual = a * estimated + b; report max divergence.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(est.size());
+  for (size_t i = 0; i < est.size(); ++i) {
+    sx += est[i];
+    sy += act[i];
+    sxx += est[i] * est[i];
+    sxy += est[i] * act[i];
+  }
+  const double a = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  const double b = (sy - a * sx) / n;
+  double max_divergence = 0.0;
+  for (size_t i = 0; i < est.size(); ++i) {
+    const double fitted = a * est[i] + b;
+    max_divergence = std::max(max_divergence, std::abs(act[i] - fitted) / fitted);
+  }
+  std::printf("%s", table.Render("(" + bench::BenchDataset(id).name + ")").c_str());
+  std::printf("fitted line: actual = %.3f * estimated + %.3f ms; max divergence %.1f%%\n\n",
+              a, b, max_divergence * 100);
+}
+
+}  // namespace
+}  // namespace dgcl
+
+int main() {
+  dgcl::bench::PrintHeader(
+      "Figure 10: cost-model estimate vs simulated graphAllgather time, 8 GPUs");
+  dgcl::RunDataset(dgcl::DatasetId::kWebGoogle);
+  dgcl::RunDataset(dgcl::DatasetId::kReddit);
+  std::printf("Paper shape: linear relation, divergence from the fitted line below ~5%%.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 2: computation time, communication overhead and per-GPU volume for
+// a 2-layer GCN with peer-to-peer communication, on Web-Google and Reddit,
+// across 2/4/8/16 GPUs.
+//
+// The paper's takeaway: communication time *grows* with GPU count (past 50%
+// of the epoch at 8 GPUs, past 90% at 16 across two machines) even though
+// the per-GPU volume shrinks.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace dgcl {
+namespace {
+
+void RunDataset(DatasetId id) {
+  TablePrinter table({"GPUs", "Commu. overhead (ms)", "Compu. time (ms)", "Commu. volume (MB)",
+                      "comm share"});
+  for (uint32_t gpus : {2u, 4u, 8u, 16u}) {
+    auto bundle = bench::MakeSimulator(id, gpus, GnnModel::kGcn);
+    if (!bundle.ok()) {
+      std::printf("  %u GPUs: %s\n", gpus, bundle.status().ToString().c_str());
+      continue;
+    }
+    auto report = (*bundle)->sim().Simulate(Method::kPeerToPeer);
+    if (!report.ok() || report->oom) {
+      table.AddRow({TablePrinter::FmtInt(gpus), bench::EpochCell(report), "-", "-", "-"});
+      continue;
+    }
+    const double share = report->comm_ms / report->EpochMs();
+    table.AddRow({TablePrinter::FmtInt(gpus), TablePrinter::Fmt(report->comm_ms, 1),
+                  TablePrinter::Fmt(report->compute_ms, 1),
+                  TablePrinter::Fmt(report->avg_comm_bytes_per_gpu / 1e6, 1),
+                  TablePrinter::Fmt(share * 100, 1) + "%"});
+  }
+  std::printf("%s\n", table.Render("(" + bench::BenchDataset(id).name + ")").c_str());
+}
+
+}  // namespace
+}  // namespace dgcl
+
+int main() {
+  dgcl::bench::PrintHeader(
+      "Figure 2: peer-to-peer comm overhead / compute time / volume vs GPU count (2-layer GCN)");
+  dgcl::RunDataset(dgcl::DatasetId::kWebGoogle);
+  dgcl::RunDataset(dgcl::DatasetId::kReddit);
+  std::printf(
+      "Paper shape: comm overhead grows with GPUs, >50%% of epoch at 8 GPUs and\n"
+      ">90%% at 16 GPUs (two machines), while per-GPU volume decreases.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Table 1: the speed (GB/s) of common communication links.
+//
+// Prints the calibrated bandwidths of the topology model and cross-checks
+// each with a point-to-point measurement on the discrete-event simulator
+// (1 GB over an otherwise idle link of that type).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/network_sim.h"
+#include "topology/presets.h"
+
+namespace dgcl {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Table 1: link speeds (GB/s), model vs simulated point-to-point");
+
+  TablePrinter table({"Type", "Model GB/s", "Simulated GB/s"});
+  struct Probe {
+    LinkType type;
+    // A (topology, src, dst) whose direct link bottlenecks on `type`.
+    Topology topo;
+    DeviceId src;
+    DeviceId dst;
+  };
+  std::vector<Probe> probes;
+  probes.push_back({LinkType::kNvLink2, BuildPaperTopology(8), 0, 3});  // quad diagonal
+  probes.push_back({LinkType::kNvLink1, BuildPaperTopology(8), 0, 1});
+  probes.push_back({LinkType::kPcie, BuildPaperTopology(8, /*nvlink=*/false), 0, 1});
+  probes.push_back({LinkType::kQpi, BuildPaperTopology(8), 0, 5});
+  probes.push_back({LinkType::kInfiniBand, BuildPaperTopology(16), 0, 8});
+  {
+    MachineConfig config;
+    config.num_gpus = 4;
+    config.nic = LinkType::kEthernet;
+    probes.push_back({LinkType::kEthernet, BuildCluster(2, config), 0, 4});
+  }
+
+  for (const Probe& probe : probes) {
+    const double bytes = 1e9;
+    LinkId link = probe.topo.LinkBetween(probe.src, probe.dst);
+    auto completions = SimulateConcurrentFlows(probe.topo, {link}, {bytes});
+    const double simulated = bytes / completions[0] / 1e9;
+    table.AddRow({LinkTypeName(probe.type),
+                  TablePrinter::Fmt(LinkTypeBandwidthGBps(probe.type), 2),
+                  TablePrinter::Fmt(simulated, 2)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Paper Table 1: NV2 48.35, NV1 24.22, PCIe 11.13, QPI 9.56, IB 6.37, Eth 3.12\n");
+}
+
+}  // namespace
+}  // namespace dgcl
+
+int main() {
+  dgcl::Run();
+  return 0;
+}

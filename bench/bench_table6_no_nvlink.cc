@@ -1,0 +1,60 @@
+// Table 6: one graphAllgather (feature size 128, 8 GPUs) on the second
+// hardware configuration — PCIe only, no NVLink. DGCL still wins through
+// contention avoidance and load balancing.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "planner/baselines.h"
+#include "planner/spst.h"
+#include "sim/swap_model.h"
+
+namespace dgcl {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Table 6: graphAllgather time (ms), PCIe-only 8-GPU server, dim 128");
+  TablePrinter table({"Method", "Reddit", "Com-Orkut", "Web-Google", "Wiki-Talk"});
+  const DatasetId ids[] = {DatasetId::kReddit, DatasetId::kComOrkut, DatasetId::kWebGoogle,
+                           DatasetId::kWikiTalk};
+  std::vector<std::string> dgcl_row = {"DGCL"};
+  std::vector<std::string> swap_row = {"Swap"};
+  std::vector<std::string> p2p_row = {"Peer-to-peer"};
+  for (DatasetId id : ids) {
+    auto bundle = bench::MakeSimulator(id, 8, GnnModel::kGcn, /*nvlink=*/false);
+    if (!bundle.ok()) {
+      dgcl_row.push_back("n/a");
+      swap_row.push_back("n/a");
+      p2p_row.push_back("n/a");
+      continue;
+    }
+    EpochSimulator& sim = (*bundle)->sim();
+    SpstPlanner spst;
+    PeerToPeerPlanner p2p;
+    const uint32_t dim = 128;
+    auto t_dgcl = sim.SimulateAllgatherSeconds(spst, dim);
+    auto t_p2p = sim.SimulateAllgatherSeconds(p2p, dim);
+    SwapOptions swap_opts;
+    swap_opts.bytes_per_unit = dim * 4.0 * bench::InverseScale(id);
+    auto t_swap = SwapExchangeSeconds(sim.relation(), (*bundle)->topology, swap_opts);
+    dgcl_row.push_back(t_dgcl.ok() ? TablePrinter::Fmt(*t_dgcl * 1e3, 2) : "n/a");
+    swap_row.push_back(t_swap.ok() ? TablePrinter::Fmt(*t_swap * 1e3, 2) : "n/a");
+    p2p_row.push_back(t_p2p.ok() ? TablePrinter::Fmt(*t_p2p * 1e3, 2) : "n/a");
+  }
+  table.AddRow(dgcl_row);
+  table.AddRow(swap_row);
+  table.AddRow(p2p_row);
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Paper Table 6 (ms): DGCL 14.3/128/7.84/5.86, Swap 14.5/1220/116/317,\n"
+      "P2P 17.9/179/8.72/8.51 — DGCL's edge is smaller without NVLink but it\n"
+      "still wins on every graph; Swap collapses on the large graphs.\n");
+}
+
+}  // namespace
+}  // namespace dgcl
+
+int main() {
+  dgcl::Run();
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <map>
+
+namespace dgcl {
+namespace bench {
+
+uint32_t InverseScale(DatasetId id) {
+  // Keeps the largest stand-in near a million undirected edges; see
+  // EXPERIMENTS.md ("Scale substitutions").
+  switch (id) {
+    case DatasetId::kReddit:
+      return 32;
+    case DatasetId::kComOrkut:
+      return 64;
+    case DatasetId::kWebGoogle:
+      return 16;
+    case DatasetId::kWikiTalk:
+      return 64;
+  }
+  return 16;
+}
+
+const Dataset& BenchDataset(DatasetId id) {
+  static std::map<DatasetId, Dataset> cache;
+  auto it = cache.find(id);
+  if (it == cache.end()) {
+    it = cache.emplace(id, MakeDataset(id, InverseScale(id))).first;
+    std::fprintf(stderr, "[bench] generated %s stand-in: %u vertices, %llu edges\n",
+                 it->second.name.c_str(), it->second.graph.num_vertices(),
+                 static_cast<unsigned long long>(it->second.graph.num_edges()));
+  }
+  return it->second;
+}
+
+EpochOptions PaperOptions(DatasetId id, GnnModel model) {
+  EpochOptions opts;
+  opts.gnn = model;
+  opts.num_layers = 2;
+  opts.inverse_scale = InverseScale(id);
+  // Compute-model calibration: effective V100 throughputs chosen so the
+  // compute/communication split lands in the regime of Figure 7 (see
+  // EXPERIMENTS.md for the derivation).
+  opts.compute.dense_flops = 7e12;
+  opts.compute.sparse_flops = 1.1e12;
+  opts.compute.layer_overhead_s = 3e-4;
+  opts.net.per_op_latency_s = 2e-5;
+  return opts;
+}
+
+Result<std::unique_ptr<SimBundle>> MakeSimulator(DatasetId id, uint32_t gpus, GnnModel model,
+                                                 bool nvlink) {
+  auto bundle = std::make_unique<SimBundle>();
+  bundle->topology = BuildPaperTopology(gpus, nvlink);
+  EpochOptions opts = PaperOptions(id, model);
+  if (gpus > 8) {
+    bundle->machine_topology = BuildPaperTopology(gpus / 2, nvlink);
+    opts.machine_topology = &bundle->machine_topology;
+  }
+  DGCL_ASSIGN_OR_RETURN(EpochSimulator sim,
+                        EpochSimulator::Create(BenchDataset(id), bundle->topology, opts));
+  bundle->simulator.emplace(std::move(sim));
+  return bundle;
+}
+
+std::string EpochCell(const Result<EpochReport>& report) {
+  if (!report.ok()) {
+    return "n/a";
+  }
+  if (report->oom) {
+    return "OOM";
+  }
+  return TablePrinter::Fmt(report->EpochMs(), 1);
+}
+
+std::string CommCell(const Result<EpochReport>& report) {
+  if (!report.ok()) {
+    return "n/a";
+  }
+  if (report->oom) {
+    return "OOM";
+  }
+  return TablePrinter::Fmt(report->comm_ms, 1);
+}
+
+void PrintHeader(const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", what.c_str());
+  std::printf("(simulated full-size equivalents; see EXPERIMENTS.md)\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace dgcl

@@ -1,0 +1,57 @@
+// Shared harness for the paper-reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper. This
+// helper fixes the dataset scales, compute-model calibration and epoch
+// options so all benches measure the same simulated world; EXPERIMENTS.md
+// documents the constants.
+
+#ifndef DGCL_BENCH_BENCH_UTIL_H_
+#define DGCL_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/table_printer.h"
+#include "graph/generators.h"
+#include "sim/epoch_sim.h"
+#include "topology/presets.h"
+
+namespace dgcl {
+namespace bench {
+
+// Scale reduction per dataset (chosen so the largest stand-in stays around a
+// million edges and every bench runs in seconds on one core). All reported
+// times are full-size equivalents via EpochOptions::inverse_scale.
+uint32_t InverseScale(DatasetId id);
+
+// Cached stand-in dataset (generated once per process).
+const Dataset& BenchDataset(DatasetId id);
+
+// Epoch options with the calibrated compute model and the dataset's scale.
+EpochOptions PaperOptions(DatasetId id, GnnModel model);
+
+// An EpochSimulator for (dataset, gpu count), using the paper topology
+// (<= 8 GPUs: one machine; 16: two machines). The per-machine topology for
+// DGCL-R is wired automatically for 16 GPUs. Heap-allocated so the internal
+// topology pointers stay stable.
+struct SimBundle {
+  Topology topology;
+  Topology machine_topology;  // used when gpus > 8
+  std::optional<EpochSimulator> simulator;
+
+  EpochSimulator& sim() { return *simulator; }
+};
+Result<std::unique_ptr<SimBundle>> MakeSimulator(DatasetId id, uint32_t gpus, GnnModel model,
+                                                 bool nvlink = true);
+
+// Formats "12.3" / "OOM" cells for per-epoch tables.
+std::string EpochCell(const Result<EpochReport>& report);
+std::string CommCell(const Result<EpochReport>& report);
+
+void PrintHeader(const std::string& what);
+
+}  // namespace bench
+}  // namespace dgcl
+
+#endif  // DGCL_BENCH_BENCH_UTIL_H_

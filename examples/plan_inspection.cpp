@@ -1,0 +1,66 @@
+// Plan inspection and caching: visualize what SPST decided and persist the
+// compiled plan for a later training run.
+//
+//  * VertexTreeToDot — dump one vertex's communication tree as Graphviz DOT
+//    (pipe into `dot -Tpng` to render);
+//  * StageGantt — see how SPST loads each physical connection per stage;
+//  * SaveCompiledPlan / LoadCompiledPlan — plan once, reuse across runs.
+//
+// Build & run:  ./build/examples/plan_inspection
+
+#include <bit>
+#include <cstdio>
+
+#include "comm/plan_dump.h"
+#include "comm/plan_io.h"
+#include "graph/generators.h"
+#include "partition/multilevel.h"
+#include "planner/spst.h"
+#include "topology/presets.h"
+
+using namespace dgcl;
+
+int main() {
+  Rng rng(11);
+  CsrGraph graph = GenerateRmat({.scale = 10, .num_edges = 12000}, rng);
+  Topology topo = BuildPaperTopology(8);
+  MultilevelPartitioner metis;
+  CommRelation rel = std::move(BuildCommRelation(graph, *metis.Partition(graph, 8))).value();
+
+  SpstPlanner spst;
+  CommPlan plan = std::move(spst.Plan(rel, topo, 1024)).value();
+
+  // Pick a vertex with several destinations so the tree is interesting.
+  VertexId chosen = kInvalidId;
+  int best_dests = 0;
+  for (VertexId v : rel.VerticesWithDestinations()) {
+    const int dests = std::popcount(rel.dest_mask[v]);
+    if (dests > best_dests) {
+      best_dests = dests;
+      chosen = v;
+    }
+  }
+  std::printf("--- communication tree of vertex %u (%d destinations), DOT ---\n%s\n", chosen,
+              best_dests, VertexTreeToDot(plan, topo, chosen).c_str());
+
+  CompiledPlan compiled = CompilePlan(plan, topo);
+  std::printf("--- per-stage connection loads ---\n%s\n",
+              StageGantt(compiled, topo, 32).c_str());
+
+  // Persist and reload (a restarting trainer skips SPST entirely).
+  const std::string path = "/tmp/dgcl_example_plan.bin";
+  if (Status s = SaveCompiledPlan(compiled, topo, path); !s.ok()) {
+    std::printf("save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto reloaded = LoadCompiledPlan(topo, path);
+  if (!reloaded.ok()) {
+    std::printf("reload failed: %s\n", reloaded.status().ToString().c_str());
+    return 1;
+  }
+  const bool valid = ValidateCompiledPlan(*reloaded, rel, topo).ok();
+  std::printf("plan round-tripped through %s: %zu ops, valid=%s\n", path.c_str(),
+              reloaded->ops.size(), valid ? "yes" : "no");
+  std::remove(path.c_str());
+  return valid ? 0 : 1;
+}

@@ -1,0 +1,99 @@
+// Distributed full-graph GCN training across 4 simulated devices — the
+// workload the paper's evaluation runs, end to end on the real runtime.
+//
+// A community-structured graph gets community ids as labels; a 2-layer GCN
+// trained with DGCL's graphAllgather between layers learns to classify them.
+// The same model trained on a single device is run side by side to show the
+// distributed execution is numerically faithful.
+//
+// Build & run:  ./build/examples/train_gcn
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "gnn/trainer.h"
+#include "graph/generators.h"
+#include "partition/multilevel.h"
+#include "planner/spst.h"
+#include "topology/presets.h"
+
+using namespace dgcl;
+
+namespace {
+
+struct Deployment {
+  Topology topo;
+  CommRelation relation;
+  std::optional<AllgatherEngine> engine;
+};
+
+// Partition + plan + arm the runtime for `gpus` devices.
+std::unique_ptr<Deployment> Deploy(const CsrGraph& graph, uint32_t gpus) {
+  auto deployment = std::make_unique<Deployment>();
+  deployment->topo = BuildPaperTopology(gpus);
+  MultilevelPartitioner metis;
+  deployment->relation = std::move(BuildCommRelation(graph, *metis.Partition(graph, gpus))).value();
+  SpstPlanner spst;
+  CompiledPlan plan =
+      CompilePlan(*spst.Plan(deployment->relation, deployment->topo, 64), deployment->topo);
+  AssignBackwardSubstages(plan);
+  deployment->engine.emplace(
+      std::move(AllgatherEngine::Create(deployment->relation, plan, deployment->topo)).value());
+  return deployment;
+}
+
+}  // namespace
+
+int main() {
+  // Labeled data: 4 communities, features weakly correlated with the label.
+  const uint32_t n = 400;
+  const uint32_t classes = 4;
+  Rng rng(2024);
+  CsrGraph graph = GenerateCommunityGraph(n, classes, 12.0, 1.0, rng);
+  EmbeddingMatrix features = EmbeddingMatrix::Zero(n, 8);
+  std::vector<uint32_t> labels(n);
+  for (VertexId v = 0; v < n; ++v) {
+    labels[v] = std::min(v / (n / classes), classes - 1);
+    for (uint32_t c = 0; c < 8; ++c) {
+      features.Row(v)[c] = rng.UniformFloat(-0.5f, 0.5f);
+    }
+    features.Row(v)[labels[v]] += 0.8f;
+  }
+
+  TrainerOptions opts;
+  opts.model = GnnModel::kGcn;
+  opts.num_layers = 2;
+  opts.hidden_dim = 16;
+  opts.learning_rate = 0.5f;
+
+  auto dist = Deploy(graph, 4);
+  auto single = Deploy(graph, 1);
+  auto dist_trainer = DistributedTrainer::Create(graph, dist->relation, *dist->engine, features,
+                                                 labels, classes, opts);
+  auto single_trainer = DistributedTrainer::Create(graph, single->relation, *single->engine,
+                                                   features, labels, classes, opts);
+  if (!dist_trainer.ok() || !single_trainer.ok()) {
+    std::printf("trainer setup failed\n");
+    return 1;
+  }
+
+  std::printf("epoch | 4-device loss  acc | 1-device loss  acc\n");
+  for (int epoch = 0; epoch < 40; ++epoch) {
+    auto d = dist_trainer->TrainEpoch();
+    auto s = single_trainer->TrainEpoch();
+    if (!d.ok() || !s.ok()) {
+      std::printf("training failed at epoch %d\n", epoch);
+      return 1;
+    }
+    if (epoch % 5 == 0 || epoch == 39) {
+      std::printf("%5d | %9.4f %5.1f%% | %9.4f %5.1f%%\n", epoch, d->loss, d->accuracy * 100,
+                  s->loss, s->accuracy * 100);
+    }
+  }
+  auto final_eval = dist_trainer->Evaluate();
+  std::printf("final 4-device accuracy: %.1f%% (distributed training over DGCL "
+              "graphAllgather)\n",
+              final_eval->accuracy * 100);
+  return final_eval->accuracy > 0.9 ? 0 : 1;
+}

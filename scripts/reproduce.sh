@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Rebuilds everything, runs the full test suite, and regenerates every paper
+# table/figure plus the extension benches, writing the reference outputs to
+# test_output.txt and bench_output.txt at the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+echo "done: see test_output.txt and bench_output.txt"

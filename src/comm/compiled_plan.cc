@@ -1,0 +1,170 @@
+#include "comm/compiled_plan.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace dgcl {
+
+CompiledPlan CompilePlan(const CommPlan& plan, const Topology& topo) {
+  CompiledPlan out;
+  out.num_devices = plan.num_devices;
+  out.num_stages = plan.NumStages();
+
+  // Group tree edges by (stage, link).
+  std::map<std::pair<uint32_t, LinkId>, std::vector<VertexId>> groups;
+  for (const CommTree& tree : plan.trees) {
+    for (const TreeEdge& e : tree.edges) {
+      groups[{e.stage, e.link}].push_back(tree.vertex);
+    }
+  }
+  out.ops.reserve(groups.size());
+  for (auto& [key, vertices] : groups) {
+    std::sort(vertices.begin(), vertices.end());
+    TransferOp op;
+    op.stage = key.first;
+    op.link = key.second;
+    op.src = topo.link(key.second).src;
+    op.dst = topo.link(key.second).dst;
+    op.vertices = std::move(vertices);
+    out.ops.push_back(std::move(op));
+  }
+
+  out.ops_by_src.resize(out.num_devices);
+  out.ops_by_dst.resize(out.num_devices);
+  for (uint32_t i = 0; i < out.ops.size(); ++i) {
+    out.ops_by_src[out.ops[i].src].push_back(i);
+    out.ops_by_dst[out.ops[i].dst].push_back(i);
+  }
+  return out;
+}
+
+uint64_t CompiledPlan::TableBytes() const {
+  uint64_t ids = 0;
+  for (const TransferOp& op : ops) {
+    ids += op.vertices.size();
+  }
+  // Send table on the sender plus receive table on the receiver.
+  return 2 * ids * sizeof(VertexId);
+}
+
+uint32_t CompiledPlan::MaxSubstages() const {
+  uint32_t max_sub = 0;
+  for (const TransferOp& op : ops) {
+    max_sub = std::max(max_sub, op.substage + 1);
+  }
+  return max_sub;
+}
+
+void AssignBackwardSubstages(CompiledPlan& plan) {
+  // Backward: op (src -> dst, stage) carries gradients dst -> src, so the
+  // *src* device aggregates. Per §6.2, each op's table is *partitioned*
+  // across sub-stages such that, within a (receiving device, stage,
+  // sub-stage), every vertex receives a gradient from at most one peer —
+  // peers still stream concurrently inside a sub-stage, so the split costs
+  // almost nothing while removing the need for atomic reductions.
+  //
+  // The k-th op (in deterministic order) carrying vertex v within a
+  // (src, stage) group puts v's gradient in sub-stage k.
+  std::map<std::pair<DeviceId, uint32_t>, std::vector<uint32_t>> groups;
+  for (uint32_t i = 0; i < plan.ops.size(); ++i) {
+    groups[{plan.ops[i].src, plan.ops[i].stage}].push_back(i);
+  }
+  std::vector<TransferOp> split_ops;
+  split_ops.reserve(plan.ops.size());
+  for (auto& [key, op_ids] : groups) {
+    (void)key;
+    std::unordered_map<VertexId, uint32_t> next_substage;
+    for (uint32_t op_id : op_ids) {
+      const TransferOp& op = plan.ops[op_id];
+      std::map<uint32_t, std::vector<VertexId>> parts;
+      for (VertexId v : op.vertices) {
+        parts[next_substage[v]++].push_back(v);
+      }
+      for (auto& [substage, vertices] : parts) {
+        TransferOp sub = op;
+        sub.substage = substage;
+        sub.vertices = std::move(vertices);
+        split_ops.push_back(std::move(sub));
+      }
+    }
+  }
+  std::sort(split_ops.begin(), split_ops.end(),
+            [](const TransferOp& a, const TransferOp& b) {
+              return std::tie(a.stage, a.link, a.substage) <
+                     std::tie(b.stage, b.link, b.substage);
+            });
+  plan.ops = std::move(split_ops);
+  for (auto& ids : plan.ops_by_src) {
+    ids.clear();
+  }
+  for (auto& ids : plan.ops_by_dst) {
+    ids.clear();
+  }
+  for (uint32_t i = 0; i < plan.ops.size(); ++i) {
+    plan.ops_by_src[plan.ops[i].src].push_back(i);
+    plan.ops_by_dst[plan.ops[i].dst].push_back(i);
+  }
+}
+
+Status ValidateCompiledPlan(const CompiledPlan& plan, const CommRelation& relation,
+                            const Topology& topo,
+                            std::vector<uint64_t>* forwarded_extras) {
+  if (plan.num_devices != relation.num_devices) {
+    return Status::InvalidArgument("device count mismatch");
+  }
+  // held[d] = set of vertices device d has after the stages executed so far.
+  std::vector<std::unordered_set<VertexId>> held(plan.num_devices);
+  for (uint32_t d = 0; d < plan.num_devices; ++d) {
+    held[d].insert(relation.local_vertices[d].begin(), relation.local_vertices[d].end());
+  }
+  // Ops must be executed stage by stage.
+  std::vector<std::vector<const TransferOp*>> by_stage(plan.num_stages);
+  for (const TransferOp& op : plan.ops) {
+    if (op.link >= topo.num_links() || topo.link(op.link).src != op.src ||
+        topo.link(op.link).dst != op.dst) {
+      return Status::InvalidArgument("op link/endpoint mismatch");
+    }
+    if (op.stage >= plan.num_stages) {
+      return Status::OutOfRange("op stage out of range");
+    }
+    by_stage[op.stage].push_back(&op);
+  }
+  for (uint32_t k = 0; k < plan.num_stages; ++k) {
+    // Sends of stage k see holdings from stages < k only.
+    std::vector<std::pair<DeviceId, VertexId>> arrivals;
+    for (const TransferOp* op : by_stage[k]) {
+      for (VertexId v : op->vertices) {
+        if (!held[op->src].contains(v)) {
+          return Status::FailedPrecondition("device sends a vertex it does not hold");
+        }
+        arrivals.emplace_back(op->dst, v);
+      }
+    }
+    for (const auto& [dst, v] : arrivals) {
+      held[dst].insert(v);
+    }
+  }
+  if (forwarded_extras != nullptr) {
+    forwarded_extras->assign(plan.num_devices, 0);
+  }
+  for (uint32_t d = 0; d < plan.num_devices; ++d) {
+    for (VertexId v : relation.remote_vertices[d]) {
+      if (!held[d].contains(v)) {
+        return Status::Internal("required remote vertex not delivered");
+      }
+    }
+    if (forwarded_extras != nullptr) {
+      const uint64_t required =
+          relation.local_vertices[d].size() + relation.remote_vertices[d].size();
+      (*forwarded_extras)[d] = held[d].size() - required;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dgcl

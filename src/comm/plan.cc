@@ -1,0 +1,115 @@
+#include "comm/plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace dgcl {
+
+uint32_t CommTree::MaxStage() const {
+  uint32_t max_stage = 0;
+  for (const TreeEdge& e : edges) {
+    max_stage = std::max(max_stage, e.stage);
+  }
+  return max_stage;
+}
+
+uint32_t CommPlan::NumStages() const {
+  uint32_t stages = 0;
+  for (const CommTree& tree : trees) {
+    if (!tree.edges.empty()) {
+      stages = std::max(stages, tree.MaxStage() + 1);
+    }
+  }
+  return stages;
+}
+
+Status ValidatePlan(const CommPlan& plan, const CommRelation& relation, const Topology& topo) {
+  if (plan.num_devices != relation.num_devices) {
+    return Status::InvalidArgument("device count mismatch");
+  }
+  std::vector<uint8_t> expected(relation.dest_mask.size(), 0);
+  for (const CommTree& tree : plan.trees) {
+    if (tree.vertex >= relation.dest_mask.size()) {
+      return Status::OutOfRange("tree for unknown vertex");
+    }
+    if (expected[tree.vertex]) {
+      return Status::InvalidArgument("duplicate tree for vertex");
+    }
+    expected[tree.vertex] = 1;
+
+    const uint32_t source = relation.source[tree.vertex];
+    // depth[d] = depth of device d in the tree, kInvalidId if absent.
+    std::vector<uint32_t> depth(plan.num_devices, kInvalidId);
+    depth[source] = 0;
+    DeviceMask covered = 0;
+    for (const TreeEdge& e : tree.edges) {
+      if (e.link >= topo.num_links()) {
+        return Status::OutOfRange("tree edge with unknown link");
+      }
+      const Link& link = topo.link(e.link);
+      if (depth[link.src] == kInvalidId) {
+        return Status::InvalidArgument("tree edge from device not yet in tree");
+      }
+      if (depth[link.dst] != kInvalidId) {
+        return Status::InvalidArgument("tree enters a device twice");
+      }
+      if (e.stage != depth[link.src]) {
+        return Status::InvalidArgument("edge stage does not match tree depth");
+      }
+      depth[link.dst] = depth[link.src] + 1;
+      covered |= DeviceMask{1} << link.dst;
+    }
+    const DeviceMask needed = relation.dest_mask[tree.vertex];
+    if ((covered & needed) != needed) {
+      return Status::InvalidArgument("tree does not cover all destinations");
+    }
+  }
+  for (VertexId v = 0; v < relation.dest_mask.size(); ++v) {
+    if (relation.dest_mask[v] != 0 && !expected[v]) {
+      return Status::InvalidArgument("missing tree for vertex with destinations");
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<std::vector<uint64_t>> PlanHopLoads(const CommPlan& plan, const Topology& topo) {
+  const uint32_t stages = plan.NumStages();
+  std::vector<std::vector<uint64_t>> loads(
+      stages, std::vector<uint64_t>(topo.num_connections(), 0));
+  for (const CommTree& tree : plan.trees) {
+    for (const TreeEdge& e : tree.edges) {
+      for (ConnId hop : topo.link(e.link).hops) {
+        ++loads[e.stage][hop];
+      }
+    }
+  }
+  return loads;
+}
+
+uint64_t PlanTotalTraffic(const CommPlan& plan) {
+  uint64_t total = 0;
+  for (const CommTree& tree : plan.trees) {
+    total += tree.edges.size();
+  }
+  return total;
+}
+
+std::string PlanSummary(const CommPlan& plan, const Topology& topo) {
+  std::ostringstream out;
+  out << "plan: " << plan.trees.size() << " trees, " << plan.NumStages() << " stages, "
+      << PlanTotalTraffic(plan) << " link traversals\n";
+  // Per-stage, per-link-type traffic.
+  auto loads = PlanHopLoads(plan, topo);
+  for (uint32_t k = 0; k < loads.size(); ++k) {
+    uint64_t stage_total = 0;
+    for (uint64_t l : loads[k]) {
+      stage_total += l;
+    }
+    out << "  stage " << k << ": " << stage_total << " hop traversals\n";
+  }
+  return out.str();
+}
+
+}  // namespace dgcl

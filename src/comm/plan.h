@@ -1,0 +1,59 @@
+// Communication plans: per-vertex strategies and their union (§5.1).
+//
+// The feasible strategy for a vertex u is a tree in the topology rooted at
+// the source device s_u and containing every destination in D_u. A plan is
+// the union of one tree per vertex; transfers are staged — an edge at tree
+// depth k executes in stage k (0-based here; the paper counts from 1).
+
+#ifndef DGCL_COMM_PLAN_H_
+#define DGCL_COMM_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/relation.h"
+#include "common/status.h"
+#include "topology/topology.h"
+
+namespace dgcl {
+
+struct TreeEdge {
+  LinkId link = kInvalidId;
+  uint32_t stage = 0;  // == depth of the edge's child in the tree
+};
+
+// One vertex's communication strategy.
+struct CommTree {
+  VertexId vertex = 0;
+  std::vector<TreeEdge> edges;  // ordered so a parent edge precedes children
+
+  uint32_t MaxStage() const;
+};
+
+struct CommPlan {
+  uint32_t num_devices = 0;
+  std::vector<CommTree> trees;  // one per vertex with destinations
+
+  uint32_t NumStages() const;
+};
+
+// Verifies the plan against the relation and topology:
+//  * every tree's edges form a connected tree rooted at source(u), with edge
+//    stages equal to child depth and each device entered at most once;
+//  * every destination of u appears in the tree;
+//  * every edge refers to an existing topology link.
+Status ValidatePlan(const CommPlan& plan, const CommRelation& relation, const Topology& topo);
+
+// Aggregate per-(stage, connection) traffic of a plan, in vertex units.
+// result[stage][conn] = number of vertex embeddings crossing `conn` there.
+std::vector<std::vector<uint64_t>> PlanHopLoads(const CommPlan& plan, const Topology& topo);
+
+// Total (vertex, link-hop) traversals: the plan's raw traffic volume.
+uint64_t PlanTotalTraffic(const CommPlan& plan);
+
+std::string PlanSummary(const CommPlan& plan, const Topology& topo);
+
+}  // namespace dgcl
+
+#endif  // DGCL_COMM_PLAN_H_

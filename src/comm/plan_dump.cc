@@ -1,0 +1,68 @@
+#include "comm/plan_dump.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace dgcl {
+
+std::string VertexTreeToDot(const CommPlan& plan, const Topology& topo, VertexId v) {
+  std::ostringstream out;
+  out << "digraph vertex_" << v << " {\n";
+  out << "  rankdir=LR;\n";
+  const CommTree* tree = nullptr;
+  for (const CommTree& t : plan.trees) {
+    if (t.vertex == v) {
+      tree = &t;
+      break;
+    }
+  }
+  if (tree != nullptr) {
+    for (const TreeEdge& e : tree->edges) {
+      const Link& link = topo.link(e.link);
+      // Label with the stage and the slowest hop's medium.
+      double min_bw = 1e30;
+      const char* medium = "?";
+      for (ConnId hop : link.hops) {
+        if (topo.connection(hop).bandwidth_gbps < min_bw) {
+          min_bw = topo.connection(hop).bandwidth_gbps;
+          medium = LinkTypeName(topo.connection(hop).type);
+        }
+      }
+      out << "  \"" << topo.device(link.src).name << "\" -> \"" << topo.device(link.dst).name
+          << "\" [label=\"stage " << e.stage << " / " << medium << "\"];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string StageGantt(const CompiledPlan& plan, const Topology& topo, uint32_t width) {
+  // loads[stage][conn] in vertex units.
+  std::map<uint32_t, std::map<ConnId, uint64_t>> loads;
+  uint64_t max_load = 1;
+  for (const TransferOp& op : plan.ops) {
+    for (ConnId hop : topo.link(op.link).hops) {
+      uint64_t& cell = loads[op.stage][hop];
+      cell += op.vertices.size();
+      max_load = std::max(max_load, cell);
+    }
+  }
+  std::ostringstream out;
+  out << "stage Gantt (bar = vertex-units on a connection, max " << max_load << ")\n";
+  for (const auto& [stage, conns] : loads) {
+    out << "stage " << stage << ":\n";
+    for (const auto& [conn, units] : conns) {
+      const uint32_t bar =
+          std::max<uint32_t>(1, static_cast<uint32_t>(units * width / max_load));
+      out << "  " << topo.connection(conn).name;
+      const size_t pad = topo.connection(conn).name.size() < 24
+                             ? 24 - topo.connection(conn).name.size()
+                             : 1;
+      out << std::string(pad, ' ') << std::string(bar, '#') << " " << units << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace dgcl

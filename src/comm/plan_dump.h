@@ -1,0 +1,30 @@
+// Human-readable plan introspection.
+//
+// Two views that make communication plans debuggable:
+//  * VertexTreeToDot — one vertex's communication tree as Graphviz DOT,
+//    edges labeled with their stage and the link's bottleneck medium;
+//  * StageGantt — a text Gantt chart of a compiled plan: per stage, the
+//    traffic each physical connection carries, bars scaled to the busiest.
+
+#ifndef DGCL_COMM_PLAN_DUMP_H_
+#define DGCL_COMM_PLAN_DUMP_H_
+
+#include <string>
+
+#include "comm/compiled_plan.h"
+#include "comm/plan.h"
+#include "topology/topology.h"
+
+namespace dgcl {
+
+// DOT digraph of vertex `v`'s tree in `plan`; empty-graph DOT when the plan
+// has no tree for v (i.e. v has no remote destinations).
+std::string VertexTreeToDot(const CommPlan& plan, const Topology& topo, VertexId v);
+
+// Text Gantt: one section per stage, one bar per active connection, bar
+// length proportional to that connection's vertex-units (max `width` chars).
+std::string StageGantt(const CompiledPlan& plan, const Topology& topo, uint32_t width = 40);
+
+}  // namespace dgcl
+
+#endif  // DGCL_COMM_PLAN_DUMP_H_

@@ -1,0 +1,28 @@
+// Compiled-plan serialization.
+//
+// Planning runs once before training (§4.1) and the same tuples are reused
+// for every layer and epoch; persisting them lets a cluster restart training
+// without re-running SPST. The binary format records a fingerprint of the
+// topology (device/link/connection counts) so a plan cannot be loaded
+// against a different cluster shape.
+
+#ifndef DGCL_COMM_PLAN_IO_H_
+#define DGCL_COMM_PLAN_IO_H_
+
+#include <string>
+
+#include "comm/compiled_plan.h"
+#include "common/status.h"
+#include "topology/topology.h"
+
+namespace dgcl {
+
+Status SaveCompiledPlan(const CompiledPlan& plan, const Topology& topo,
+                        const std::string& path);
+
+// Verifies the topology fingerprint and rebuilds the per-device indices.
+Result<CompiledPlan> LoadCompiledPlan(const Topology& topo, const std::string& path);
+
+}  // namespace dgcl
+
+#endif  // DGCL_COMM_PLAN_IO_H_

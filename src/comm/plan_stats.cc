@@ -1,0 +1,67 @@
+#include "comm/plan_stats.h"
+
+#include <bit>
+#include <sstream>
+#include <unordered_set>
+
+namespace dgcl {
+
+PlanStats ComputePlanStats(const CommPlan& plan, const CommRelation& relation,
+                           const Topology& topo) {
+  PlanStats stats;
+  stats.stages = plan.NumStages();
+  // Track, per device, vertices it receives vs vertices it needs, to count
+  // forwarding extras.
+  std::vector<std::unordered_set<VertexId>> received(relation.num_devices);
+  for (const CommTree& tree : plan.trees) {
+    ++stats.trees;
+    stats.naive_transfers += std::popcount(relation.dest_mask[tree.vertex]);
+    for (const TreeEdge& e : tree.edges) {
+      ++stats.tree_edges;
+      if (e.stage > 0) {
+        ++stats.relayed_edges;
+      }
+      const Link& link = topo.link(e.link);
+      received[link.dst].insert(tree.vertex);
+      for (ConnId hop : link.hops) {
+        stats.traffic_by_type[topo.connection(hop).type] += 1;
+      }
+    }
+  }
+  for (uint32_t d = 0; d < relation.num_devices; ++d) {
+    for (VertexId v : received[d]) {
+      if (((relation.dest_mask[v] >> d) & 1) == 0) {
+        ++stats.forwarded_extras;
+      }
+    }
+  }
+  return stats;
+}
+
+double PlanStats::FusionRatio() const {
+  return naive_transfers == 0 ? 1.0
+                              : static_cast<double>(tree_edges) / naive_transfers;
+}
+
+double PlanStats::NvLinkShare() const {
+  uint64_t nv = 0;
+  uint64_t total = 0;
+  for (const auto& [type, units] : traffic_by_type) {
+    total += units;
+    if (type == LinkType::kNvLink1 || type == LinkType::kNvLink2) {
+      nv += units;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(nv) / total;
+}
+
+std::string PlanStats::ToString() const {
+  std::ostringstream out;
+  out << "trees=" << trees << " edges=" << tree_edges << " (naive " << naive_transfers
+      << ", fusion ratio " << FusionRatio() << ") stages=" << stages
+      << " relayed=" << relayed_edges << " forwarded_extras=" << forwarded_extras
+      << " nvlink_share=" << NvLinkShare();
+  return out.str();
+}
+
+}  // namespace dgcl

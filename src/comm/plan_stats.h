@@ -1,0 +1,49 @@
+// Aggregate statistics over a communication plan.
+//
+// Quantifies the §5 design goals so plans can be compared numerically:
+//  * fusion: how much the per-vertex trees save over naive fan-out
+//    (tree edges vs source-to-destination pairs);
+//  * fast-link utilization: share of traffic bytes per link medium;
+//  * relaying: transfers that ride through an intermediate device, and the
+//    extra buffer slots forwarding costs.
+
+#ifndef DGCL_COMM_PLAN_STATS_H_
+#define DGCL_COMM_PLAN_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "comm/plan.h"
+#include "comm/relation.h"
+#include "topology/topology.h"
+
+namespace dgcl {
+
+struct PlanStats {
+  uint64_t trees = 0;            // vertices with destinations
+  uint64_t tree_edges = 0;       // actual transfers
+  uint64_t naive_transfers = 0;  // sum over vertices of |D_u| (P2P volume)
+  uint32_t stages = 0;
+  uint64_t relayed_edges = 0;    // edges deeper than stage 0
+  uint64_t forwarded_extras = 0; // vertices buffered on non-destination devices
+  // Vertex-units crossing each medium (per physical hop, so multi-hop links
+  // count once per hop).
+  std::map<LinkType, uint64_t> traffic_by_type;
+
+  // tree_edges / naive_transfers: < 1 when multi-destination trees fuse
+  // transfers, > 1 when relaying adds hops. 1.0 for pure peer-to-peer.
+  double FusionRatio() const;
+
+  // Fraction of hop traffic on NVLink media.
+  double NvLinkShare() const;
+
+  std::string ToString() const;
+};
+
+PlanStats ComputePlanStats(const CommPlan& plan, const CommRelation& relation,
+                           const Topology& topo);
+
+}  // namespace dgcl
+
+#endif  // DGCL_COMM_PLAN_STATS_H_

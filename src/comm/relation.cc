@@ -1,0 +1,72 @@
+#include "comm/relation.h"
+
+#include <bit>
+
+namespace dgcl {
+
+Result<CommRelation> BuildCommRelation(const CsrGraph& graph, const Partitioning& partitioning) {
+  DGCL_RETURN_IF_ERROR(ValidatePartitioning(graph, partitioning));
+  if (partitioning.num_parts > kMaxDevices) {
+    return Status::InvalidArgument("more than kMaxDevices parts");
+  }
+  CommRelation rel;
+  rel.num_devices = partitioning.num_parts;
+  rel.source = partitioning.assignment;
+  rel.dest_mask.assign(graph.num_vertices(), 0);
+  rel.local_vertices.resize(rel.num_devices);
+  rel.remote_vertices.resize(rel.num_devices);
+
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    rel.local_vertices[rel.source[v]].push_back(v);
+    for (VertexId nbr : graph.Neighbors(v)) {
+      uint32_t nbr_part = partitioning.assignment[nbr];
+      if (nbr_part != rel.source[v]) {
+        // v's embedding is needed by nbr's device.
+        rel.dest_mask[v] |= DeviceMask{1} << nbr_part;
+      }
+    }
+  }
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    DeviceMask mask = rel.dest_mask[v];
+    while (mask != 0) {
+      uint32_t d = static_cast<uint32_t>(std::countr_zero(mask));
+      mask &= mask - 1;
+      rel.remote_vertices[d].push_back(v);
+    }
+  }
+  return rel;
+}
+
+uint64_t CommRelation::TotalTransfers() const {
+  uint64_t total = 0;
+  for (DeviceMask mask : dest_mask) {
+    total += static_cast<uint64_t>(std::popcount(mask));
+  }
+  return total;
+}
+
+std::vector<std::vector<uint64_t>> CommRelation::PairVolumes() const {
+  std::vector<std::vector<uint64_t>> volumes(num_devices,
+                                             std::vector<uint64_t>(num_devices, 0));
+  for (VertexId v = 0; v < source.size(); ++v) {
+    DeviceMask mask = dest_mask[v];
+    while (mask != 0) {
+      uint32_t d = static_cast<uint32_t>(std::countr_zero(mask));
+      mask &= mask - 1;
+      ++volumes[source[v]][d];
+    }
+  }
+  return volumes;
+}
+
+std::vector<VertexId> CommRelation::VerticesWithDestinations() const {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < dest_mask.size(); ++v) {
+    if (dest_mask[v] != 0) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace dgcl

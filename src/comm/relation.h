@@ -1,0 +1,53 @@
+// Communication relation: who needs which vertex embeddings (§4.1).
+//
+// From a graph and its partitioning we derive, per vertex u, the source
+// device s_u (owner of u's partition) and the destination set D_u (devices
+// owning a neighbor of u). The per-pair tables V_ij of the paper are the
+// grouping of this per-vertex relation by (source, destination).
+//
+// Destination sets are stored as 64-bit masks, capping the device count at 64
+// (the paper notes |V'| < 100 for typical deployments; all experiments use
+// at most 16).
+
+#ifndef DGCL_COMM_RELATION_H_
+#define DGCL_COMM_RELATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/csr_graph.h"
+#include "partition/partitioner.h"
+
+namespace dgcl {
+
+using DeviceMask = uint64_t;
+
+inline constexpr uint32_t kMaxDevices = 64;
+
+struct CommRelation {
+  uint32_t num_devices = 0;
+  std::vector<uint32_t> source;      // per vertex: owner device
+  std::vector<DeviceMask> dest_mask; // per vertex: remote devices needing it
+
+  // Per device: owned vertices, ascending global ids.
+  std::vector<std::vector<VertexId>> local_vertices;
+  // Per device: remote vertices it needs (neighbors owned elsewhere), ascending.
+  std::vector<std::vector<VertexId>> remote_vertices;
+
+  // Number of (vertex, destination) transfer obligations.
+  uint64_t TotalTransfers() const;
+
+  // V_ij sizes: volumes[i][j] = number of vertices i must send to j.
+  std::vector<std::vector<uint64_t>> PairVolumes() const;
+
+  // Vertices with a non-empty destination set (the planner's work list).
+  std::vector<VertexId> VerticesWithDestinations() const;
+};
+
+// Fails if the partitioning is invalid or has more than kMaxDevices parts.
+Result<CommRelation> BuildCommRelation(const CsrGraph& graph, const Partitioning& partitioning);
+
+}  // namespace dgcl
+
+#endif  // DGCL_COMM_RELATION_H_

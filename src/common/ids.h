@@ -1,0 +1,15 @@
+// Shared sentinel for dense uint32 id spaces (devices, links, parts, ...).
+
+#ifndef DGCL_COMMON_IDS_H_
+#define DGCL_COMMON_IDS_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace dgcl {
+
+inline constexpr uint32_t kInvalidId = std::numeric_limits<uint32_t>::max();
+
+}  // namespace dgcl
+
+#endif  // DGCL_COMMON_IDS_H_

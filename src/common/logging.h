@@ -1,0 +1,77 @@
+// Minimal leveled logging plus CHECK macros.
+//
+// DGCL_LOG(level) << ... streams to stderr with a severity prefix; the global
+// threshold is settable at runtime (benchmarks silence INFO). CHECK macros
+// abort with a message on violation — used for programmer errors only, never
+// for input validation (inputs go through Status).
+
+#ifndef DGCL_COMMON_LOGGING_H_
+#define DGCL_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace dgcl {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+// Global log threshold; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the message is below threshold.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define DGCL_LOG_LEVEL_kDebug ::dgcl::LogLevel::kDebug
+#define DGCL_LOG_LEVEL_kInfo ::dgcl::LogLevel::kInfo
+#define DGCL_LOG_LEVEL_kWarning ::dgcl::LogLevel::kWarning
+#define DGCL_LOG_LEVEL_kError ::dgcl::LogLevel::kError
+#define DGCL_LOG_LEVEL_kFatal ::dgcl::LogLevel::kFatal
+
+#define DGCL_LOG(level)                                                              \
+  (DGCL_LOG_LEVEL_##level < ::dgcl::GetLogLevel())                                   \
+      ? (void)0                                                                      \
+      : ::dgcl::internal::LogVoidify() &                                             \
+            ::dgcl::internal::LogMessage(DGCL_LOG_LEVEL_##level, __FILE__, __LINE__) \
+                .stream()
+
+#define DGCL_CHECK(cond)                                                                   \
+  (cond) ? (void)0                                                                         \
+         : ::dgcl::internal::LogVoidify() &                                                \
+               ::dgcl::internal::LogMessage(::dgcl::LogLevel::kFatal, __FILE__, __LINE__)  \
+                       .stream()                                                           \
+                   << "CHECK failed: " #cond " "
+
+#define DGCL_CHECK_EQ(a, b) DGCL_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DGCL_CHECK_NE(a, b) DGCL_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DGCL_CHECK_LT(a, b) DGCL_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DGCL_CHECK_LE(a, b) DGCL_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DGCL_CHECK_GT(a, b) DGCL_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DGCL_CHECK_GE(a, b) DGCL_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+}  // namespace dgcl
+
+#endif  // DGCL_COMMON_LOGGING_H_

@@ -1,0 +1,37 @@
+// Fixed-width table rendering for the benchmark harnesses.
+//
+// Every bench binary regenerates one table/figure of the paper; TablePrinter
+// gives them a uniform, diff-friendly text rendering (header row, aligned
+// columns, optional title and footnote).
+
+#ifndef DGCL_COMMON_TABLE_PRINTER_H_
+#define DGCL_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace dgcl {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Adds a row; short rows are padded with empty cells, long rows truncated.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table; when `title` is non-empty it is printed above.
+  std::string Render(const std::string& title = "") const;
+
+  // Convenience cell formatters.
+  static std::string Fmt(double value, int precision = 2);
+  static std::string FmtInt(long long value);
+  static std::string FmtBytes(double bytes);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dgcl
+
+#endif  // DGCL_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,29 @@
+// Wall-clock timing helpers for benchmarks and the SPST runtime table.
+
+#ifndef DGCL_COMMON_TIMER_H_
+#define DGCL_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace dgcl {
+
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dgcl
+
+#endif  // DGCL_COMMON_TIMER_H_

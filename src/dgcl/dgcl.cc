@@ -1,0 +1,115 @@
+#include "dgcl/dgcl.h"
+
+#include <optional>
+
+#include "comm/plan.h"
+#include "partition/hierarchical.h"
+#include "partition/multilevel.h"
+
+namespace dgcl {
+
+struct DgclContext::State {
+  Topology topology;
+  DgclOptions options;
+  const CsrGraph* graph = nullptr;  // set by BuildCommInfo; caller-owned
+  Partitioning partitioning;
+  CommRelation relation;
+  CommPlan plan;
+  CompiledPlan compiled;
+  std::optional<AllgatherEngine> engine;
+};
+
+DgclContext::DgclContext(DgclContext&&) noexcept = default;
+DgclContext& DgclContext::operator=(DgclContext&&) noexcept = default;
+DgclContext::~DgclContext() = default;
+
+Result<DgclContext> DgclContext::Init(Topology topology, DgclOptions options) {
+  if (topology.num_devices() == 0) {
+    return Status::InvalidArgument("topology has no devices");
+  }
+  if (topology.num_devices() > 1 && !topology.IsFullyConnected()) {
+    return Status::InvalidArgument("topology must define a link for every device pair");
+  }
+  DgclContext ctx;
+  ctx.state_ = std::make_unique<State>();
+  ctx.state_->topology = std::move(topology);
+  ctx.state_->options = options;
+  return ctx;
+}
+
+Status DgclContext::BuildCommInfo(const CsrGraph& graph) {
+  State& s = *state_;
+  MultilevelPartitioner partitioner(s.options.partition);
+  DGCL_ASSIGN_OR_RETURN(s.partitioning, PartitionForTopology(graph, s.topology, partitioner));
+  DGCL_ASSIGN_OR_RETURN(s.relation, BuildCommRelation(graph, s.partitioning));
+  SpstPlanner planner(s.options.spst);
+  DGCL_ASSIGN_OR_RETURN(s.plan, planner.Plan(s.relation, s.topology, s.options.bytes_per_unit));
+  DGCL_RETURN_IF_ERROR(ValidatePlan(s.plan, s.relation, s.topology));
+  s.compiled = CompilePlan(s.plan, s.topology);
+  AssignBackwardSubstages(s.compiled);
+  DGCL_ASSIGN_OR_RETURN(AllgatherEngine engine,
+                        AllgatherEngine::Create(s.relation, s.compiled, s.topology));
+  s.engine.emplace(std::move(engine));
+  s.graph = &graph;
+  return Status::Ok();
+}
+
+Result<std::vector<EmbeddingMatrix>> DgclContext::DispatchFeatures(
+    const EmbeddingMatrix& features) const {
+  const State& s = *state_;
+  if (!s.engine.has_value()) {
+    return Status::FailedPrecondition("BuildCommInfo not called");
+  }
+  if (features.rows != s.relation.source.size()) {
+    return Status::InvalidArgument("feature rows must match graph vertices");
+  }
+  std::vector<EmbeddingMatrix> out;
+  out.reserve(s.relation.num_devices);
+  for (uint32_t d = 0; d < s.relation.num_devices; ++d) {
+    const auto& locals = s.relation.local_vertices[d];
+    EmbeddingMatrix m =
+        EmbeddingMatrix::Zero(static_cast<uint32_t>(locals.size()), features.dim);
+    for (uint32_t i = 0; i < locals.size(); ++i) {
+      std::copy(features.Row(locals[i]), features.Row(locals[i]) + features.dim, m.Row(i));
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+Result<std::vector<EmbeddingMatrix>> DgclContext::GraphAllgather(
+    const std::vector<EmbeddingMatrix>& local) const {
+  if (!state_->engine.has_value()) {
+    return Status::FailedPrecondition("BuildCommInfo not called");
+  }
+  return state_->engine->Forward(local);
+}
+
+Result<std::vector<EmbeddingMatrix>> DgclContext::GraphAllgatherBackward(
+    const std::vector<EmbeddingMatrix>& slot_grads) const {
+  if (!state_->engine.has_value()) {
+    return Status::FailedPrecondition("BuildCommInfo not called");
+  }
+  return state_->engine->Backward(slot_grads);
+}
+
+Result<LocalGraph> DgclContext::BuildDeviceGraph(uint32_t device) const {
+  const State& s = *state_;
+  if (s.graph == nullptr) {
+    return Status::FailedPrecondition("BuildCommInfo not called");
+  }
+  if (device >= s.relation.num_devices) {
+    return Status::OutOfRange("device id out of range");
+  }
+  return BuildLocalGraph(*s.graph, s.relation, device);
+}
+
+bool DgclContext::comm_info_ready() const { return state_->engine.has_value(); }
+uint32_t DgclContext::num_devices() const { return state_->topology.num_devices(); }
+const Topology& DgclContext::topology() const { return state_->topology; }
+const Partitioning& DgclContext::partitioning() const { return state_->partitioning; }
+const CommRelation& DgclContext::relation() const { return state_->relation; }
+const CommPlan& DgclContext::plan() const { return state_->plan; }
+const CompiledPlan& DgclContext::compiled_plan() const { return state_->compiled; }
+
+}  // namespace dgcl

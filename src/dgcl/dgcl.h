@@ -1,0 +1,93 @@
+// DGCL public API — the library facade of §4.2.
+//
+// Mirrors the paper's workflow and function names:
+//
+//   auto ctx = DgclContext::Init(topology);            // init()
+//   ctx->BuildCommInfo(graph);                         // buildCommInfo(...)
+//   auto parts = ctx->DispatchFeatures(features);      // dispatch_features(...)
+//   auto slots = ctx->GraphAllgather(local_embeddings) // graphAllgather(...)
+//
+// Init sets up the communication environment for the given topology.
+// BuildCommInfo partitions the graph (hierarchically when the topology spans
+// machines), builds the communication relation, runs the SPST planner and
+// compiles the plan into send/receive tables for the runtime. GraphAllgather
+// is the synchronous embedding exchange used before every layer's graph op;
+// GraphAllgatherBackward routes gradients to vertex owners in reverse.
+//
+// A single-GPU GNN system integrates by training on LocalGraph(d) for each
+// device — vertices are re-indexed so the system never sees the distribution.
+
+#ifndef DGCL_DGCL_DGCL_H_
+#define DGCL_DGCL_DGCL_H_
+
+#include <memory>
+#include <vector>
+
+#include "comm/compiled_plan.h"
+#include "comm/relation.h"
+#include "common/status.h"
+#include "gnn/local_graph.h"
+#include "partition/multilevel.h"
+#include "partition/partitioner.h"
+#include "planner/spst.h"
+#include "runtime/allgather_engine.h"
+#include "topology/topology.h"
+
+namespace dgcl {
+
+struct DgclOptions {
+  SpstOptions spst;
+  MultilevelOptions partition;
+  double bytes_per_unit = 1024.0;  // embedding bytes used for planning
+};
+
+class DgclContext {
+ public:
+  // init(): set up the communication environment for `topology`.
+  static Result<DgclContext> Init(Topology topology, DgclOptions options = {});
+
+  DgclContext(DgclContext&&) noexcept;
+  DgclContext& operator=(DgclContext&&) noexcept;
+  ~DgclContext();
+
+  // buildCommInfo(graph, topology): partition, build the communication
+  // relation, run communication planning, compile and arm the runtime.
+  Status BuildCommInfo(const CsrGraph& graph);
+
+  // dispatch_features(features): split a global [num_vertices x dim] matrix
+  // into per-device local matrices (local_vertices order).
+  Result<std::vector<EmbeddingMatrix>> DispatchFeatures(const EmbeddingMatrix& features) const;
+
+  // graphAllgather(local_embeddings): per-device local rows in, per-device
+  // slot matrices (locals + required remotes) out. Synchronous.
+  Result<std::vector<EmbeddingMatrix>> GraphAllgather(
+      const std::vector<EmbeddingMatrix>& local) const;
+
+  // Reverse pass: slot-gradient matrices in, per-owner accumulated local
+  // gradients out.
+  Result<std::vector<EmbeddingMatrix>> GraphAllgatherBackward(
+      const std::vector<EmbeddingMatrix>& slot_grads) const;
+
+  // Device d's re-indexed training graph G_d (locals then remotes).
+  Result<LocalGraph> BuildDeviceGraph(uint32_t device) const;
+
+  bool comm_info_ready() const;
+  uint32_t num_devices() const;
+  const Topology& topology() const;
+  const Partitioning& partitioning() const;   // valid after BuildCommInfo
+  const CommRelation& relation() const;       // valid after BuildCommInfo
+  const CommPlan& plan() const;               // valid after BuildCommInfo
+  const CompiledPlan& compiled_plan() const;  // valid after BuildCommInfo
+
+ private:
+  DgclContext() = default;
+
+  // Heap state keeps addresses stable across moves (the engine holds
+  // pointers into the relation and topology).
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace dgcl
+
+#endif  // DGCL_DGCL_DGCL_H_

@@ -1,0 +1,74 @@
+// GNN layers with full forward/backward (the three models of §7).
+//
+// Each layer follows the aggregate-update pattern of Eq. (1):
+//   GCN      h' = ReLU( mean(h_v, h_N(v)) W + b )
+//   CommNet  h' = ReLU( h_v W_self + mean(h_N(v)) W_comm + b )
+//   GIN      h' = MLP( (1+eps) h_v + sum(h_N(v)) ),  MLP = ReLU∘Linear twice
+//
+// Forward consumes a slot matrix (locals + remotes, post-allgather) and
+// produces local rows; Backward consumes local-row gradients and produces a
+// slot-matrix gradient whose remote rows must be routed back to their owners
+// by the backward allgather.
+
+#ifndef DGCL_GNN_LAYERS_H_
+#define DGCL_GNN_LAYERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "gnn/local_graph.h"
+#include "gnn/nn.h"
+#include "sim/compute_model.h"
+
+namespace dgcl {
+
+class GnnLayer {
+ public:
+  virtual ~GnnLayer() = default;
+
+  // `slots` has graph.num_slots rows; returns graph.num_compute rows.
+  virtual EmbeddingMatrix Forward(const LocalGraph& graph, const EmbeddingMatrix& slots) = 0;
+
+  // `grad_out` has num_compute rows; returns num_slots rows of input grads.
+  // Accumulates parameter gradients internally.
+  virtual EmbeddingMatrix Backward(const LocalGraph& graph, const EmbeddingMatrix& grad_out) = 0;
+
+  // SGD step with the accumulated (externally averaged) gradients, then
+  // clears them. `grads` must come from ExportGrads-compatible layers when
+  // synchronizing across devices.
+  virtual void Step(float lr) = 0;
+
+  // Flat views of parameters and their gradients for cross-device averaging.
+  virtual std::vector<EmbeddingMatrix*> Params() = 0;
+  virtual std::vector<EmbeddingMatrix*> Grads() = 0;
+
+  virtual uint32_t dim_in() const = 0;
+  virtual uint32_t dim_out() const = 0;
+};
+
+// Factory: one layer of `model` mapping dim_in -> dim_out, weights drawn
+// from `rng` (pass identically-seeded Rngs to replicate weights).
+std::unique_ptr<GnnLayer> MakeLayer(GnnModel model, uint32_t dim_in, uint32_t dim_out, Rng& rng);
+
+// --- aggregation primitives (exposed for tests) ---
+
+// out[i] = (h[i] + sum_{u in N(i)} h[u]) / (1 + deg(i)), rows = num_compute.
+EmbeddingMatrix AggregateMeanWithSelf(const LocalGraph& graph, const EmbeddingMatrix& slots);
+// out[i] = mean_{u in N(i)} h[u] (zero row when no neighbors).
+EmbeddingMatrix AggregateMeanNeighbors(const LocalGraph& graph, const EmbeddingMatrix& slots);
+// out[i] = sum_{u in N(i)} h[u].
+EmbeddingMatrix AggregateSumNeighbors(const LocalGraph& graph, const EmbeddingMatrix& slots);
+
+// Transposed scatter of the three aggregations: given d(out), produce
+// d(slots). `include_self` and `normalize` select the variant.
+EmbeddingMatrix ScatterMeanWithSelfBackward(const LocalGraph& graph,
+                                            const EmbeddingMatrix& grad_agg);
+EmbeddingMatrix ScatterMeanNeighborsBackward(const LocalGraph& graph,
+                                             const EmbeddingMatrix& grad_agg);
+EmbeddingMatrix ScatterSumNeighborsBackward(const LocalGraph& graph,
+                                            const EmbeddingMatrix& grad_agg);
+
+}  // namespace dgcl
+
+#endif  // DGCL_GNN_LAYERS_H_

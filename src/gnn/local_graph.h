@@ -1,0 +1,42 @@
+// Per-device aggregation graph (the G_d(V_l ∪ V_r, E_d) of §4.1).
+//
+// After graph partitioning, each device sees a re-indexed graph over its
+// *slots*: local vertices first, then its required remotes, matching the
+// AllgatherEngine slot layout. Aggregation produces rows only for the local
+// vertices, reading neighbor embeddings from any slot — which is exactly why
+// the allgather must run before each layer's graph op.
+
+#ifndef DGCL_GNN_LOCAL_GRAPH_H_
+#define DGCL_GNN_LOCAL_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/relation.h"
+#include "graph/csr_graph.h"
+
+namespace dgcl {
+
+struct LocalGraph {
+  uint32_t num_compute = 0;  // local vertices (rows produced by aggregation)
+  uint32_t num_slots = 0;    // locals + remotes (rows readable)
+  std::vector<uint64_t> offsets;     // num_compute + 1
+  std::vector<uint32_t> nbr_slots;   // neighbor slot ids
+
+  std::span<const uint32_t> Neighbors(uint32_t local_row) const {
+    return std::span<const uint32_t>(nbr_slots.data() + offsets[local_row],
+                                     nbr_slots.data() + offsets[local_row + 1]);
+  }
+};
+
+// Device `d`'s re-indexed graph under `relation`. Every neighbor of a local
+// vertex is either local or in the device's remote set, so this cannot fail
+// once the relation is consistent with the graph it was built from.
+LocalGraph BuildLocalGraph(const CsrGraph& graph, const CommRelation& relation, uint32_t device);
+
+// Whole graph as a single device's local graph (single-device training).
+LocalGraph FullLocalGraph(const CsrGraph& graph);
+
+}  // namespace dgcl
+
+#endif  // DGCL_GNN_LOCAL_GRAPH_H_

@@ -1,0 +1,190 @@
+#include "gnn/nn.h"
+
+#include <cmath>
+
+#include "common/ids.h"
+#include "common/logging.h"
+
+namespace dgcl {
+
+void Gemm(const EmbeddingMatrix& a, const EmbeddingMatrix& b, EmbeddingMatrix& out) {
+  DGCL_CHECK_EQ(a.dim, b.rows);
+  out = EmbeddingMatrix::Zero(a.rows, b.dim);
+  for (uint32_t i = 0; i < a.rows; ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out.Row(i);
+    for (uint32_t k = 0; k < a.dim; ++k) {
+      const float aik = arow[k];
+      if (aik == 0.0f) {
+        continue;
+      }
+      const float* brow = b.Row(k);
+      for (uint32_t j = 0; j < b.dim; ++j) {
+        orow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+void GemmTransposeA(const EmbeddingMatrix& a, const EmbeddingMatrix& b, EmbeddingMatrix& out) {
+  DGCL_CHECK_EQ(a.rows, b.rows);
+  out = EmbeddingMatrix::Zero(a.dim, b.dim);
+  for (uint32_t r = 0; r < a.rows; ++r) {
+    const float* arow = a.Row(r);
+    const float* brow = b.Row(r);
+    for (uint32_t i = 0; i < a.dim; ++i) {
+      const float ari = arow[i];
+      if (ari == 0.0f) {
+        continue;
+      }
+      float* orow = out.Row(i);
+      for (uint32_t j = 0; j < b.dim; ++j) {
+        orow[j] += ari * brow[j];
+      }
+    }
+  }
+}
+
+void GemmTransposeB(const EmbeddingMatrix& a, const EmbeddingMatrix& b, EmbeddingMatrix& out) {
+  DGCL_CHECK_EQ(a.dim, b.dim);
+  out = EmbeddingMatrix::Zero(a.rows, b.rows);
+  for (uint32_t i = 0; i < a.rows; ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out.Row(i);
+    for (uint32_t j = 0; j < b.rows; ++j) {
+      const float* brow = b.Row(j);
+      float acc = 0.0f;
+      for (uint32_t k = 0; k < a.dim; ++k) {
+        acc += arow[k] * brow[k];
+      }
+      orow[j] = acc;
+    }
+  }
+}
+
+void AddInPlace(EmbeddingMatrix& a, const EmbeddingMatrix& b) {
+  DGCL_CHECK_EQ(a.rows, b.rows);
+  DGCL_CHECK_EQ(a.dim, b.dim);
+  for (size_t i = 0; i < a.data.size(); ++i) {
+    a.data[i] += b.data[i];
+  }
+}
+
+void ScaleInPlace(EmbeddingMatrix& a, float s) {
+  for (float& x : a.data) {
+    x *= s;
+  }
+}
+
+void AddRowVectorInPlace(EmbeddingMatrix& a, const std::vector<float>& bias) {
+  DGCL_CHECK_EQ(a.dim, bias.size());
+  for (uint32_t r = 0; r < a.rows; ++r) {
+    float* row = a.Row(r);
+    for (uint32_t c = 0; c < a.dim; ++c) {
+      row[c] += bias[c];
+    }
+  }
+}
+
+void ReluInPlace(EmbeddingMatrix& a, EmbeddingMatrix& mask) {
+  mask = EmbeddingMatrix::Zero(a.rows, a.dim);
+  for (size_t i = 0; i < a.data.size(); ++i) {
+    if (a.data[i] > 0.0f) {
+      mask.data[i] = 1.0f;
+    } else {
+      a.data[i] = 0.0f;
+    }
+  }
+}
+
+void ReluBackwardInPlace(EmbeddingMatrix& grad, const EmbeddingMatrix& mask) {
+  DGCL_CHECK_EQ(grad.data.size(), mask.data.size());
+  for (size_t i = 0; i < grad.data.size(); ++i) {
+    grad.data[i] *= mask.data[i];
+  }
+}
+
+std::vector<float> ColumnSums(const EmbeddingMatrix& a) {
+  std::vector<float> sums(a.dim, 0.0f);
+  for (uint32_t r = 0; r < a.rows; ++r) {
+    const float* row = a.Row(r);
+    for (uint32_t c = 0; c < a.dim; ++c) {
+      sums[c] += row[c];
+    }
+  }
+  return sums;
+}
+
+EmbeddingMatrix RandomWeights(uint32_t rows, uint32_t cols, Rng& rng) {
+  EmbeddingMatrix w = EmbeddingMatrix::Zero(rows, cols);
+  const double stddev = std::sqrt(2.0 / rows);
+  for (float& x : w.data) {
+    x = static_cast<float>(rng.Normal() * stddev);
+  }
+  return w;
+}
+
+double SoftmaxCrossEntropy(const EmbeddingMatrix& logits, const std::vector<uint32_t>& labels,
+                           EmbeddingMatrix& grad_logits) {
+  DGCL_CHECK_EQ(logits.rows, labels.size());
+  grad_logits = EmbeddingMatrix::Zero(logits.rows, logits.dim);
+  double loss = 0.0;
+  uint32_t counted = 0;
+  for (uint32_t r = 0; r < logits.rows; ++r) {
+    if (labels[r] == kInvalidId) {
+      continue;
+    }
+    ++counted;
+  }
+  if (counted == 0) {
+    return 0.0;
+  }
+  for (uint32_t r = 0; r < logits.rows; ++r) {
+    if (labels[r] == kInvalidId) {
+      continue;
+    }
+    const float* row = logits.Row(r);
+    float max_logit = row[0];
+    for (uint32_t c = 1; c < logits.dim; ++c) {
+      max_logit = std::max(max_logit, row[c]);
+    }
+    double denom = 0.0;
+    for (uint32_t c = 0; c < logits.dim; ++c) {
+      denom += std::exp(static_cast<double>(row[c]) - max_logit);
+    }
+    const uint32_t y = labels[r];
+    DGCL_CHECK_LT(y, logits.dim);
+    loss += -(static_cast<double>(row[y]) - max_logit - std::log(denom));
+    float* grad = grad_logits.Row(r);
+    for (uint32_t c = 0; c < logits.dim; ++c) {
+      const double p = std::exp(static_cast<double>(row[c]) - max_logit) / denom;
+      grad[c] = static_cast<float>((p - (c == y ? 1.0 : 0.0)) / counted);
+    }
+  }
+  return loss / counted;
+}
+
+double Accuracy(const EmbeddingMatrix& logits, const std::vector<uint32_t>& labels) {
+  DGCL_CHECK_EQ(logits.rows, labels.size());
+  uint32_t correct = 0;
+  uint32_t counted = 0;
+  for (uint32_t r = 0; r < logits.rows; ++r) {
+    if (labels[r] == kInvalidId) {
+      continue;
+    }
+    ++counted;
+    const float* row = logits.Row(r);
+    uint32_t best = 0;
+    for (uint32_t c = 1; c < logits.dim; ++c) {
+      if (row[c] > row[best]) {
+        best = c;
+      }
+    }
+    if (best == labels[r]) {
+      ++correct;
+    }
+  }
+  return counted == 0 ? 0.0 : static_cast<double>(correct) / counted;
+}
+
+}  // namespace dgcl

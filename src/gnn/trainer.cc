@@ -1,0 +1,209 @@
+#include "gnn/trainer.h"
+
+#include <algorithm>
+
+#include "common/ids.h"
+#include "common/logging.h"
+#include "runtime/allreduce.h"
+
+namespace dgcl {
+namespace {
+
+// Rows [0, n) of `m` as a copy (drops forwarded-extra slot rows).
+EmbeddingMatrix TrimRows(const EmbeddingMatrix& m, uint32_t n) {
+  EmbeddingMatrix out = EmbeddingMatrix::Zero(n, m.dim);
+  std::copy(m.data.begin(), m.data.begin() + static_cast<size_t>(n) * m.dim, out.data.begin());
+  return out;
+}
+
+uint32_t CountLabeled(const std::vector<uint32_t>& labels) {
+  uint32_t n = 0;
+  for (uint32_t label : labels) {
+    if (label != kInvalidId) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+Result<DistributedTrainer> DistributedTrainer::Create(
+    const CsrGraph& graph, const CommRelation& relation, const AllgatherEngine& engine,
+    const EmbeddingMatrix& features, const std::vector<uint32_t>& labels, uint32_t num_classes,
+    TrainerOptions options) {
+  if (features.rows != graph.num_vertices() || labels.size() != graph.num_vertices()) {
+    return Status::InvalidArgument("features/labels must cover every vertex");
+  }
+  if (options.num_layers == 0 || num_classes == 0) {
+    return Status::InvalidArgument("need at least one layer and one class");
+  }
+  DistributedTrainer trainer;
+  trainer.relation_ = &relation;
+  trainer.engine_ = &engine;
+  trainer.options_ = options;
+  trainer.num_classes_ = num_classes;
+
+  const uint32_t devices = relation.num_devices;
+  trainer.local_graphs_.reserve(devices);
+  trainer.local_features_.reserve(devices);
+  trainer.local_labels_.resize(devices);
+  trainer.layers_.resize(devices);
+  for (uint32_t d = 0; d < devices; ++d) {
+    trainer.local_graphs_.push_back(BuildLocalGraph(graph, relation, d));
+    const auto& locals = relation.local_vertices[d];
+    EmbeddingMatrix feat = EmbeddingMatrix::Zero(static_cast<uint32_t>(locals.size()),
+                                                 features.dim);
+    for (uint32_t i = 0; i < locals.size(); ++i) {
+      std::copy(features.Row(locals[i]), features.Row(locals[i]) + features.dim, feat.Row(i));
+    }
+    trainer.local_features_.push_back(std::move(feat));
+    for (VertexId v : locals) {
+      trainer.local_labels_[d].push_back(labels[v]);
+    }
+    // Identical weight replica per device: fresh identically-seeded Rng.
+    Rng rng(options.weight_seed);
+    uint32_t dim_in = features.dim;
+    for (uint32_t l = 0; l < options.num_layers; ++l) {
+      trainer.layers_[d].push_back(MakeLayer(options.model, dim_in, options.hidden_dim, rng));
+      dim_in = options.hidden_dim;
+    }
+    trainer.head_w_.push_back(RandomWeights(options.hidden_dim, num_classes, rng));
+    trainer.head_dw_.push_back(EmbeddingMatrix::Zero(options.hidden_dim, num_classes));
+  }
+  return trainer;
+}
+
+Result<EpochResult> DistributedTrainer::Pass(bool train, EmbeddingMatrix* all_logits) {
+  const uint32_t devices = relation_->num_devices;
+  std::vector<EmbeddingMatrix> acts = local_features_;
+
+  for (uint32_t l = 0; l < options_.num_layers; ++l) {
+    DGCL_ASSIGN_OR_RETURN(std::vector<EmbeddingMatrix> slots, engine_->Forward(acts));
+    for (uint32_t d = 0; d < devices; ++d) {
+      EmbeddingMatrix trimmed = TrimRows(slots[d], local_graphs_[d].num_slots);
+      acts[d] = layers_[d][l]->Forward(local_graphs_[d], trimmed);
+    }
+  }
+
+  // Classification head and loss.
+  uint32_t total_labeled = 0;
+  for (uint32_t d = 0; d < devices; ++d) {
+    total_labeled += CountLabeled(local_labels_[d]);
+  }
+  if (total_labeled == 0) {
+    return Status::FailedPrecondition("no labeled vertices");
+  }
+
+  EpochResult result;
+  std::vector<EmbeddingMatrix> dlogits(devices);
+  std::vector<EmbeddingMatrix> logits(devices);
+  double weighted_accuracy = 0.0;
+  for (uint32_t d = 0; d < devices; ++d) {
+    Gemm(acts[d], head_w_[d], logits[d]);
+    const uint32_t counted = CountLabeled(local_labels_[d]);
+    EmbeddingMatrix grad;
+    const double device_loss = SoftmaxCrossEntropy(logits[d], local_labels_[d], grad);
+    const double share = static_cast<double>(counted) / total_labeled;
+    result.loss += device_loss * share;
+    weighted_accuracy += Accuracy(logits[d], local_labels_[d]) * share;
+    // Rescale from per-device mean to the global mean.
+    ScaleInPlace(grad, static_cast<float>(share));
+    dlogits[d] = std::move(grad);
+  }
+  result.accuracy = weighted_accuracy;
+
+  if (all_logits != nullptr) {
+    *all_logits = EmbeddingMatrix::Zero(
+        static_cast<uint32_t>(relation_->source.size()), num_classes_);
+    for (uint32_t d = 0; d < devices; ++d) {
+      const auto& locals = relation_->local_vertices[d];
+      for (uint32_t i = 0; i < locals.size(); ++i) {
+        std::copy(logits[d].Row(i), logits[d].Row(i) + num_classes_,
+                  all_logits->Row(locals[i]));
+      }
+    }
+  }
+  if (!train) {
+    return result;
+  }
+
+  // Backward through the head.
+  std::vector<EmbeddingMatrix> dacts(devices);
+  for (uint32_t d = 0; d < devices; ++d) {
+    EmbeddingMatrix dw;
+    GemmTransposeA(acts[d], dlogits[d], dw);
+    AddInPlace(head_dw_[d], dw);
+    GemmTransposeB(dlogits[d], head_w_[d], dacts[d]);
+  }
+
+  // Backward through the GNN layers, routing remote gradients home.
+  for (uint32_t l = options_.num_layers; l-- > 0;) {
+    std::vector<EmbeddingMatrix> dslots(devices);
+    for (uint32_t d = 0; d < devices; ++d) {
+      dslots[d] = layers_[d][l]->Backward(local_graphs_[d], dacts[d]);
+    }
+    DGCL_ASSIGN_OR_RETURN(dacts, engine_->Backward(dslots));
+  }
+
+  // Gradient synchronization (allreduce-sum) across replicas, then step.
+  // Each device's parameter gradient is a *partial sum* over its local
+  // vertices of the globally-normalized loss, so the reduce is a sum, not a
+  // mean — summing reproduces the single-device gradient exactly.
+  auto sync = [&](std::vector<EmbeddingMatrix*> replicas) -> Status {
+    if (options_.use_ring_allreduce) {
+      DGCL_ASSIGN_OR_RETURN(AllReduceStats stats, RingAllReduceSum(std::move(replicas)));
+      (void)stats;
+      return Status::Ok();
+    }
+    for (uint32_t d = 1; d < devices; ++d) {
+      AddInPlace(*replicas[0], *replicas[d]);
+    }
+    for (uint32_t d = 1; d < devices; ++d) {
+      *replicas[d] = *replicas[0];
+    }
+    return Status::Ok();
+  };
+  for (uint32_t l = 0; l < options_.num_layers; ++l) {
+    const size_t grads_per_layer = layers_[0][l]->Grads().size();
+    for (size_t g = 0; g < grads_per_layer; ++g) {
+      std::vector<EmbeddingMatrix*> replicas;
+      replicas.reserve(devices);
+      for (uint32_t d = 0; d < devices; ++d) {
+        replicas.push_back(layers_[d][l]->Grads()[g]);
+      }
+      DGCL_RETURN_IF_ERROR(sync(std::move(replicas)));
+    }
+    for (uint32_t d = 0; d < devices; ++d) {
+      layers_[d][l]->Step(options_.learning_rate);
+    }
+  }
+  {
+    std::vector<EmbeddingMatrix*> replicas;
+    replicas.reserve(devices);
+    for (uint32_t d = 0; d < devices; ++d) {
+      replicas.push_back(&head_dw_[d]);
+    }
+    DGCL_RETURN_IF_ERROR(sync(std::move(replicas)));
+  }
+  for (uint32_t d = 0; d < devices; ++d) {
+    for (size_t i = 0; i < head_w_[d].data.size(); ++i) {
+      head_w_[d].data[i] -= options_.learning_rate * head_dw_[d].data[i];
+    }
+    head_dw_[d] = EmbeddingMatrix::Zero(options_.hidden_dim, num_classes_);
+  }
+  return result;
+}
+
+Result<EpochResult> DistributedTrainer::TrainEpoch() { return Pass(/*train=*/true, nullptr); }
+
+Result<EpochResult> DistributedTrainer::Evaluate() { return Pass(/*train=*/false, nullptr); }
+
+Result<EmbeddingMatrix> DistributedTrainer::Logits() {
+  EmbeddingMatrix logits;
+  DGCL_ASSIGN_OR_RETURN(EpochResult unused, Pass(/*train=*/false, &logits));
+  (void)unused;
+  return logits;
+}
+
+}  // namespace dgcl

@@ -1,0 +1,94 @@
+// Distributed full-graph GNN training (§2, §6.3).
+//
+// Execution per epoch, exactly the transfer-compute schedule of the paper:
+// for each layer, run graphAllgather to materialize remote embeddings, do the
+// graph aggregation + DNN update on local rows, and drop the remote rows
+// before the next dense op. The backward pass routes remote-vertex gradients
+// back to their owners through the same plan in reverse. Model weights are
+// replicated and gradient-averaged across devices every step (the paper
+// defers this to Horovod/DDP; GNN weights are small).
+//
+// Device math runs sequentially in the calling thread (the per-device model
+// state is identical either way); the embedding exchange itself runs on the
+// threaded AllgatherEngine with the decentralized flag protocol.
+
+#ifndef DGCL_GNN_TRAINER_H_
+#define DGCL_GNN_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "comm/relation.h"
+#include "common/status.h"
+#include "gnn/layers.h"
+#include "gnn/local_graph.h"
+#include "runtime/allgather_engine.h"
+
+namespace dgcl {
+
+struct TrainerOptions {
+  GnnModel model = GnnModel::kGcn;
+  uint32_t num_layers = 2;
+  uint32_t hidden_dim = 16;
+  float learning_rate = 0.5f;
+  uint64_t weight_seed = 123;  // identical across devices (replicated model)
+  // Synchronize gradients with the ring all-reduce (runtime/allreduce.h)
+  // instead of a naive sequential sum. Same result up to float summation
+  // order; this is what Horovod/DDP would do on real hardware (§6.3).
+  bool use_ring_allreduce = false;
+};
+
+struct EpochResult {
+  double loss = 0.0;
+  double accuracy = 0.0;
+};
+
+class DistributedTrainer {
+ public:
+  // `features`: one row per global vertex. `labels`: per global vertex, in
+  // [0, num_classes) or kInvalidId for unlabeled. The relation/engine define
+  // the device layout; all must outlive the trainer.
+  static Result<DistributedTrainer> Create(const CsrGraph& graph, const CommRelation& relation,
+                                           const AllgatherEngine& engine,
+                                           const EmbeddingMatrix& features,
+                                           const std::vector<uint32_t>& labels,
+                                           uint32_t num_classes, TrainerOptions options);
+
+  // One full forward + backward + synchronized SGD step over all vertices.
+  Result<EpochResult> TrainEpoch();
+
+  // Forward only; loss/accuracy over all labeled vertices.
+  Result<EpochResult> Evaluate();
+
+  // Final-layer logits for every global vertex (row = global vertex id).
+  Result<EmbeddingMatrix> Logits();
+
+  // Introspection (tests, replica-consistency checks).
+  GnnLayer& layer(uint32_t device, uint32_t index) { return *layers_[device][index]; }
+  const EmbeddingMatrix& head_weights(uint32_t device) const { return head_w_[device]; }
+
+ private:
+  DistributedTrainer() = default;
+
+  // Runs forward to logits per device; when `grads` is non-null also runs
+  // backward and fills per-layer gradient averaging + step.
+  Result<EpochResult> Pass(bool train, EmbeddingMatrix* all_logits);
+
+  const CommRelation* relation_ = nullptr;
+  const AllgatherEngine* engine_ = nullptr;
+  TrainerOptions options_;
+  uint32_t num_classes_ = 0;
+
+  std::vector<LocalGraph> local_graphs_;                  // per device
+  std::vector<EmbeddingMatrix> local_features_;           // per device
+  std::vector<std::vector<uint32_t>> local_labels_;       // per device
+  // layers_[d][l]: layer l of device d's replica.
+  std::vector<std::vector<std::unique_ptr<GnnLayer>>> layers_;
+  // Classification head (dense, local rows only), replicated per device.
+  std::vector<EmbeddingMatrix> head_w_;
+  std::vector<EmbeddingMatrix> head_dw_;
+};
+
+}  // namespace dgcl
+
+#endif  // DGCL_GNN_TRAINER_H_

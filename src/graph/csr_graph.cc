@@ -1,0 +1,78 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace dgcl {
+
+Result<CsrGraph> CsrGraph::FromEdges(VertexId num_vertices, std::vector<Edge> edges,
+                                     bool symmetrize) {
+  for (const Edge& e : edges) {
+    if (e.src >= num_vertices || e.dst >= num_vertices) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+  }
+
+  if (symmetrize) {
+    const size_t original = edges.size();
+    edges.reserve(original * 2);
+    for (size_t i = 0; i < original; ++i) {
+      edges.push_back(Edge{edges[i].dst, edges[i].src});
+    }
+  }
+
+  // Drop self loops, sort, dedup.
+  std::erase_if(edges, [](const Edge& e) { return e.src == e.dst; });
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const Edge& a, const Edge& b) {
+                            return a.src == b.src && a.dst == b.dst;
+                          }),
+              edges.end());
+
+  CsrGraph g;
+  g.num_vertices_ = num_vertices;
+  g.offsets_.assign(static_cast<size_t>(num_vertices) + 1, 0);
+  g.targets_.resize(edges.size());
+  for (const Edge& e : edges) {
+    ++g.offsets_[e.src + 1];
+  }
+  for (size_t v = 1; v <= num_vertices; ++v) {
+    g.offsets_[v] += g.offsets_[v - 1];
+  }
+  std::vector<EdgeIndex> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    g.targets_[cursor[e.src]++] = e.dst;
+  }
+  return g;
+}
+
+CsrGraph CsrGraph::InducedSubgraph(std::span<const VertexId> vertices) const {
+  std::unordered_map<VertexId, VertexId> local_id;
+  local_id.reserve(vertices.size());
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    local_id.emplace(vertices[i], static_cast<VertexId>(i));
+  }
+  std::vector<Edge> edges;
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    DGCL_CHECK_LT(vertices[i], num_vertices_);
+    for (VertexId nbr : Neighbors(vertices[i])) {
+      auto it = local_id.find(nbr);
+      if (it != local_id.end()) {
+        edges.push_back(Edge{static_cast<VertexId>(i), it->second});
+      }
+    }
+  }
+  // Already directed-complete (both directions present in the parent), so no
+  // re-symmetrization is needed; FromEdges cannot fail on in-range ids.
+  auto result = FromEdges(static_cast<VertexId>(vertices.size()), std::move(edges),
+                          /*symmetrize=*/false);
+  DGCL_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace dgcl

@@ -1,0 +1,73 @@
+// Compressed-sparse-row graph: the data-graph representation used everywhere
+// in DGCL (partitioning, communication-relation building, GNN aggregation).
+//
+// Vertices are dense 32-bit ids [0, num_vertices). The adjacency is stored in
+// one direction ("neighbors"); GNN training graphs are symmetrized at build
+// time so neighbors(v) is exactly the aggregation set N(v) of the paper.
+
+#ifndef DGCL_GRAPH_CSR_GRAPH_H_
+#define DGCL_GRAPH_CSR_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dgcl {
+
+using VertexId = uint32_t;
+using EdgeIndex = uint64_t;
+
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+};
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  // Builds a CSR graph from an edge list.
+  //  - Self loops are dropped, duplicate edges deduplicated.
+  //  - When `symmetrize` is true every edge is mirrored, so the result is an
+  //    undirected graph (the GNN aggregation graph of the paper).
+  // Fails when an endpoint is >= num_vertices.
+  static Result<CsrGraph> FromEdges(VertexId num_vertices, std::vector<Edge> edges,
+                                    bool symmetrize = true);
+
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeIndex num_edges() const { return static_cast<EdgeIndex>(targets_.size()); }
+
+  // Neighbors of v in ascending id order. Precondition: v < num_vertices().
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return std::span<const VertexId>(targets_.data() + offsets_[v],
+                                     targets_.data() + offsets_[v + 1]);
+  }
+
+  uint32_t Degree(VertexId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  double AverageDegree() const {
+    return num_vertices_ == 0 ? 0.0 : static_cast<double>(num_edges()) / num_vertices_;
+  }
+
+  const std::vector<EdgeIndex>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& targets() const { return targets_; }
+
+  // Induces the subgraph on `vertices` (which must be unique ids of this
+  // graph); vertex i of the result corresponds to vertices[i]. Edges between
+  // retained vertices are kept.
+  CsrGraph InducedSubgraph(std::span<const VertexId> vertices) const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<EdgeIndex> offsets_{0};
+  std::vector<VertexId> targets_;
+};
+
+}  // namespace dgcl
+
+#endif  // DGCL_GRAPH_CSR_GRAPH_H_

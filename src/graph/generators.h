@@ -1,0 +1,79 @@
+// Synthetic graph generators and the four dataset stand-ins of the paper.
+//
+// The paper evaluates on Reddit, Com-Orkut, Web-Google and Wiki-Talk (Table 4)
+// which are not redistributable here; MakeDataset() produces scale-reduced
+// RMAT graphs calibrated to the same average-degree regime (dense vs sparse)
+// and carries the paper's feature/hidden dimensions, so the communication /
+// computation ratios that drive every experiment are preserved.
+
+#ifndef DGCL_GRAPH_GENERATORS_H_
+#define DGCL_GRAPH_GENERATORS_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+
+namespace dgcl {
+
+// G(n, m): m distinct undirected edges chosen uniformly.
+CsrGraph GenerateErdosRenyi(VertexId num_vertices, EdgeIndex num_edges, Rng& rng);
+
+// Recursive-matrix (RMAT) generator; produces skewed degree distributions
+// similar to real web/social graphs. `scale` is log2 of the vertex count.
+struct RmatParams {
+  uint32_t scale = 16;
+  EdgeIndex num_edges = 1 << 20;
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  // d = 1 - a - b - c
+};
+CsrGraph GenerateRmat(const RmatParams& params, Rng& rng);
+
+// RMAT with planted locality: a fraction `intra_fraction` of the edges is
+// drawn inside one of `num_communities` equal vertex blocks (RMAT-skewed
+// within the block), the rest globally. Models graphs that partition well
+// (social/web graphs) while keeping a heavy-tailed degree distribution.
+CsrGraph GenerateClusteredRmat(const RmatParams& params, uint32_t num_communities,
+                               double intra_fraction, Rng& rng);
+
+// Planted-partition graph: `num_communities` groups with dense intra-group
+// and sparse inter-group edges. Used to test partitioner quality.
+CsrGraph GenerateCommunityGraph(VertexId num_vertices, uint32_t num_communities,
+                                double intra_degree, double inter_degree, Rng& rng);
+
+// 2D grid (wraparound off): deterministic, used in unit tests.
+CsrGraph GenerateGrid(uint32_t rows, uint32_t cols);
+
+// The four evaluation graphs of Table 4.
+enum class DatasetId { kReddit, kComOrkut, kWebGoogle, kWikiTalk };
+
+struct Dataset {
+  std::string name;
+  CsrGraph graph;
+  uint32_t feature_dim = 0;  // input feature size (Table 4)
+  uint32_t hidden_dim = 0;   // hidden embedding size (Table 4)
+};
+
+// Full-size statistics from Table 4, used to parameterize the stand-ins and
+// reported by benches for context.
+struct DatasetPaperStats {
+  const char* name;
+  double vertices_millions;
+  double edges_millions;
+  double avg_degree;
+  uint32_t feature_dim;
+  uint32_t hidden_dim;
+};
+DatasetPaperStats GetPaperStats(DatasetId id);
+
+// Builds the stand-in graph for `id` with vertex count scaled down by
+// `inverse_scale` (>= 1) while preserving the average degree. Deterministic
+// for a given (id, inverse_scale, seed).
+Dataset MakeDataset(DatasetId id, uint32_t inverse_scale, uint64_t seed = 17);
+
+const char* DatasetName(DatasetId id);
+
+}  // namespace dgcl
+
+#endif  // DGCL_GRAPH_GENERATORS_H_

@@ -1,0 +1,35 @@
+// Graph loading and saving.
+//
+// Two formats:
+//  * Text edge list — one "src dst" pair per line, '#' comments, whitespace
+//    separated; the format of the SNAP datasets the paper evaluates on
+//    (Web-Google, Wiki-Talk, Com-Orkut), so real data drops in directly.
+//  * Binary CSR — a compact snapshot with a magic/version header for fast
+//    reload of generated stand-ins.
+
+#ifndef DGCL_GRAPH_GRAPH_IO_H_
+#define DGCL_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/csr_graph.h"
+
+namespace dgcl {
+
+// Parses a SNAP-style edge list. Vertex ids are compacted: the result has
+// num_vertices == (max id + 1) unless `compact_ids` is set, in which case
+// ids are densely renumbered in first-appearance order.
+Result<CsrGraph> LoadEdgeList(const std::string& path, bool symmetrize = true,
+                              bool compact_ids = false);
+
+// Writes "src dst" lines (each undirected edge once, src < dst).
+Status SaveEdgeList(const CsrGraph& graph, const std::string& path);
+
+// Binary CSR snapshot ("DGCLG1" header).
+Status SaveBinary(const CsrGraph& graph, const std::string& path);
+Result<CsrGraph> LoadBinary(const std::string& path);
+
+}  // namespace dgcl
+
+#endif  // DGCL_GRAPH_GRAPH_IO_H_

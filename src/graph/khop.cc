@@ -1,0 +1,58 @@
+#include "graph/khop.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dgcl {
+
+std::vector<VertexId> ExpandKHop(const CsrGraph& graph, std::span<const VertexId> seeds,
+                                 uint32_t hops) {
+  std::vector<uint8_t> visited(graph.num_vertices(), 0);
+  std::vector<VertexId> frontier;
+  std::vector<VertexId> result;
+  for (VertexId s : seeds) {
+    DGCL_CHECK_LT(s, graph.num_vertices());
+    if (!visited[s]) {
+      visited[s] = 1;
+      frontier.push_back(s);
+      result.push_back(s);
+    }
+  }
+  std::vector<VertexId> next;
+  for (uint32_t hop = 0; hop < hops && !frontier.empty(); ++hop) {
+    next.clear();
+    for (VertexId v : frontier) {
+      for (VertexId nbr : graph.Neighbors(v)) {
+        if (!visited[nbr]) {
+          visited[nbr] = 1;
+          next.push_back(nbr);
+          result.push_back(nbr);
+        }
+      }
+    }
+    std::swap(frontier, next);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+double ReplicationFactor(const CsrGraph& graph, std::span<const uint32_t> parts,
+                         uint32_t num_parts, uint32_t hops) {
+  DGCL_CHECK_EQ(parts.size(), static_cast<size_t>(graph.num_vertices()));
+  if (graph.num_vertices() == 0) {
+    return 0.0;
+  }
+  std::vector<std::vector<VertexId>> members(num_parts);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    DGCL_CHECK_LT(parts[v], num_parts);
+    members[parts[v]].push_back(v);
+  }
+  uint64_t total_stored = 0;
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    total_stored += ExpandKHop(graph, members[p], hops).size();
+  }
+  return static_cast<double>(total_stored) / graph.num_vertices();
+}
+
+}  // namespace dgcl

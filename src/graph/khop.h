@@ -1,0 +1,31 @@
+// K-hop neighborhood expansion.
+//
+// Used by the Replication baseline (§3 of the paper): a device that must
+// train its local partition without communication needs the K-hop neighbors
+// of its local vertices replicated locally. ExpandKHop computes that closure;
+// ReplicationFactor reproduces the metric of Figure 4.
+
+#ifndef DGCL_GRAPH_KHOP_H_
+#define DGCL_GRAPH_KHOP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace dgcl {
+
+// All vertices within `hops` of `seeds` (including the seeds), ascending ids.
+std::vector<VertexId> ExpandKHop(const CsrGraph& graph, std::span<const VertexId> seeds,
+                                 uint32_t hops);
+
+// Total vertices stored by all parts (each part holds its vertices plus their
+// `hops`-hop neighbors) divided by the graph's vertex count. `parts[v]` is
+// the part id of vertex v; part ids are dense in [0, num_parts).
+double ReplicationFactor(const CsrGraph& graph, std::span<const uint32_t> parts,
+                         uint32_t num_parts, uint32_t hops);
+
+}  // namespace dgcl
+
+#endif  // DGCL_GRAPH_KHOP_H_

@@ -1,0 +1,30 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dgcl {
+
+GraphStats ComputeStats(const CsrGraph& graph) {
+  GraphStats s;
+  s.num_vertices = graph.num_vertices();
+  s.num_edges = graph.num_edges();
+  s.avg_degree = graph.AverageDegree();
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    uint32_t d = graph.Degree(v);
+    s.max_degree = std::max(s.max_degree, d);
+    if (d == 0) {
+      ++s.isolated_vertices;
+    }
+  }
+  return s;
+}
+
+std::string GraphStats::ToString() const {
+  std::ostringstream out;
+  out << "vertices=" << num_vertices << " edges=" << num_edges << " avg_deg=" << avg_degree
+      << " max_deg=" << max_degree << " isolated=" << isolated_vertices;
+  return out.str();
+}
+
+}  // namespace dgcl

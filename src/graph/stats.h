@@ -1,0 +1,27 @@
+// Descriptive statistics over a CSR graph, reported by benches and examples.
+
+#ifndef DGCL_GRAPH_STATS_H_
+#define DGCL_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr_graph.h"
+
+namespace dgcl {
+
+struct GraphStats {
+  VertexId num_vertices = 0;
+  EdgeIndex num_edges = 0;  // directed edge slots (2x undirected pairs)
+  double avg_degree = 0.0;
+  uint32_t max_degree = 0;
+  uint32_t isolated_vertices = 0;
+
+  std::string ToString() const;
+};
+
+GraphStats ComputeStats(const CsrGraph& graph);
+
+}  // namespace dgcl
+
+#endif  // DGCL_GRAPH_STATS_H_

@@ -1,0 +1,95 @@
+#include "partition/hierarchical.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dgcl {
+
+Result<Partitioning> HierarchicalPartition(const CsrGraph& graph,
+                                           const std::vector<std::vector<uint32_t>>& part_groups,
+                                           Partitioner& inner) {
+  if (part_groups.empty()) {
+    return Status::InvalidArgument("no part groups");
+  }
+  const size_t group_size = part_groups.front().size();
+  size_t total_parts = 0;
+  std::vector<uint32_t> all_parts;
+  for (const auto& group : part_groups) {
+    if (group.empty()) {
+      return Status::InvalidArgument("empty part group");
+    }
+    if (group.size() != group_size) {
+      return Status::InvalidArgument("part groups must be equal-sized");
+    }
+    total_parts += group.size();
+    all_parts.insert(all_parts.end(), group.begin(), group.end());
+  }
+  std::sort(all_parts.begin(), all_parts.end());
+  for (size_t i = 0; i < all_parts.size(); ++i) {
+    if (all_parts[i] != i) {
+      return Status::InvalidArgument("part groups must cover [0, total_parts) exactly once");
+    }
+  }
+
+  if (part_groups.size() == 1) {
+    DGCL_ASSIGN_OR_RETURN(Partitioning flat,
+                          inner.Partition(graph, static_cast<uint32_t>(group_size)));
+    // Remap local part p to the group's global id.
+    for (uint32_t& part : flat.assignment) {
+      part = part_groups[0][part];
+    }
+    flat.num_parts = static_cast<uint32_t>(total_parts);
+    return flat;
+  }
+
+  // Level 1: split across groups (machines).
+  DGCL_ASSIGN_OR_RETURN(Partitioning top,
+                        inner.Partition(graph, static_cast<uint32_t>(part_groups.size())));
+
+  Partitioning out;
+  out.num_parts = static_cast<uint32_t>(total_parts);
+  out.assignment.assign(graph.num_vertices(), 0);
+
+  // Level 2: split each group's induced subgraph across its devices.
+  for (size_t g = 0; g < part_groups.size(); ++g) {
+    std::vector<VertexId> members;
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      if (top.assignment[v] == g) {
+        members.push_back(v);
+      }
+    }
+    if (members.empty()) {
+      continue;
+    }
+    CsrGraph sub = graph.InducedSubgraph(members);
+    DGCL_ASSIGN_OR_RETURN(Partitioning local,
+                          inner.Partition(sub, static_cast<uint32_t>(group_size)));
+    for (size_t i = 0; i < members.size(); ++i) {
+      out.assignment[members[i]] = part_groups[g][local.assignment[i]];
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<uint32_t>> GroupDevicesByMachine(const Topology& topo) {
+  uint32_t num_machines = 0;
+  for (DeviceId d = 0; d < topo.num_devices(); ++d) {
+    num_machines = std::max(num_machines, topo.device(d).machine + 1);
+  }
+  std::vector<std::vector<uint32_t>> groups(num_machines);
+  for (DeviceId d = 0; d < topo.num_devices(); ++d) {
+    groups[topo.device(d).machine].push_back(d);
+  }
+  return groups;
+}
+
+Result<Partitioning> PartitionForTopology(const CsrGraph& graph, const Topology& topo,
+                                          Partitioner& inner) {
+  auto groups = GroupDevicesByMachine(topo);
+  if (groups.size() <= 1) {
+    return inner.Partition(graph, topo.num_devices());
+  }
+  return HierarchicalPartition(graph, groups, inner);
+}
+
+}  // namespace dgcl

@@ -1,0 +1,35 @@
+// Hierarchical graph partitioning (§4.1).
+//
+// When the communication topology has hierarchy (intra-machine links much
+// faster than inter-machine), the paper partitions hierarchically so cut
+// reduction is prioritized on the slow boundaries: first split the graph
+// across machines, then split each machine's share across its GPUs.
+
+#ifndef DGCL_PARTITION_HIERARCHICAL_H_
+#define DGCL_PARTITION_HIERARCHICAL_H_
+
+#include <vector>
+
+#include "partition/partitioner.h"
+#include "topology/topology.h"
+
+namespace dgcl {
+
+// `part_groups[g]` lists the global part ids (== device ids) in group g.
+// Groups must be non-empty and of equal size (the paper's machines are
+// symmetric); the union of groups must be exactly [0, total_parts).
+Result<Partitioning> HierarchicalPartition(const CsrGraph& graph,
+                                           const std::vector<std::vector<uint32_t>>& part_groups,
+                                           Partitioner& inner);
+
+// Devices of `topo` grouped by machine, each group sorted by device id.
+std::vector<std::vector<uint32_t>> GroupDevicesByMachine(const Topology& topo);
+
+// Partitions for `topo`: hierarchical by machine when the topology spans
+// multiple machines, otherwise a flat `inner` partition.
+Result<Partitioning> PartitionForTopology(const CsrGraph& graph, const Topology& topo,
+                                          Partitioner& inner);
+
+}  // namespace dgcl
+
+#endif  // DGCL_PARTITION_HIERARCHICAL_H_

@@ -1,0 +1,312 @@
+#include "partition/multilevel.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/ids.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace dgcl {
+namespace {
+
+// Internal weighted graph used across coarsening levels.
+struct WGraph {
+  uint32_t n = 0;
+  std::vector<uint64_t> offsets;  // n + 1
+  std::vector<uint32_t> adj;
+  std::vector<uint32_t> wadj;   // edge weights (collapsed multiplicity)
+  std::vector<uint32_t> vwgt;   // vertex weights (collapsed vertex count)
+
+  uint64_t TotalVertexWeight() const {
+    return std::accumulate(vwgt.begin(), vwgt.end(), uint64_t{0});
+  }
+};
+
+WGraph FromCsr(const CsrGraph& graph, bool balance_by_degree) {
+  WGraph g;
+  g.n = graph.num_vertices();
+  g.offsets = graph.offsets();
+  g.adj = graph.targets();
+  g.wadj.assign(g.adj.size(), 1);
+  g.vwgt.assign(g.n, 1);
+  if (balance_by_degree) {
+    for (uint32_t v = 0; v < g.n; ++v) {
+      g.vwgt[v] = 1 + graph.Degree(v);
+    }
+  }
+  return g;
+}
+
+// Heavy-edge matching; returns the fine->coarse map and the coarse size.
+std::pair<std::vector<uint32_t>, uint32_t> HeavyEdgeMatch(const WGraph& g, Rng& rng) {
+  std::vector<uint32_t> coarse_of(g.n, kInvalidId);
+  std::vector<uint32_t> order = rng.Permutation(g.n);
+  uint32_t next = 0;
+  for (uint32_t v : order) {
+    if (coarse_of[v] != kInvalidId) {
+      continue;
+    }
+    uint32_t best = kInvalidId;
+    uint32_t best_w = 0;
+    for (uint64_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+      uint32_t u = g.adj[e];
+      if (u != v && coarse_of[u] == kInvalidId && g.wadj[e] > best_w) {
+        best_w = g.wadj[e];
+        best = u;
+      }
+    }
+    coarse_of[v] = next;
+    if (best != kInvalidId) {
+      coarse_of[best] = next;
+    }
+    ++next;
+  }
+  return {std::move(coarse_of), next};
+}
+
+WGraph Contract(const WGraph& g, const std::vector<uint32_t>& coarse_of, uint32_t coarse_n) {
+  WGraph c;
+  c.n = coarse_n;
+  c.vwgt.assign(coarse_n, 0);
+  for (uint32_t v = 0; v < g.n; ++v) {
+    c.vwgt[coarse_of[v]] += g.vwgt[v];
+  }
+  // Aggregate coarse edges (cu, cv, w) with cu != cv.
+  struct CEdge {
+    uint32_t u, v, w;
+  };
+  std::vector<CEdge> edges;
+  edges.reserve(g.adj.size());
+  for (uint32_t v = 0; v < g.n; ++v) {
+    uint32_t cu = coarse_of[v];
+    for (uint64_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+      uint32_t cv = coarse_of[g.adj[e]];
+      if (cu != cv) {
+        edges.push_back({cu, cv, g.wadj[e]});
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const CEdge& a, const CEdge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  c.offsets.assign(coarse_n + 1, 0);
+  for (size_t i = 0; i < edges.size();) {
+    size_t j = i;
+    uint64_t w = 0;
+    while (j < edges.size() && edges[j].u == edges[i].u && edges[j].v == edges[i].v) {
+      w += edges[j].w;
+      ++j;
+    }
+    c.adj.push_back(edges[i].v);
+    c.wadj.push_back(static_cast<uint32_t>(std::min<uint64_t>(w, 0xFFFFFFFFu)));
+    ++c.offsets[edges[i].u + 1];
+    i = j;
+  }
+  for (uint32_t v = 1; v <= coarse_n; ++v) {
+    c.offsets[v] += c.offsets[v - 1];
+  }
+  return c;
+}
+
+// Greedy BFS region growing on the coarsest graph.
+std::vector<uint32_t> InitialPartition(const WGraph& g, uint32_t num_parts, Rng& rng) {
+  std::vector<uint32_t> assignment(g.n, kInvalidId);
+  const uint64_t total = g.TotalVertexWeight();
+  const double target = static_cast<double>(total) / num_parts;
+  std::vector<uint32_t> order = rng.Permutation(g.n);
+  size_t cursor = 0;
+  std::vector<uint64_t> part_weight(num_parts, 0);
+
+  for (uint32_t p = 0; p + 1 < num_parts; ++p) {
+    // Find an unassigned seed.
+    while (cursor < order.size() && assignment[order[cursor]] != kInvalidId) {
+      ++cursor;
+    }
+    if (cursor >= order.size()) {
+      break;
+    }
+    std::queue<uint32_t> frontier;
+    frontier.push(order[cursor]);
+    while (!frontier.empty() && part_weight[p] < target) {
+      uint32_t v = frontier.front();
+      frontier.pop();
+      if (assignment[v] != kInvalidId) {
+        continue;
+      }
+      assignment[v] = p;
+      part_weight[p] += g.vwgt[v];
+      for (uint64_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+        if (assignment[g.adj[e]] == kInvalidId) {
+          frontier.push(g.adj[e]);
+        }
+      }
+      // When the BFS island is exhausted, jump to a fresh seed.
+      if (frontier.empty() && part_weight[p] < target) {
+        while (cursor < order.size() && assignment[order[cursor]] != kInvalidId) {
+          ++cursor;
+        }
+        if (cursor < order.size()) {
+          frontier.push(order[cursor]);
+        }
+      }
+    }
+  }
+  // Everything left goes to the last part, then rebalance trivially by
+  // spilling from overweight parts in refinement.
+  for (uint32_t v = 0; v < g.n; ++v) {
+    if (assignment[v] == kInvalidId) {
+      assignment[v] = num_parts - 1;
+    }
+  }
+  return assignment;
+}
+
+// Boundary FM-style refinement: greedy single-vertex moves with positive cut
+// gain under the balance constraint.
+void Refine(const WGraph& g, uint32_t num_parts, double max_part_weight,
+            std::vector<uint32_t>& assignment, uint32_t passes) {
+  std::vector<uint64_t> part_weight(num_parts, 0);
+  for (uint32_t v = 0; v < g.n; ++v) {
+    part_weight[assignment[v]] += g.vwgt[v];
+  }
+  std::vector<uint64_t> conn(num_parts, 0);
+  std::vector<uint32_t> touched;
+  for (uint32_t pass = 0; pass < passes; ++pass) {
+    uint64_t moves = 0;
+    for (uint32_t v = 0; v < g.n; ++v) {
+      const uint32_t from = assignment[v];
+      touched.clear();
+      bool boundary = false;
+      for (uint64_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+        uint32_t p = assignment[g.adj[e]];
+        if (conn[p] == 0) {
+          touched.push_back(p);
+        }
+        conn[p] += g.wadj[e];
+        if (p != from) {
+          boundary = true;
+        }
+      }
+      if (boundary) {
+        uint32_t best_part = from;
+        uint64_t best_conn = conn[from];
+        for (uint32_t p : touched) {
+          if (p == from) {
+            continue;
+          }
+          const bool fits = part_weight[p] + g.vwgt[v] <= max_part_weight;
+          if (!fits) {
+            continue;
+          }
+          // Prefer strictly better cut; break ties toward the lighter part to
+          // improve balance.
+          if (conn[p] > best_conn ||
+              (conn[p] == best_conn && part_weight[p] + g.vwgt[v] < part_weight[best_part])) {
+            best_conn = conn[p];
+            best_part = p;
+          }
+        }
+        if (best_part != from) {
+          part_weight[from] -= g.vwgt[v];
+          part_weight[best_part] += g.vwgt[v];
+          assignment[v] = best_part;
+          ++moves;
+        }
+      }
+      for (uint32_t p : touched) {
+        conn[p] = 0;
+      }
+    }
+    if (moves == 0) {
+      break;
+    }
+  }
+  // Balance repair: spill from overweight parts to the lightest parts,
+  // preferring boundary vertices with the least connectivity loss.
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    while (part_weight[p] > max_part_weight) {
+      uint32_t lightest =
+          static_cast<uint32_t>(std::min_element(part_weight.begin(), part_weight.end()) -
+                                part_weight.begin());
+      if (lightest == p) {
+        break;
+      }
+      // Take any vertex of p (first found); correctness over elegance here —
+      // this path only triggers when greedy growth badly overfills a part.
+      bool moved = false;
+      for (uint32_t v = 0; v < g.n && !moved; ++v) {
+        if (assignment[v] == p) {
+          assignment[v] = lightest;
+          part_weight[p] -= g.vwgt[v];
+          part_weight[lightest] += g.vwgt[v];
+          moved = true;
+        }
+      }
+      if (!moved) {
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<Partitioning> MultilevelPartitioner::Partition(const CsrGraph& graph,
+                                                      uint32_t num_parts) {
+  if (num_parts == 0) {
+    return Status::InvalidArgument("num_parts must be positive");
+  }
+  Partitioning out;
+  out.num_parts = num_parts;
+  if (num_parts == 1 || graph.num_vertices() == 0) {
+    out.assignment.assign(graph.num_vertices(), 0);
+    return out;
+  }
+  if (num_parts >= graph.num_vertices()) {
+    out.assignment.resize(graph.num_vertices());
+    std::iota(out.assignment.begin(), out.assignment.end(), 0u);
+    return out;
+  }
+
+  Rng rng(options_.seed);
+  // Phase 1: coarsen.
+  std::vector<WGraph> levels;
+  std::vector<std::vector<uint32_t>> maps;  // fine vertex -> coarse vertex
+  levels.push_back(FromCsr(graph, options_.balance_by_degree));
+  const uint32_t stop_size = std::max(options_.coarsest_vertices, num_parts * 8);
+  while (levels.back().n > stop_size) {
+    auto [coarse_of, coarse_n] = HeavyEdgeMatch(levels.back(), rng);
+    if (coarse_n > levels.back().n * 0.95) {
+      break;  // matching stalled (e.g. star graphs); stop coarsening
+    }
+    WGraph coarse = Contract(levels.back(), coarse_of, coarse_n);
+    maps.push_back(std::move(coarse_of));
+    levels.push_back(std::move(coarse));
+  }
+
+  // Phase 2: initial partition at the coarsest level. The balance budget is
+  // over total vertex weight (== vertex count unless balancing by degree).
+  const double ideal =
+      static_cast<double>(levels.front().TotalVertexWeight()) / num_parts;
+  const double max_part_weight = (1.0 + options_.balance_epsilon) * ideal;
+  std::vector<uint32_t> assignment = InitialPartition(levels.back(), num_parts, rng);
+  Refine(levels.back(), num_parts, max_part_weight, assignment, options_.refinement_passes);
+
+  // Phase 3: uncoarsen with refinement at each level.
+  for (size_t level = maps.size(); level-- > 0;) {
+    const std::vector<uint32_t>& map = maps[level];
+    std::vector<uint32_t> finer(levels[level].n);
+    for (uint32_t v = 0; v < levels[level].n; ++v) {
+      finer[v] = assignment[map[v]];
+    }
+    assignment = std::move(finer);
+    Refine(levels[level], num_parts, max_part_weight, assignment, options_.refinement_passes);
+  }
+
+  out.assignment = std::move(assignment);
+  return out;
+}
+
+}  // namespace dgcl

@@ -1,0 +1,80 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dgcl {
+
+Result<Partitioning> HashPartitioner::Partition(const CsrGraph& graph, uint32_t num_parts) {
+  if (num_parts == 0) {
+    return Status::InvalidArgument("num_parts must be positive");
+  }
+  Partitioning p;
+  p.num_parts = num_parts;
+  p.assignment.resize(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    p.assignment[v] = v % num_parts;
+  }
+  return p;
+}
+
+Result<Partitioning> RandomPartitioner::Partition(const CsrGraph& graph, uint32_t num_parts) {
+  if (num_parts == 0) {
+    return Status::InvalidArgument("num_parts must be positive");
+  }
+  Rng rng(seed_);
+  std::vector<uint32_t> perm = rng.Permutation(graph.num_vertices());
+  Partitioning p;
+  p.num_parts = num_parts;
+  p.assignment.resize(graph.num_vertices());
+  for (VertexId i = 0; i < graph.num_vertices(); ++i) {
+    p.assignment[perm[i]] = i % num_parts;
+  }
+  return p;
+}
+
+PartitionQuality EvaluatePartition(const CsrGraph& graph, const Partitioning& partitioning) {
+  PartitionQuality q;
+  q.part_sizes.assign(partitioning.num_parts, 0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    ++q.part_sizes[partitioning.assignment[v]];
+    for (VertexId nbr : graph.Neighbors(v)) {
+      if (partitioning.assignment[nbr] != partitioning.assignment[v]) {
+        ++q.edge_cut;
+      }
+    }
+  }
+  q.cut_fraction =
+      graph.num_edges() == 0 ? 0.0 : static_cast<double>(q.edge_cut) / graph.num_edges();
+  const double ideal =
+      static_cast<double>(graph.num_vertices()) / std::max(1u, partitioning.num_parts);
+  uint32_t max_size = 0;
+  for (uint32_t size : q.part_sizes) {
+    max_size = std::max(max_size, size);
+  }
+  q.balance = ideal == 0.0 ? 0.0 : max_size / ideal;
+  return q;
+}
+
+Status ValidatePartitioning(const CsrGraph& graph, const Partitioning& partitioning) {
+  if (partitioning.num_parts == 0) {
+    return Status::InvalidArgument("num_parts is zero");
+  }
+  if (partitioning.assignment.size() != graph.num_vertices()) {
+    return Status::InvalidArgument("assignment size mismatch");
+  }
+  for (uint32_t part : partitioning.assignment) {
+    if (part >= partitioning.num_parts) {
+      return Status::OutOfRange("part id out of range");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string PartitionQuality::ToString() const {
+  std::ostringstream out;
+  out << "cut=" << edge_cut << " (" << cut_fraction * 100.0 << "%) balance=" << balance;
+  return out.str();
+}
+
+}  // namespace dgcl

@@ -1,0 +1,74 @@
+// Graph partitioning interfaces and quality metrics.
+//
+// DGCL assigns each partition to one device (§4.1). The paper uses METIS to
+// minimize cross-partition edges under a vertex-balance constraint; our
+// MultilevelPartitioner (multilevel.h) plays that role, and HashPartition is
+// the quality floor used in tests and ablations.
+
+#ifndef DGCL_PARTITION_PARTITIONER_H_
+#define DGCL_PARTITION_PARTITIONER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/csr_graph.h"
+
+namespace dgcl {
+
+// A complete assignment of vertices to parts [0, num_parts).
+struct Partitioning {
+  uint32_t num_parts = 0;
+  std::vector<uint32_t> assignment;  // size == graph.num_vertices()
+
+  uint32_t PartOf(VertexId v) const { return assignment[v]; }
+};
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  // Partitions `graph` into `num_parts` parts. Implementations must return a
+  // covering assignment (every vertex gets a part in range).
+  virtual Result<Partitioning> Partition(const CsrGraph& graph, uint32_t num_parts) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Assigns vertex v to part v % num_parts. No locality at all.
+class HashPartitioner final : public Partitioner {
+ public:
+  Result<Partitioning> Partition(const CsrGraph& graph, uint32_t num_parts) override;
+  std::string name() const override { return "hash"; }
+};
+
+// Random balanced assignment (shuffled round-robin).
+class RandomPartitioner final : public Partitioner {
+ public:
+  explicit RandomPartitioner(uint64_t seed = 7) : seed_(seed) {}
+  Result<Partitioning> Partition(const CsrGraph& graph, uint32_t num_parts) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  uint64_t seed_;
+};
+
+struct PartitionQuality {
+  EdgeIndex edge_cut = 0;      // directed edges crossing parts
+  double cut_fraction = 0.0;   // edge_cut / num_edges
+  double balance = 0.0;        // max part size / ideal part size
+  std::vector<uint32_t> part_sizes;
+
+  std::string ToString() const;
+};
+
+PartitionQuality EvaluatePartition(const CsrGraph& graph, const Partitioning& partitioning);
+
+// Validates invariant: assignment covers all vertices with in-range parts.
+Status ValidatePartitioning(const CsrGraph& graph, const Partitioning& partitioning);
+
+}  // namespace dgcl
+
+#endif  // DGCL_PARTITION_PARTITIONER_H_

@@ -1,0 +1,72 @@
+#include "planner/baselines.h"
+
+#include <bit>
+
+namespace dgcl {
+
+Result<CommPlan> PeerToPeerPlanner::Plan(const CommRelation& relation, const Topology& topo,
+                                         double bytes_per_unit) {
+  (void)bytes_per_unit;
+  if (relation.num_devices != topo.num_devices()) {
+    return Status::InvalidArgument("relation/topology device count mismatch");
+  }
+  CommPlan plan;
+  plan.num_devices = relation.num_devices;
+  for (VertexId v = 0; v < relation.dest_mask.size(); ++v) {
+    DeviceMask mask = relation.dest_mask[v];
+    if (mask == 0) {
+      continue;
+    }
+    CommTree tree;
+    tree.vertex = v;
+    while (mask != 0) {
+      uint32_t d = static_cast<uint32_t>(std::countr_zero(mask));
+      mask &= mask - 1;
+      LinkId link = topo.LinkBetween(relation.source[v], d);
+      if (link == kInvalidId) {
+        return Status::FailedPrecondition("no direct link for peer-to-peer transfer");
+      }
+      tree.edges.push_back(TreeEdge{link, 0});
+    }
+    plan.trees.push_back(std::move(tree));
+  }
+  return plan;
+}
+
+Result<CommPlan> RingPlanner::Plan(const CommRelation& relation, const Topology& topo,
+                                   double bytes_per_unit) {
+  (void)bytes_per_unit;
+  if (relation.num_devices != topo.num_devices()) {
+    return Status::InvalidArgument("relation/topology device count mismatch");
+  }
+  CommPlan plan;
+  plan.num_devices = relation.num_devices;
+  const uint32_t n = relation.num_devices;
+  for (VertexId v = 0; v < relation.dest_mask.size(); ++v) {
+    DeviceMask mask = relation.dest_mask[v];
+    if (mask == 0) {
+      continue;
+    }
+    CommTree tree;
+    tree.vertex = v;
+    // Walk the ring src -> src+1 -> ... until all destinations are passed.
+    uint32_t current = relation.source[v];
+    uint32_t stage = 0;
+    DeviceMask remaining = mask;
+    while (remaining != 0) {
+      uint32_t next = (current + 1) % n;
+      LinkId link = topo.LinkBetween(current, next);
+      if (link == kInvalidId) {
+        return Status::FailedPrecondition("ring hop without a link");
+      }
+      tree.edges.push_back(TreeEdge{link, stage});
+      remaining &= ~(DeviceMask{1} << next);
+      current = next;
+      ++stage;
+    }
+    plan.trees.push_back(std::move(tree));
+  }
+  return plan;
+}
+
+}  // namespace dgcl

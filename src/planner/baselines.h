@@ -1,0 +1,36 @@
+// Baseline communication planners.
+//
+//  * PeerToPeerPlanner — each vertex goes directly from its source to every
+//    destination over the direct link, all in one stage (the scheme of
+//    Lux/ROC that §3 profiles).
+//  * RingPlanner — vertices travel along a fixed device ring until every
+//    destination is covered (the NCCL-style regular pattern; an ablation
+//    showing why regular collectives fit GNN traffic poorly).
+//
+// Swap and Replication are not link-level planners (they restructure the
+// computation instead); they are modeled in src/sim/.
+
+#ifndef DGCL_PLANNER_BASELINES_H_
+#define DGCL_PLANNER_BASELINES_H_
+
+#include "planner/planner.h"
+
+namespace dgcl {
+
+class PeerToPeerPlanner final : public Planner {
+ public:
+  Result<CommPlan> Plan(const CommRelation& relation, const Topology& topo,
+                        double bytes_per_unit) override;
+  std::string name() const override { return "peer-to-peer"; }
+};
+
+class RingPlanner final : public Planner {
+ public:
+  Result<CommPlan> Plan(const CommRelation& relation, const Topology& topo,
+                        double bytes_per_unit) override;
+  std::string name() const override { return "ring"; }
+};
+
+}  // namespace dgcl
+
+#endif  // DGCL_PLANNER_BASELINES_H_

@@ -1,0 +1,30 @@
+// Planner interface: communication relation + topology -> communication plan.
+
+#ifndef DGCL_PLANNER_PLANNER_H_
+#define DGCL_PLANNER_PLANNER_H_
+
+#include <string>
+
+#include "comm/plan.h"
+#include "comm/relation.h"
+#include "common/status.h"
+#include "topology/topology.h"
+
+namespace dgcl {
+
+class Planner {
+ public:
+  virtual ~Planner() = default;
+
+  // `bytes_per_unit` is the embedding size in bytes; per §5.1 the optimal
+  // plan is independent of it, but cost-model-driven planners still need a
+  // consistent unit.
+  virtual Result<CommPlan> Plan(const CommRelation& relation, const Topology& topo,
+                                double bytes_per_unit) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace dgcl
+
+#endif  // DGCL_PLANNER_PLANNER_H_

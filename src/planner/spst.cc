@@ -1,0 +1,192 @@
+#include "planner/spst.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <queue>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace dgcl {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// One shortest-path search over the (device, depth) layered graph.
+//
+// Sources: devices already in the tree, at their recorded depths, distance 0.
+// Targets: any device whose bit is set in `remaining`, at any depth.
+// An edge out of depth k is weighted with the cost-model blow-up of using
+// that link at stage k. Devices already in the tree cannot be re-entered.
+//
+// On success appends the path's edges to `tree_edges`, records new depths in
+// `depth_in_tree`, commits traffic to `model` and returns the reached device;
+// returns kInvalidId when no target is reachable within `max_depth`.
+uint32_t GrowTreeOneStep(const Topology& topo, CostModel& model, double hop_epsilon,
+                         uint32_t max_depth, DeviceMask remaining,
+                         std::vector<uint32_t>& depth_in_tree,
+                         std::vector<TreeEdge>& tree_edges) {
+  const uint32_t num_devices = topo.num_devices();
+  const uint32_t layers = max_depth + 1;
+  const uint32_t num_nodes = num_devices * layers;
+  auto node_of = [layers](uint32_t device, uint32_t depth) { return device * layers + depth; };
+
+  std::vector<double> dist(num_nodes, kInf);
+  std::vector<uint32_t> parent_node(num_nodes, kInvalidId);
+  std::vector<LinkId> parent_link(num_nodes, kInvalidId);
+
+  using QueueEntry = std::pair<double, uint32_t>;  // (distance, node)
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue;
+  for (uint32_t d = 0; d < num_devices; ++d) {
+    if (depth_in_tree[d] != kInvalidId && depth_in_tree[d] <= max_depth) {
+      uint32_t node = node_of(d, depth_in_tree[d]);
+      dist[node] = 0.0;
+      queue.push({0.0, node});
+    }
+  }
+
+  uint32_t target_node = kInvalidId;
+  while (!queue.empty()) {
+    auto [d_cost, node] = queue.top();
+    queue.pop();
+    if (d_cost > dist[node]) {
+      continue;  // stale entry
+    }
+    const uint32_t device = node / layers;
+    const uint32_t depth = node % layers;
+    if ((remaining >> device) & 1) {
+      target_node = node;
+      break;  // first popped target is the overall nearest
+    }
+    if (depth == max_depth) {
+      continue;
+    }
+    for (LinkId link_id : topo.LinksFrom(device)) {
+      const Link& link = topo.link(link_id);
+      if (depth_in_tree[link.dst] != kInvalidId) {
+        continue;  // a tree is a tree: never enter a device twice
+      }
+      const uint32_t next = node_of(link.dst, depth + 1);
+      const double weight = model.IncrementalCost(link_id, depth) + hop_epsilon;
+      if (dist[node] + weight < dist[next]) {
+        dist[next] = dist[node] + weight;
+        parent_node[next] = node;
+        parent_link[next] = link_id;
+        queue.push({dist[next], next});
+      }
+    }
+  }
+  if (target_node == kInvalidId) {
+    return kInvalidId;
+  }
+
+  // Backtrack links from target to a tree node, then re-order forward.
+  std::vector<LinkId> path;
+  uint32_t node = target_node;
+  while (parent_node[node] != kInvalidId) {
+    path.push_back(parent_link[node]);
+    node = parent_node[node];
+  }
+  std::reverse(path.begin(), path.end());
+  const uint32_t start_device = node / layers;
+
+  // Splice out device loops. Because edge weights depend on the stage, the
+  // layered search may find it "cheaper" to revisit a device at a deeper
+  // layer; the spliced path delivers the same coverage at no higher cost
+  // (dropping edges never increases any stage's load).
+  std::vector<std::pair<uint32_t, LinkId>> walk;  // (device entered, via link)
+  for (LinkId link_id : path) {
+    const uint32_t dst = topo.link(link_id).dst;
+    if (dst == start_device) {
+      walk.clear();
+      continue;
+    }
+    bool already_on_path = false;
+    for (size_t i = 0; i < walk.size(); ++i) {
+      if (walk[i].first == dst) {
+        walk.resize(i + 1);
+        already_on_path = true;
+        break;
+      }
+    }
+    if (!already_on_path) {
+      walk.emplace_back(dst, link_id);
+    }
+  }
+  DGCL_CHECK(!walk.empty());
+
+  // Commit: the stage of each edge is the depth of its source in the tree.
+  uint32_t depth = depth_in_tree[start_device];
+  for (const auto& [device, link_id] : walk) {
+    ++depth;
+    DGCL_CHECK_EQ(depth_in_tree[device], kInvalidId);
+    depth_in_tree[device] = depth;
+    tree_edges.push_back(TreeEdge{link_id, depth - 1});
+    model.AddTransfer(link_id, depth - 1);
+  }
+  return walk.back().first;
+}
+
+}  // namespace
+
+Result<CommPlan> SpstPlanner::Plan(const CommRelation& relation, const Topology& topo,
+                                   double bytes_per_unit) {
+  if (relation.num_devices != topo.num_devices()) {
+    return Status::InvalidArgument("relation/topology device count mismatch");
+  }
+  CommPlan plan;
+  plan.num_devices = relation.num_devices;
+  if (relation.num_devices <= 1) {
+    return plan;
+  }
+
+  const uint32_t full_depth = relation.num_devices - 1;
+  uint32_t capped_depth = options_.max_tree_depth == 0
+                              ? full_depth
+                              : std::min(options_.max_tree_depth, full_depth);
+  CostModel model(topo, full_depth, bytes_per_unit);
+
+  // Tie-break epsilon scaled to one embedding on the fastest connection, so
+  // the plan is invariant under feature-dimension scaling.
+  double max_bandwidth = 0.0;
+  for (ConnId c = 0; c < topo.num_connections(); ++c) {
+    max_bandwidth = std::max(max_bandwidth, topo.connection(c).bandwidth_gbps * 1e9);
+  }
+  const double hop_epsilon =
+      max_bandwidth > 0.0 ? options_.hop_epsilon_fraction * bytes_per_unit / max_bandwidth
+                          : 0.0;
+
+  std::vector<VertexId> order = relation.VerticesWithDestinations();
+  if (options_.shuffle) {
+    Rng rng(options_.shuffle_seed);
+    rng.Shuffle(order);
+  }
+  plan.trees.reserve(order.size());
+
+  std::vector<uint32_t> depth_in_tree(relation.num_devices, kInvalidId);
+  for (VertexId u : order) {
+    CommTree tree;
+    tree.vertex = u;
+    std::fill(depth_in_tree.begin(), depth_in_tree.end(), kInvalidId);
+    depth_in_tree[relation.source[u]] = 0;
+    DeviceMask remaining = relation.dest_mask[u];
+    while (remaining != 0) {
+      uint32_t reached = GrowTreeOneStep(topo, model, hop_epsilon,
+                                         capped_depth, remaining, depth_in_tree, tree.edges);
+      if (reached == kInvalidId && capped_depth < full_depth) {
+        // Depth cap too tight for this tree shape; retry with the full bound.
+        reached = GrowTreeOneStep(topo, model, hop_epsilon, full_depth,
+                                  remaining, depth_in_tree, tree.edges);
+      }
+      if (reached == kInvalidId) {
+        return Status::Internal("destination unreachable in communication topology");
+      }
+      remaining &= ~(DeviceMask{1} << reached);
+    }
+    plan.trees.push_back(std::move(tree));
+  }
+  return plan;
+}
+
+}  // namespace dgcl

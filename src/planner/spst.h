@@ -1,0 +1,54 @@
+// Shortest Path Spanning Tree planner — the paper's core contribution (§5.2).
+//
+// Vertices are processed one at a time (in shuffled order). For each vertex
+// the algorithm grows a communication tree rooted at the source device: every
+// iteration runs a multi-source shortest-path search from the devices already
+// in the tree to the uncovered destinations, using the *incremental* cost
+// model blow-up as edge weights (an edge used at tree depth k is charged at
+// stage k), then commits the cheapest path. Committed traffic updates the
+// shared cost model, so later vertices see the load created by earlier ones —
+// this is what yields load balancing, fast-link preference, communication
+// fusion and contention avoidance simultaneously.
+
+#ifndef DGCL_PLANNER_SPST_H_
+#define DGCL_PLANNER_SPST_H_
+
+#include "planner/cost_model.h"
+#include "planner/planner.h"
+
+namespace dgcl {
+
+struct SpstOptions {
+  // Shuffle the vertex processing order (Algorithm 1 preamble). Turning this
+  // off (ablation) processes vertices in id order, which correlates the
+  // processing order with graph locality and hurts balance.
+  bool shuffle = true;
+  uint64_t shuffle_seed = 1;
+
+  // Cap on tree depth (== stage count). The paper allows |V'| - 1; deep
+  // relays are never profitable on real topologies and a small cap speeds
+  // planning. 0 means no cap.
+  uint32_t max_tree_depth = 4;
+
+  // Tiny per-edge cost added during path search so zero-blow-up paths still
+  // prefer fewer hops (tie-breaking; keeps paths loop-free). Expressed as a
+  // fraction of the time one embedding takes on the fastest connection, so
+  // plans stay invariant under feature-dimension scaling (§5.1 corollary).
+  double hop_epsilon_fraction = 1e-6;
+};
+
+class SpstPlanner final : public Planner {
+ public:
+  explicit SpstPlanner(SpstOptions options = {}) : options_(options) {}
+
+  Result<CommPlan> Plan(const CommRelation& relation, const Topology& topo,
+                        double bytes_per_unit) override;
+  std::string name() const override { return "spst"; }
+
+ private:
+  SpstOptions options_;
+};
+
+}  // namespace dgcl
+
+#endif  // DGCL_PLANNER_SPST_H_

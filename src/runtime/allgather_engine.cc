@@ -1,0 +1,289 @@
+#include "runtime/allgather_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace dgcl {
+
+// Shared flag/buffer state for one pass (forward or backward).
+struct PassState {
+  // ready_stage[d]: d has finished consuming all receives of stages < value.
+  std::unique_ptr<std::atomic<uint32_t>[]> ready_stage;
+  // One staging buffer + done flag per op. Buffers are written by exactly one
+  // sender and read by exactly one receiver after `done` is raised.
+  std::vector<std::vector<float>> op_buffers;
+  std::unique_ptr<std::atomic<bool>[]> op_done;
+  // Centralized coordination only: the master's stage gate.
+  std::optional<std::barrier<>> stage_barrier;
+
+  PassState(uint32_t num_devices, const CompiledPlan& plan, uint32_t dim) {
+    ready_stage = std::make_unique<std::atomic<uint32_t>[]>(num_devices);
+    for (uint32_t d = 0; d < num_devices; ++d) {
+      ready_stage[d].store(0, std::memory_order_relaxed);
+    }
+    op_buffers.resize(plan.ops.size());
+    op_done = std::make_unique<std::atomic<bool>[]>(plan.ops.size());
+    for (uint32_t i = 0; i < plan.ops.size(); ++i) {
+      op_buffers[i].resize(plan.ops[i].vertices.size() * static_cast<size_t>(dim));
+      op_done[i].store(false, std::memory_order_relaxed);
+    }
+  }
+};
+
+namespace {
+
+// Copies embedding rows in 16-byte chunks where possible (§6.2 data packing:
+// one CUDA thread fetches 16 bytes per instruction; memcpy vectorizes the
+// same way on CPU).
+void PackRow(float* dst, const float* src, uint32_t dim) {
+  std::memcpy(dst, src, static_cast<size_t>(dim) * sizeof(float));
+}
+
+}  // namespace
+
+Result<AllgatherEngine> AllgatherEngine::Create(const CommRelation& relation, CompiledPlan plan,
+                                                const Topology& topo) {
+  DGCL_RETURN_IF_ERROR(ValidateCompiledPlan(plan, relation, topo));
+  AllgatherEngine engine;
+  engine.relation_ = &relation;
+  engine.topo_ = &topo;
+  engine.plan_ = std::move(plan);
+
+  // Slot layout per device: locals, then required remotes, then any vertices
+  // held only for forwarding.
+  engine.slots_.resize(relation.num_devices);
+  engine.slot_counts_.resize(relation.num_devices);
+  for (uint32_t d = 0; d < relation.num_devices; ++d) {
+    auto& map = engine.slots_[d];
+    uint32_t next = 0;
+    for (VertexId v : relation.local_vertices[d]) {
+      map.emplace(v, next++);
+    }
+    for (VertexId v : relation.remote_vertices[d]) {
+      map.emplace(v, next++);
+    }
+    engine.slot_counts_[d] = next;
+  }
+  for (const TransferOp& op : engine.plan_.ops) {
+    auto& map = engine.slots_[op.dst];
+    for (VertexId v : op.vertices) {
+      if (!map.contains(v)) {
+        map.emplace(v, engine.slot_counts_[op.dst]++);
+      }
+    }
+  }
+  return engine;
+}
+
+uint32_t AllgatherEngine::SlotOf(uint32_t device, VertexId v) const {
+  auto it = slots_[device].find(v);
+  return it == slots_[device].end() ? kInvalidId : it->second;
+}
+
+uint32_t AllgatherEngine::NumContractSlots(uint32_t device) const {
+  return static_cast<uint32_t>(relation_->local_vertices[device].size() +
+                               relation_->remote_vertices[device].size());
+}
+
+void AllgatherEngine::RunDevice(uint32_t device, uint32_t dim, bool backward,
+                                std::vector<EmbeddingMatrix>& buffers, PassState& state) const {
+  const uint32_t num_stages = plan_.num_stages;
+  EmbeddingMatrix& mine = buffers[device];
+
+  auto wait_ready = [&state](uint32_t peer, uint32_t stage) {
+    while (state.ready_stage[peer].load(std::memory_order_acquire) < stage) {
+      std::this_thread::yield();
+    }
+  };
+  auto wait_done = [&state](uint32_t op_id) {
+    while (!state.op_done[op_id].load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  };
+
+  // Ops this device sends/receives, grouped by stage. In the backward pass
+  // the roles reverse: gradients for an op flow dst -> src, and receives are
+  // consumed in ascending sub-stage order (§6.2 non-atomic aggregation).
+  std::vector<std::vector<uint32_t>> sends(num_stages);
+  std::vector<std::vector<uint32_t>> recvs(num_stages);
+  for (uint32_t i = 0; i < plan_.ops.size(); ++i) {
+    const TransferOp& op = plan_.ops[i];
+    const uint32_t sender = backward ? op.dst : op.src;
+    const uint32_t receiver = backward ? op.src : op.dst;
+    if (sender == device) {
+      sends[op.stage].push_back(i);
+    }
+    if (receiver == device) {
+      recvs[op.stage].push_back(i);
+    }
+  }
+  if (backward) {
+    for (auto& ids : recvs) {
+      std::sort(ids.begin(), ids.end(), [this](uint32_t a, uint32_t b) {
+        return plan_.ops[a].substage < plan_.ops[b].substage;
+      });
+    }
+  }
+
+  for (uint32_t step = 0; step < num_stages; ++step) {
+    if (device == straggler_device_ && straggler_micros_ > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(straggler_micros_));
+    }
+    if (coordination_ == CoordinationMode::kCentralized && state.stage_barrier.has_value()) {
+      // Centralized §6.1 alternative: report to the master and block until
+      // every device is released into this stage.
+      state.stage_barrier->arrive_and_wait();
+    }
+    const uint32_t stage = backward ? num_stages - 1 - step : step;
+    for (uint32_t op_id : sends[stage]) {
+      const TransferOp& op = plan_.ops[op_id];
+      const uint32_t receiver = backward ? op.src : op.dst;
+      if (!backward && coordination_ == CoordinationMode::kDecentralized) {
+        wait_ready(receiver, stage);
+      }
+      std::vector<float>& staging = state.op_buffers[op_id];
+      for (size_t i = 0; i < op.vertices.size(); ++i) {
+        const uint32_t slot = SlotOf(device, op.vertices[i]);
+        DGCL_CHECK_NE(slot, kInvalidId);
+        PackRow(staging.data() + i * dim, mine.Row(slot), dim);
+      }
+      state.op_done[op_id].store(true, std::memory_order_release);
+    }
+    for (uint32_t op_id : recvs[stage]) {
+      const TransferOp& op = plan_.ops[op_id];
+      wait_done(op_id);
+      const std::vector<float>& staging = state.op_buffers[op_id];
+      for (size_t i = 0; i < op.vertices.size(); ++i) {
+        const uint32_t slot = SlotOf(device, op.vertices[i]);
+        DGCL_CHECK_NE(slot, kInvalidId);
+        if (backward) {
+          // Gradient accumulation at the forwarding/owning device.
+          float* row = mine.Row(slot);
+          const float* incoming = staging.data() + i * dim;
+          for (uint32_t c = 0; c < dim; ++c) {
+            row[c] += incoming[c];
+          }
+        } else {
+          PackRow(mine.Row(slot), staging.data() + i * dim, dim);
+        }
+      }
+    }
+    state.ready_stage[device].store(step + 1, std::memory_order_release);
+  }
+}
+
+Result<std::vector<EmbeddingMatrix>> AllgatherEngine::Forward(
+    const std::vector<EmbeddingMatrix>& local) const {
+  if (local.size() != relation_->num_devices) {
+    return Status::InvalidArgument("one local matrix per device required");
+  }
+  uint32_t dim = 0;
+  for (uint32_t d = 0; d < relation_->num_devices; ++d) {
+    if (local[d].rows != relation_->local_vertices[d].size()) {
+      return Status::InvalidArgument("local row count mismatch");
+    }
+    if (local[d].rows > 0) {
+      if (dim != 0 && local[d].dim != dim) {
+        return Status::InvalidArgument("inconsistent embedding dim");
+      }
+      dim = local[d].dim;
+    }
+  }
+  if (dim == 0) {
+    return Status::InvalidArgument("no embeddings provided");
+  }
+
+  std::vector<EmbeddingMatrix> buffers;
+  buffers.reserve(relation_->num_devices);
+  for (uint32_t d = 0; d < relation_->num_devices; ++d) {
+    EmbeddingMatrix m = EmbeddingMatrix::Zero(slot_counts_[d], dim);
+    for (uint32_t r = 0; r < local[d].rows; ++r) {
+      PackRow(m.Row(r), local[d].Row(r), dim);
+    }
+    buffers.push_back(std::move(m));
+  }
+
+  PassState state(relation_->num_devices, plan_, dim);
+  if (coordination_ == CoordinationMode::kCentralized) {
+    state.stage_barrier.emplace(relation_->num_devices);
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(relation_->num_devices);
+  for (uint32_t d = 0; d < relation_->num_devices; ++d) {
+    threads.emplace_back(
+        [this, d, dim, &buffers, &state]() { RunDevice(d, dim, /*backward=*/false, buffers, state); });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  return buffers;
+}
+
+Result<std::vector<EmbeddingMatrix>> AllgatherEngine::Backward(
+    const std::vector<EmbeddingMatrix>& slot_grads) const {
+  if (slot_grads.size() != relation_->num_devices) {
+    return Status::InvalidArgument("one gradient matrix per device required");
+  }
+  uint32_t dim = 0;
+  for (uint32_t d = 0; d < relation_->num_devices; ++d) {
+    if (slot_grads[d].rows > 0) {
+      if (slot_grads[d].rows < NumContractSlots(d)) {
+        return Status::InvalidArgument("gradient rows below local+remote slot count");
+      }
+      if (dim != 0 && slot_grads[d].dim != dim) {
+        return Status::InvalidArgument("inconsistent gradient dim");
+      }
+      dim = slot_grads[d].dim;
+    }
+  }
+  if (dim == 0) {
+    return Status::InvalidArgument("no gradients provided");
+  }
+
+  std::vector<EmbeddingMatrix> buffers;
+  buffers.reserve(relation_->num_devices);
+  for (uint32_t d = 0; d < relation_->num_devices; ++d) {
+    EmbeddingMatrix m = EmbeddingMatrix::Zero(slot_counts_[d], dim);
+    const uint32_t provided = std::min<uint32_t>(slot_grads[d].rows, slot_counts_[d]);
+    for (uint32_t r = 0; r < provided; ++r) {
+      PackRow(m.Row(r), slot_grads[d].Row(r), dim);
+    }
+    buffers.push_back(std::move(m));
+  }
+
+  PassState state(relation_->num_devices, plan_, dim);
+  if (coordination_ == CoordinationMode::kCentralized) {
+    state.stage_barrier.emplace(relation_->num_devices);
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(relation_->num_devices);
+  for (uint32_t d = 0; d < relation_->num_devices; ++d) {
+    threads.emplace_back(
+        [this, d, dim, &buffers, &state]() { RunDevice(d, dim, /*backward=*/true, buffers, state); });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  std::vector<EmbeddingMatrix> out;
+  out.reserve(relation_->num_devices);
+  for (uint32_t d = 0; d < relation_->num_devices; ++d) {
+    const uint32_t locals = static_cast<uint32_t>(relation_->local_vertices[d].size());
+    EmbeddingMatrix m = EmbeddingMatrix::Zero(locals, dim);
+    for (uint32_t r = 0; r < locals; ++r) {
+      PackRow(m.Row(r), buffers[d].Row(r), dim);
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace dgcl

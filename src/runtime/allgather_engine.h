@@ -1,0 +1,113 @@
+// Threaded graphAllgather execution engine.
+//
+// Runs a compiled communication plan on real embedding data, one thread per
+// simulated device, coordinated with the decentralized ready/done flag
+// protocol of §6.1: a sender spins on the receiver's published stage-ready
+// flag before writing into the receiver's staging buffer, then raises the
+// op's done flag; the receiver consumes buffers as done flags appear and
+// publishes readiness for the next stage. There is no central coordinator on
+// the data path.
+//
+// The forward pass delivers, for every device, the embeddings of its local
+// plus required remote vertices; the backward pass routes gradient
+// contributions along the same trees in reverse, accumulating at each hop, so
+// each owner ends up with the total gradient for its local vertices.
+
+#ifndef DGCL_RUNTIME_ALLGATHER_ENGINE_H_
+#define DGCL_RUNTIME_ALLGATHER_ENGINE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "comm/compiled_plan.h"
+#include "comm/relation.h"
+#include "common/status.h"
+#include "topology/topology.h"
+
+namespace dgcl {
+
+// Row-major float matrix view used at the engine boundary.
+struct EmbeddingMatrix {
+  uint32_t rows = 0;
+  uint32_t dim = 0;
+  std::vector<float> data;  // rows * dim
+
+  float* Row(uint32_t r) { return data.data() + static_cast<size_t>(r) * dim; }
+  const float* Row(uint32_t r) const { return data.data() + static_cast<size_t>(r) * dim; }
+
+  static EmbeddingMatrix Zero(uint32_t rows, uint32_t dim) {
+    EmbeddingMatrix m;
+    m.rows = rows;
+    m.dim = dim;
+    m.data.assign(static_cast<size_t>(rows) * dim, 0.0f);
+    return m;
+  }
+};
+
+// How devices agree on stage boundaries (§6.1). DGCL's protocol is
+// decentralized (peer-published ready/done flags); the centralized mode —
+// every device reports to and waits for a master barrier between stages — is
+// kept for the coordination-overhead ablation.
+enum class CoordinationMode : uint8_t { kDecentralized, kCentralized };
+
+class AllgatherEngine {
+ public:
+  // Validates the plan against the relation (delivery and causality) and
+  // precomputes per-device slot tables. The relation, plan and topology must
+  // outlive the engine.
+  static Result<AllgatherEngine> Create(const CommRelation& relation, CompiledPlan plan,
+                                        const Topology& topo);
+
+  // `local[d]` holds device d's local embeddings, one row per vertex in
+  // relation.local_vertices[d] order, all with the same dim. Returns per
+  // device a matrix over its slots: local rows first, then remote rows in
+  // relation.remote_vertices[d] order (forwarded-only extras are appended
+  // after and are not part of the contract).
+  Result<std::vector<EmbeddingMatrix>> Forward(const std::vector<EmbeddingMatrix>& local) const;
+
+  // `slot_grads[d]` has the same shape as Forward's output for device d
+  // (extras rows zero-extended internally if absent). Returns per device the
+  // accumulated gradients for its local vertices only.
+  Result<std::vector<EmbeddingMatrix>> Backward(
+      const std::vector<EmbeddingMatrix>& slot_grads) const;
+
+  void set_coordination_mode(CoordinationMode mode) { coordination_ = mode; }
+  CoordinationMode coordination_mode() const { return coordination_; }
+
+  // Fault/straggler injection for tests: device `device` sleeps for
+  // `micros` before every stage. §6.1's claim — transient stragglers only
+  // delay their own dependents, never correctness — becomes checkable.
+  // Pass kInvalidId to clear.
+  void InjectStraggler(uint32_t device, uint32_t micros) {
+    straggler_device_ = device;
+    straggler_micros_ = micros;
+  }
+
+  // Slot index of a global vertex on a device; kInvalidId if the device
+  // never holds it. Locals occupy [0, num_local), remotes follow.
+  uint32_t SlotOf(uint32_t device, VertexId v) const;
+  uint32_t NumSlots(uint32_t device) const { return slot_counts_[device]; }
+  uint32_t NumContractSlots(uint32_t device) const;  // locals + remotes
+
+  const CompiledPlan& plan() const { return plan_; }
+
+ private:
+  AllgatherEngine() = default;
+
+  void RunDevice(uint32_t device, uint32_t dim, bool backward,
+                 std::vector<EmbeddingMatrix>& buffers, struct PassState& state) const;
+
+  const CommRelation* relation_ = nullptr;
+  const Topology* topo_ = nullptr;
+  CoordinationMode coordination_ = CoordinationMode::kDecentralized;
+  uint32_t straggler_device_ = kInvalidId;
+  uint32_t straggler_micros_ = 0;
+  CompiledPlan plan_;
+  std::vector<std::unordered_map<VertexId, uint32_t>> slots_;  // per device
+  std::vector<uint32_t> slot_counts_;
+};
+
+}  // namespace dgcl
+
+#endif  // DGCL_RUNTIME_ALLGATHER_ENGINE_H_

@@ -1,0 +1,100 @@
+#include "runtime/allreduce.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dgcl {
+namespace {
+
+// Chunk c covers [bounds[c], bounds[c+1]) of the flat buffer.
+std::vector<size_t> ChunkBounds(size_t total, uint32_t chunks) {
+  std::vector<size_t> bounds(chunks + 1, 0);
+  const size_t base = total / chunks;
+  const size_t extra = total % chunks;
+  for (uint32_t c = 0; c < chunks; ++c) {
+    bounds[c + 1] = bounds[c] + base + (c < extra ? 1 : 0);
+  }
+  return bounds;
+}
+
+}  // namespace
+
+Result<AllReduceStats> RingAllReduceSum(std::vector<EmbeddingMatrix*> replicas) {
+  const uint32_t n = static_cast<uint32_t>(replicas.size());
+  if (n == 0) {
+    return Status::InvalidArgument("no replicas");
+  }
+  for (EmbeddingMatrix* replica : replicas) {
+    if (replica == nullptr) {
+      return Status::InvalidArgument("null replica");
+    }
+    if (replica->rows != replicas[0]->rows || replica->dim != replicas[0]->dim) {
+      return Status::InvalidArgument("replica shape mismatch");
+    }
+  }
+  AllReduceStats stats;
+  if (n == 1) {
+    return stats;
+  }
+  const size_t total = replicas[0]->data.size();
+  const auto bounds = ChunkBounds(total, n);
+
+  // Scatter-reduce: after step s, device d holds the running sum of chunk
+  // (d - s + n) % n accumulated from s+1 replicas. Each step, device d sends
+  // its current accumulation chunk to d+1 which adds its own data.
+  for (uint32_t step = 0; step + 1 < n; ++step) {
+    for (uint32_t d = 0; d < n; ++d) {
+      const uint32_t receiver = (d + 1) % n;
+      const uint32_t chunk = (d + n - step) % n;
+      float* dst = replicas[receiver]->data.data();
+      const float* src = replicas[d]->data.data();
+      for (size_t i = bounds[chunk]; i < bounds[chunk + 1]; ++i) {
+        dst[i] += src[i];
+      }
+      if (d == 0) {
+        stats.bytes_per_device += (bounds[chunk + 1] - bounds[chunk]) * sizeof(float);
+      }
+    }
+    ++stats.steps;
+  }
+  // Allgather: device d now owns the fully reduced chunk (d + 1) % n; rotate
+  // the finished chunks around the ring.
+  for (uint32_t step = 0; step + 1 < n; ++step) {
+    for (uint32_t d = 0; d < n; ++d) {
+      const uint32_t receiver = (d + 1) % n;
+      const uint32_t chunk = (d + 1 + n - step) % n;
+      float* dst = replicas[receiver]->data.data();
+      const float* src = replicas[d]->data.data();
+      std::copy(src + bounds[chunk], src + bounds[chunk + 1], dst + bounds[chunk]);
+      if (d == 0) {
+        stats.bytes_per_device += (bounds[chunk + 1] - bounds[chunk]) * sizeof(float);
+      }
+    }
+    ++stats.steps;
+  }
+  return stats;
+}
+
+Result<double> RingAllReduceSeconds(const Topology& topo, uint64_t bytes_per_device) {
+  const uint32_t n = topo.num_devices();
+  if (n == 0) {
+    return Status::InvalidArgument("empty topology");
+  }
+  if (n == 1) {
+    return 0.0;
+  }
+  // Each of the 2(N-1) steps moves ~bytes/N on every ring link concurrently;
+  // the step time is set by the slowest ring link.
+  double min_bw = std::numeric_limits<double>::infinity();
+  for (uint32_t d = 0; d < n; ++d) {
+    LinkId link = topo.LinkBetween(d, (d + 1) % n);
+    if (link == kInvalidId) {
+      return Status::FailedPrecondition("topology has no ring link " + std::to_string(d));
+    }
+    min_bw = std::min(min_bw, topo.LinkBottleneckGBps(link) * 1e9);
+  }
+  const double chunk_bytes = static_cast<double>(bytes_per_device) / n;
+  return 2.0 * (n - 1) * chunk_bytes / min_bw;
+}
+
+}  // namespace dgcl

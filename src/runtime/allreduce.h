@@ -1,0 +1,41 @@
+// Ring all-reduce for model-gradient synchronization.
+//
+// The paper delegates model synchronization to Horovod / PyTorch DDP (§6.3,
+// "the model size is usually small for GNNs"); this is the corresponding
+// substrate: the classic bandwidth-optimal ring algorithm — N-1 scatter-
+// reduce steps followed by N-1 allgather steps over chunked buffers — plus a
+// helper that prices one synchronization round on a topology.
+//
+// The reduction is performed chunk-by-chunk in exact ring order, so results
+// are deterministic and byte-identical across runs (though float summation
+// order differs from a naive sequential sum, as it would on real hardware).
+
+#ifndef DGCL_RUNTIME_ALLREDUCE_H_
+#define DGCL_RUNTIME_ALLREDUCE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/allgather_engine.h"
+#include "topology/topology.h"
+
+namespace dgcl {
+
+struct AllReduceStats {
+  uint32_t steps = 0;          // 2 * (N - 1)
+  uint64_t bytes_per_device = 0;  // total bytes each device sends
+};
+
+// Sums the replicas elementwise with the ring schedule and writes the result
+// back into every replica. All replicas must have identical shapes; null
+// pointers are rejected. Returns the transfer statistics.
+Result<AllReduceStats> RingAllReduceSum(std::vector<EmbeddingMatrix*> replicas);
+
+// Seconds one ring all-reduce of `bytes_per_device` takes on `topo`, using
+// ring order 0 -> 1 -> ... -> N-1 -> 0 and the slowest ring link per step
+// (each of the 2(N-1) steps moves bytes/N per device simultaneously).
+Result<double> RingAllReduceSeconds(const Topology& topo, uint64_t bytes_per_device);
+
+}  // namespace dgcl
+
+#endif  // DGCL_RUNTIME_ALLREDUCE_H_

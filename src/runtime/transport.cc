@@ -1,0 +1,33 @@
+#include "runtime/transport.h"
+
+#include "common/logging.h"
+
+namespace dgcl {
+
+const char* TransportName(Transport transport) {
+  switch (transport) {
+    case Transport::kCudaVirtualMemory:
+      return "cuda-vm";
+    case Transport::kPinnedHostMemory:
+      return "pinned-host";
+    case Transport::kNic:
+      return "nic";
+  }
+  return "?";
+}
+
+Transport SelectTransport(const Topology& topo, DeviceId src, DeviceId dst) {
+  DGCL_CHECK_LT(src, topo.num_devices());
+  DGCL_CHECK_LT(dst, topo.num_devices());
+  const Device& a = topo.device(src);
+  const Device& b = topo.device(dst);
+  if (a.machine != b.machine) {
+    return Transport::kNic;
+  }
+  if (a.socket != b.socket) {
+    return Transport::kPinnedHostMemory;
+  }
+  return Transport::kCudaVirtualMemory;
+}
+
+}  // namespace dgcl

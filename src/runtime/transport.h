@@ -1,0 +1,29 @@
+// Automatic communication method selection (§6.2).
+//
+// On real hardware DGCL picks a transport per device pair: CUDA virtual
+// memory for GPUs under one CPU socket, pinned host memory across sockets,
+// and a NIC helper thread (with GPU RDMA when available) across machines. In
+// this reproduction all transports resolve to shared memory, but the
+// *selection logic* is preserved and exercised so the decision table matches
+// the paper.
+
+#ifndef DGCL_RUNTIME_TRANSPORT_H_
+#define DGCL_RUNTIME_TRANSPORT_H_
+
+#include "topology/topology.h"
+
+namespace dgcl {
+
+enum class Transport : uint8_t {
+  kCudaVirtualMemory,  // same socket: direct peer access
+  kPinnedHostMemory,   // same machine, different socket: DMA via host buffer
+  kNic,                // different machine: helper thread + NIC (RDMA if IB)
+};
+
+const char* TransportName(Transport transport);
+
+Transport SelectTransport(const Topology& topo, DeviceId src, DeviceId dst);
+
+}  // namespace dgcl
+
+#endif  // DGCL_RUNTIME_TRANSPORT_H_

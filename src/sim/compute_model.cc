@@ -1,0 +1,62 @@
+#include "sim/compute_model.h"
+
+#include "common/logging.h"
+
+namespace dgcl {
+
+const char* GnnModelName(GnnModel model) {
+  switch (model) {
+    case GnnModel::kGcn:
+      return "GCN";
+    case GnnModel::kCommNet:
+      return "CommNet";
+    case GnnModel::kGin:
+      return "GIN";
+    case GnnModel::kGat:
+      return "GAT";
+  }
+  return "?";
+}
+
+double LayerForwardSeconds(GnnModel model, uint64_t vertices, uint64_t edges, uint32_t dim_in,
+                           uint32_t dim_out, const ComputeModelParams& params) {
+  // Aggregate: one multiply-add per edge per input dimension.
+  const double spmm_flops = 2.0 * static_cast<double>(edges) * dim_in;
+  // Update: dense projection(s) over the local vertices.
+  double gemm_flops = 2.0 * static_cast<double>(vertices) * dim_in * dim_out;
+  switch (model) {
+    case GnnModel::kGcn:
+      break;  // single projection
+    case GnnModel::kCommNet:
+      gemm_flops *= 2.0;  // separate projections of h and the aggregate
+      break;
+    case GnnModel::kGin:
+      // 2-layer MLP on (1+eps)h + aggregate: dim_in->dim_out->dim_out.
+      gemm_flops = 2.0 * static_cast<double>(vertices) *
+                   (static_cast<double>(dim_in) * dim_out +
+                    static_cast<double>(dim_out) * dim_out);
+      break;
+    case GnnModel::kGat:
+      // Projection plus per-edge attention scoring, softmax and weighting:
+      // roughly 6 extra flops per edge per output dimension.
+      gemm_flops = 2.0 * static_cast<double>(vertices) * dim_in * dim_out;
+      return (spmm_flops + 6.0 * static_cast<double>(edges) * dim_out) / params.sparse_flops +
+             gemm_flops / params.dense_flops + params.layer_overhead_s;
+  }
+  return spmm_flops / params.sparse_flops + gemm_flops / params.dense_flops +
+         params.layer_overhead_s;
+}
+
+double EpochComputeSeconds(GnnModel model, uint64_t vertices, uint64_t edges,
+                           uint32_t feature_dim, uint32_t hidden_dim, uint32_t num_layers,
+                           const ComputeModelParams& params) {
+  DGCL_CHECK_GE(num_layers, 1u);
+  double forward = 0.0;
+  for (uint32_t layer = 0; layer < num_layers; ++layer) {
+    const uint32_t dim_in = layer == 0 ? feature_dim : hidden_dim;
+    forward += LayerForwardSeconds(model, vertices, edges, dim_in, hidden_dim, params);
+  }
+  return forward * (1.0 + params.backward_factor);
+}
+
+}  // namespace dgcl

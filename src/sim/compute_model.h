@@ -1,0 +1,49 @@
+// Analytic GNN compute-time model.
+//
+// The evaluation machine has no GPUs, so per-epoch *computation* time is
+// modeled from first principles instead of measured: a layer's work is the
+// sparse aggregate (SpMM over the local edges) plus the dense update (GEMM
+// over the local vertices), with per-model multipliers for CommNet's second
+// projection and GIN's MLP. Effective throughputs are calibrated to a V100
+// so compute/communication ratios land in the paper's regime; EXPERIMENTS.md
+// records the constants.
+
+#ifndef DGCL_SIM_COMPUTE_MODEL_H_
+#define DGCL_SIM_COMPUTE_MODEL_H_
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+
+namespace dgcl {
+
+enum class GnnModel : uint8_t { kGcn, kCommNet, kGin, kGat };
+
+const char* GnnModelName(GnnModel model);
+
+struct ComputeModelParams {
+  // Effective dense GEMM throughput (FLOP/s) of one device.
+  double dense_flops = 7e12;
+  // Effective sparse aggregation throughput (FLOP/s); SpMM is memory bound,
+  // far below dense peak.
+  double sparse_flops = 1.1e12;
+  // Fixed per-layer kernel-launch / framework overhead (seconds).
+  double layer_overhead_s = 3e-4;
+  // backward = backward_factor * forward (classic 2x, so epoch = 3x fwd).
+  double backward_factor = 2.0;
+};
+
+// Forward seconds for one GNN layer on one device owning `vertices` vertices
+// and `edges` incident edges, mapping dim_in -> dim_out embeddings.
+double LayerForwardSeconds(GnnModel model, uint64_t vertices, uint64_t edges, uint32_t dim_in,
+                           uint32_t dim_out, const ComputeModelParams& params = {});
+
+// Forward + backward seconds for a full K-layer pass on one device.
+// Layer 1 maps feature_dim -> hidden_dim, later layers hidden -> hidden.
+double EpochComputeSeconds(GnnModel model, uint64_t vertices, uint64_t edges,
+                           uint32_t feature_dim, uint32_t hidden_dim, uint32_t num_layers,
+                           const ComputeModelParams& params = {});
+
+}  // namespace dgcl
+
+#endif  // DGCL_SIM_COMPUTE_MODEL_H_

@@ -1,0 +1,21 @@
+#include "sim/memory_model.h"
+
+namespace dgcl {
+
+double TrainingFootprintBytes(uint64_t stored_vertices, uint64_t stored_edges,
+                              uint32_t feature_dim, uint32_t hidden_dim, uint32_t num_layers) {
+  const double v = static_cast<double>(stored_vertices);
+  const double e = static_cast<double>(stored_edges);
+  // CSR structure: 8-byte offsets amortized + 4-byte targets.
+  const double graph_bytes = e * 4.0 + v * 8.0;
+  // Input features (kept for the backward pass).
+  const double feature_bytes = v * feature_dim * 4.0;
+  // Per layer: forward activations, the aggregate buffer, gradients of both,
+  // and kernel workspace — five hidden-width copies per stored vertex.
+  const double activation_bytes = v * hidden_dim * 4.0 * 5.0 * num_layers;
+  // Communication staging buffers etc. — small fixed fraction.
+  const double overhead = 0.05 * (feature_bytes + activation_bytes);
+  return graph_bytes + feature_bytes + activation_bytes + overhead;
+}
+
+}  // namespace dgcl

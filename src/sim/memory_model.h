@@ -1,0 +1,35 @@
+// Per-device GPU memory model, used to reproduce the paper's OOM results
+// (Replication runs out of memory on Com-Orkut and Wiki-Talk, Figure 7).
+//
+// Because the stand-in graphs are scale-reduced by `inverse_scale`, device
+// memory capacity is reduced by the same factor, keeping footprint/capacity
+// ratios — and therefore OOM verdicts — faithful to the full-size runs.
+
+#ifndef DGCL_SIM_MEMORY_MODEL_H_
+#define DGCL_SIM_MEMORY_MODEL_H_
+
+#include <cstdint>
+
+namespace dgcl {
+
+struct MemoryModelParams {
+  double device_capacity_bytes = 16.0 * (1ull << 30);  // V100 16 GB
+  uint32_t inverse_scale = 1;  // graph scale reduction factor
+
+  double EffectiveCapacity() const { return device_capacity_bytes / inverse_scale; }
+};
+
+// Training footprint of one device storing `stored_vertices` vertices (local
+// plus any replicas) and `stored_edges` incident edges, for a `num_layers`
+// GNN with the given dimensions. Counts graph structure, input features,
+// per-layer activations and their gradients, and an Adam-free SGD state.
+double TrainingFootprintBytes(uint64_t stored_vertices, uint64_t stored_edges,
+                              uint32_t feature_dim, uint32_t hidden_dim, uint32_t num_layers);
+
+inline bool WouldOom(double footprint_bytes, const MemoryModelParams& params) {
+  return footprint_bytes > params.EffectiveCapacity();
+}
+
+}  // namespace dgcl
+
+#endif  // DGCL_SIM_MEMORY_MODEL_H_

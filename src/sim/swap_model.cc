@@ -1,0 +1,53 @@
+#include "sim/swap_model.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dgcl {
+
+Result<double> SwapExchangeSeconds(const CommRelation& relation, const Topology& topo,
+                                   const SwapOptions& options) {
+  if (relation.num_devices != topo.num_devices()) {
+    return Status::InvalidArgument("relation/topology device count mismatch");
+  }
+  for (DeviceId d = 0; d < topo.num_devices(); ++d) {
+    if (topo.device(d).machine != 0) {
+      return Status::FailedPrecondition("swap requires a single machine (NeuGraph design)");
+    }
+  }
+  const double pcie_bytes_per_s = LinkTypeBandwidthGBps(LinkType::kPcie) * 1e9;
+
+  // Aggregate dump (device -> host) and load (host -> device) volumes per
+  // PCIe switch; the switch-to-host uplink is the shared bottleneck.
+  std::map<uint32_t, double> dump_bytes;
+  std::map<uint32_t, double> load_bytes;
+  double max_gpu_lane_seconds = 0.0;
+  for (DeviceId d = 0; d < topo.num_devices(); ++d) {
+    const uint32_t sw = topo.device(d).pcie_switch;
+    const double dump = relation.local_vertices[d].size() * options.bytes_per_unit;
+    const double load = (relation.local_vertices[d].size() + relation.remote_vertices[d].size()) *
+                        options.bytes_per_unit;
+    dump_bytes[sw] += dump;
+    load_bytes[sw] += load;
+    // A device's own PCIe lanes bound its private traffic too.
+    const double lane_seconds = options.chain_transfer
+                                    ? std::max(dump, load) / pcie_bytes_per_s
+                                    : (dump + load) / pcie_bytes_per_s;
+    max_gpu_lane_seconds = std::max(max_gpu_lane_seconds, lane_seconds);
+  }
+  double max_switch_seconds = 0.0;
+  for (const auto& [sw, dump] : dump_bytes) {
+    const double load = load_bytes[sw];
+    const double seconds = options.chain_transfer
+                               ? std::max(dump, load) / pcie_bytes_per_s
+                               : (dump + load) / pcie_bytes_per_s;
+    max_switch_seconds = std::max(max_switch_seconds, seconds);
+  }
+  double exposed = std::max(max_switch_seconds, max_gpu_lane_seconds);
+  if (options.chain_transfer) {
+    exposed *= 1.0 - options.pipeline_overlap;
+  }
+  return exposed + options.per_pass_latency_s;
+}
+
+}  // namespace dgcl

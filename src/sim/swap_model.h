@@ -1,0 +1,37 @@
+// The Swap baseline (NeuGraph-style embedding exchange through CPU memory).
+//
+// After every layer each device dumps its local embeddings to host memory
+// over PCIe, then loads the embeddings it needs (its locals plus remotes)
+// back. All devices under one PCIe switch share that switch's host uplink,
+// which is why Swap collapses on large graphs (§7.1). The chain-transfer
+// optimization of NeuGraph overlaps the dump and load directions (PCIe is
+// full duplex), so a layer exchange costs max(dump, load) instead of the sum.
+
+#ifndef DGCL_SIM_SWAP_MODEL_H_
+#define DGCL_SIM_SWAP_MODEL_H_
+
+#include "comm/relation.h"
+#include "common/status.h"
+#include "topology/topology.h"
+
+namespace dgcl {
+
+struct SwapOptions {
+  double bytes_per_unit = 1024.0;
+  bool chain_transfer = true;   // NeuGraph's pipelined dump/load overlap
+  // Fraction of the exposed transfer time hidden by NeuGraph's chunked
+  // streaming (transfers of chunk k overlap the processing of chunk k-1);
+  // only applies with chain_transfer.
+  double pipeline_overlap = 0.35;
+  double per_pass_latency_s = 2e-4;
+};
+
+// Seconds for one layer's embedding exchange via host memory. Fails when the
+// topology spans multiple machines (NeuGraph is single-machine; the paper
+// omits Swap from 16-GPU results for the same reason).
+Result<double> SwapExchangeSeconds(const CommRelation& relation, const Topology& topo,
+                                   const SwapOptions& options);
+
+}  // namespace dgcl
+
+#endif  // DGCL_SIM_SWAP_MODEL_H_

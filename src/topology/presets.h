@@ -1,0 +1,47 @@
+// Preset topologies matching the paper's two hardware configurations (§7):
+//
+//  * Default: servers with 8 V100s wired like an NVIDIA DGX-1 (Figure 3):
+//    two CPU sockets, one PCIe switch complex per socket hosting 4 GPUs, an
+//    NVLink hybrid cube mesh, QPI between the sockets and one IB NIC per
+//    machine (GPU RDMA). Two such servers form the 16-GPU configuration.
+//  * Second: one server with 8 1080-Ti GPUs connected only via PCIe/QPI.
+//
+// The exact NV1/NV2 placement on a DGX-1 varies by revision; we use the
+// canonical hybrid cube mesh (each 4-GPU quad fully connected, NV2 on the
+// quad diagonals, NV1 across quads) which preserves the property the paper
+// relies on: every GPU pair is within two NVLink hops.
+
+#ifndef DGCL_TOPOLOGY_PRESETS_H_
+#define DGCL_TOPOLOGY_PRESETS_H_
+
+#include "topology/topology.h"
+
+namespace dgcl {
+
+struct MachineConfig {
+  uint32_t num_gpus = 8;                       // 1..8 (1..16 with nvswitch)
+  bool nvlink = true;                          // hybrid cube mesh when true
+  // DGX-2-style NVSwitch fabric: every GPU has a full-bandwidth NV2 port
+  // into a central crossbar, so all pairs are two NV2 hops apart and there
+  // are no slow intra-machine paths. Overrides `nvlink`.
+  bool nvswitch = false;
+  LinkType nic = LinkType::kInfiniBand;        // cross-machine NIC medium
+  // NICs per machine (Figure 3 shows four). The paper's measurements used a
+  // single shared IB card (nics = 1, the default); more NICs shard the
+  // cross-machine traffic by GPU group.
+  uint32_t nics_per_machine = 1;
+};
+
+// One machine; GPUs 0..3 are on socket 0, 4..7 on socket 1.
+Topology BuildSingleMachine(const MachineConfig& config);
+
+// `num_machines` identical machines connected through their NICs.
+Topology BuildCluster(uint32_t num_machines, const MachineConfig& config);
+
+// The topology used by the paper's experiments for a given GPU count:
+// 1-8 GPUs on one machine, 9-16 split across two machines.
+Topology BuildPaperTopology(uint32_t num_gpus, bool nvlink = true);
+
+}  // namespace dgcl
+
+#endif  // DGCL_TOPOLOGY_PRESETS_H_

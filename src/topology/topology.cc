@@ -1,0 +1,145 @@
+#include "topology/topology.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace dgcl {
+
+double LinkTypeBandwidthGBps(LinkType type) {
+  // Paper Table 1, unidirectional GB/s.
+  switch (type) {
+    case LinkType::kNvLink2:
+      return 48.35;
+    case LinkType::kNvLink1:
+      return 24.22;
+    case LinkType::kPcie:
+      return 11.13;
+    case LinkType::kQpi:
+      return 9.56;
+    case LinkType::kInfiniBand:
+      return 6.37;
+    case LinkType::kEthernet:
+      return 3.12;
+  }
+  return 0.0;
+}
+
+const char* LinkTypeName(LinkType type) {
+  switch (type) {
+    case LinkType::kNvLink2:
+      return "NV2";
+    case LinkType::kNvLink1:
+      return "NV1";
+    case LinkType::kPcie:
+      return "PCIe";
+    case LinkType::kQpi:
+      return "QPI";
+    case LinkType::kInfiniBand:
+      return "IB";
+    case LinkType::kEthernet:
+      return "Eth";
+  }
+  return "?";
+}
+
+DeviceId Topology::AddDevice(Device device) {
+  devices_.push_back(std::move(device));
+  links_from_.emplace_back();
+  for (auto& row : link_index_) {
+    row.push_back(kInvalidId);
+  }
+  link_index_.emplace_back(devices_.size(), kInvalidId);
+  return static_cast<DeviceId>(devices_.size() - 1);
+}
+
+ConnId Topology::AddConnection(PhysicalConnection conn) {
+  if (conn.bandwidth_gbps <= 0.0) {
+    conn.bandwidth_gbps = LinkTypeBandwidthGBps(conn.type);
+  }
+  connections_.push_back(std::move(conn));
+  return static_cast<ConnId>(connections_.size() - 1);
+}
+
+Result<LinkId> Topology::AddLink(DeviceId src, DeviceId dst, std::vector<ConnId> hops) {
+  if (src >= devices_.size() || dst >= devices_.size()) {
+    return Status::InvalidArgument("link endpoint out of range");
+  }
+  if (src == dst) {
+    return Status::InvalidArgument("self link");
+  }
+  if (hops.empty()) {
+    return Status::InvalidArgument("link must have at least one physical hop");
+  }
+  for (ConnId hop : hops) {
+    if (hop >= connections_.size()) {
+      return Status::InvalidArgument("hop id out of range");
+    }
+  }
+  if (link_index_[src][dst] != kInvalidId) {
+    return Status::FailedPrecondition("link already defined for device pair");
+  }
+  Link link;
+  link.src = src;
+  link.dst = dst;
+  link.hops = std::move(hops);
+  links_.push_back(std::move(link));
+  LinkId id = static_cast<LinkId>(links_.size() - 1);
+  links_from_[src].push_back(id);
+  link_index_[src][dst] = id;
+  return id;
+}
+
+LinkId Topology::LinkBetween(DeviceId src, DeviceId dst) const {
+  if (src >= devices_.size() || dst >= devices_.size()) {
+    return kInvalidId;
+  }
+  return link_index_[src][dst];
+}
+
+std::span<const LinkId> Topology::LinksFrom(DeviceId src) const {
+  DGCL_CHECK_LT(src, devices_.size());
+  return links_from_[src];
+}
+
+double Topology::LinkBottleneckGBps(LinkId id) const {
+  DGCL_CHECK_LT(id, links_.size());
+  double min_bw = std::numeric_limits<double>::infinity();
+  for (ConnId hop : links_[id].hops) {
+    min_bw = std::min(min_bw, connections_[hop].bandwidth_gbps);
+  }
+  return min_bw;
+}
+
+bool Topology::IsFullyConnected() const {
+  for (DeviceId i = 0; i < devices_.size(); ++i) {
+    for (DeviceId j = 0; j < devices_.size(); ++j) {
+      if (i != j && link_index_[i][j] == kInvalidId) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string Topology::ToString() const {
+  std::ostringstream out;
+  out << "Topology: " << devices_.size() << " devices, " << connections_.size()
+      << " physical connections, " << links_.size() << " links\n";
+  for (DeviceId d = 0; d < devices_.size(); ++d) {
+    out << "  device " << d << " " << devices_[d].name << " machine=" << devices_[d].machine
+        << " socket=" << devices_[d].socket << " switch=" << devices_[d].pcie_switch << "\n";
+  }
+  for (const Link& link : links_) {
+    out << "  link " << devices_[link.src].name << " -> " << devices_[link.dst].name << " via";
+    for (ConnId hop : link.hops) {
+      out << " " << connections_[hop].name << "(" << LinkTypeName(connections_[hop].type) << ","
+          << connections_[hop].bandwidth_gbps << "GB/s)";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dgcl

@@ -1,0 +1,100 @@
+// Communication-topology model: devices, physical connections, logical links.
+//
+// Mirrors §4/§5.1 of the paper. A *device* is a compute worker (simulated
+// GPU). A *physical connection* is a contention domain with a bandwidth: one
+// direction of an NVLink, a GPU's PCIe lanes, a QPI interconnect, an IB NIC.
+// A *logical link* connects an ordered device pair and traverses one or more
+// physical hops (e.g. GPU1->GPU5 = PCIe-up, QPI, PCIe-down); concurrent
+// transfers whose links share a hop contend for that hop's bandwidth.
+//
+// The planner's topology graph D(V', E') of the paper is exactly
+// (devices, links) here.
+
+#ifndef DGCL_TOPOLOGY_TOPOLOGY_H_
+#define DGCL_TOPOLOGY_TOPOLOGY_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace dgcl {
+
+using DeviceId = uint32_t;
+using ConnId = uint32_t;
+using LinkId = uint32_t;
+
+// Physical-medium kinds, with the paper's measured speeds (Table 1).
+enum class LinkType : uint8_t { kNvLink2, kNvLink1, kPcie, kQpi, kInfiniBand, kEthernet };
+
+// Measured unidirectional bandwidth in GB/s for a link type (paper Table 1).
+double LinkTypeBandwidthGBps(LinkType type);
+const char* LinkTypeName(LinkType type);
+
+struct Device {
+  std::string name;
+  uint32_t machine = 0;
+  uint32_t socket = 0;       // CPU socket within the machine
+  uint32_t pcie_switch = 0;  // global PCIe switch id
+};
+
+// One direction of a physical medium; the unit of bandwidth contention.
+struct PhysicalConnection {
+  std::string name;
+  LinkType type = LinkType::kPcie;
+  double bandwidth_gbps = 0.0;
+};
+
+// An ordered device pair plus the physical hops its traffic traverses.
+struct Link {
+  DeviceId src = 0;
+  DeviceId dst = 0;
+  std::vector<ConnId> hops;
+};
+
+class Topology {
+ public:
+  DeviceId AddDevice(Device device);
+  ConnId AddConnection(PhysicalConnection conn);
+  // Fails if a link for (src, dst) already exists or ids are out of range.
+  Result<LinkId> AddLink(DeviceId src, DeviceId dst, std::vector<ConnId> hops);
+
+  uint32_t num_devices() const { return static_cast<uint32_t>(devices_.size()); }
+  uint32_t num_connections() const { return static_cast<uint32_t>(connections_.size()); }
+  uint32_t num_links() const { return static_cast<uint32_t>(links_.size()); }
+
+  const Device& device(DeviceId id) const { return devices_[id]; }
+  const PhysicalConnection& connection(ConnId id) const { return connections_[id]; }
+  const Link& link(LinkId id) const { return links_[id]; }
+  std::span<const Link> links() const { return links_; }
+
+  // kInvalidId when no link is defined for the ordered pair.
+  LinkId LinkBetween(DeviceId src, DeviceId dst) const;
+
+  // Link ids with the given source device.
+  std::span<const LinkId> LinksFrom(DeviceId src) const;
+
+  // The slowest hop's bandwidth: an upper bound on the link's throughput.
+  double LinkBottleneckGBps(LinkId id) const;
+
+  // True when every ordered device pair (i != j) has a link.
+  bool IsFullyConnected() const;
+
+  // Multi-line human-readable dump (devices, connections, links).
+  std::string ToString() const;
+
+ private:
+  std::vector<Device> devices_;
+  std::vector<PhysicalConnection> connections_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> links_from_;       // per source device
+  std::vector<std::vector<LinkId>> link_index_;       // [src][dst] -> LinkId
+};
+
+}  // namespace dgcl
+
+#endif  // DGCL_TOPOLOGY_TOPOLOGY_H_

@@ -1,0 +1,119 @@
+#include "runtime/allreduce.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gnn/nn.h"
+#include "topology/presets.h"
+
+namespace dgcl {
+namespace {
+
+std::vector<EmbeddingMatrix> MakeReplicas(uint32_t n, uint32_t rows, uint32_t dim,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<EmbeddingMatrix> replicas;
+  for (uint32_t d = 0; d < n; ++d) {
+    replicas.push_back(RandomWeights(rows, dim, rng));
+  }
+  return replicas;
+}
+
+std::vector<EmbeddingMatrix*> Pointers(std::vector<EmbeddingMatrix>& replicas) {
+  std::vector<EmbeddingMatrix*> out;
+  for (auto& r : replicas) {
+    out.push_back(&r);
+  }
+  return out;
+}
+
+class RingSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(RingSweep, MatchesNaiveSum) {
+  const uint32_t n = GetParam();
+  auto replicas = MakeReplicas(n, 7, 5, 100 + n);
+  // Reference: elementwise sum of the originals.
+  EmbeddingMatrix expected = replicas[0];
+  for (uint32_t d = 1; d < n; ++d) {
+    AddInPlace(expected, replicas[d]);
+  }
+  auto stats = RingAllReduceSum(Pointers(replicas));
+  ASSERT_TRUE(stats.ok());
+  for (uint32_t d = 0; d < n; ++d) {
+    for (size_t i = 0; i < expected.data.size(); ++i) {
+      EXPECT_NEAR(replicas[d].data[i], expected.data[i], 1e-4)
+          << "device " << d << " element " << i;
+    }
+  }
+  // All replicas end bitwise identical to each other.
+  for (uint32_t d = 1; d < n; ++d) {
+    EXPECT_EQ(replicas[d].data, replicas[0].data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingSweep, ::testing::Values(1u, 2u, 3u, 4u, 7u, 8u, 16u));
+
+TEST(RingAllReduceTest, StatsMatchTheTextbookSchedule) {
+  const uint32_t n = 4;
+  auto replicas = MakeReplicas(n, 8, 4, 9);  // 32 floats, chunks of 8
+  auto stats = RingAllReduceSum(Pointers(replicas));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->steps, 2 * (n - 1));
+  // Each device sends (2(N-1)/N) * total bytes.
+  EXPECT_EQ(stats->bytes_per_device, 2ull * (n - 1) * (32 / n) * sizeof(float));
+}
+
+TEST(RingAllReduceTest, SingleReplicaIsNoOp) {
+  auto replicas = MakeReplicas(1, 3, 3, 11);
+  EmbeddingMatrix before = replicas[0];
+  auto stats = RingAllReduceSum(Pointers(replicas));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->steps, 0u);
+  EXPECT_EQ(replicas[0].data, before.data);
+}
+
+TEST(RingAllReduceTest, UnevenChunksStillCorrect) {
+  // 10 floats across 4 devices: chunks 3,3,2,2.
+  auto replicas = MakeReplicas(4, 5, 2, 13);
+  EmbeddingMatrix expected = replicas[0];
+  for (uint32_t d = 1; d < 4; ++d) {
+    AddInPlace(expected, replicas[d]);
+  }
+  ASSERT_TRUE(RingAllReduceSum(Pointers(replicas)).ok());
+  for (size_t i = 0; i < expected.data.size(); ++i) {
+    EXPECT_NEAR(replicas[2].data[i], expected.data[i], 1e-4);
+  }
+}
+
+TEST(RingAllReduceTest, RejectsBadInputs) {
+  EXPECT_FALSE(RingAllReduceSum({}).ok());
+  EmbeddingMatrix a = EmbeddingMatrix::Zero(2, 2);
+  EmbeddingMatrix b = EmbeddingMatrix::Zero(3, 2);
+  EXPECT_FALSE(RingAllReduceSum({&a, &b}).ok());
+  EXPECT_FALSE(RingAllReduceSum({&a, nullptr}).ok());
+}
+
+TEST(RingAllReduceSecondsTest, ScalesWithBytesAndDevices) {
+  Topology topo = BuildPaperTopology(8);
+  auto t1 = RingAllReduceSeconds(topo, 1 << 20);
+  auto t2 = RingAllReduceSeconds(topo, 2 << 20);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_NEAR(*t2 / *t1, 2.0, 1e-9);
+  // Single device: free.
+  Topology one = BuildPaperTopology(1);
+  EXPECT_DOUBLE_EQ(*RingAllReduceSeconds(one, 1 << 20), 0.0);
+}
+
+TEST(RingAllReduceSecondsTest, BoundByTheSlowestRingLink) {
+  // 16 GPUs: the ring crosses the IB link, which dominates.
+  Topology topo = BuildPaperTopology(16);
+  const uint64_t bytes = 16 << 20;
+  auto seconds = RingAllReduceSeconds(topo, bytes);
+  ASSERT_TRUE(seconds.ok());
+  const double expected = 2.0 * 15 * (static_cast<double>(bytes) / 16) / 6.37e9;
+  EXPECT_NEAR(*seconds, expected, 1e-9);
+}
+
+}  // namespace
+}  // namespace dgcl

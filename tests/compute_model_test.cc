@@ -1,0 +1,86 @@
+#include "sim/compute_model.h"
+
+#include <gtest/gtest.h>
+
+namespace dgcl {
+namespace {
+
+TEST(ComputeModelTest, NamesAreStable) {
+  EXPECT_STREQ(GnnModelName(GnnModel::kGcn), "GCN");
+  EXPECT_STREQ(GnnModelName(GnnModel::kCommNet), "CommNet");
+  EXPECT_STREQ(GnnModelName(GnnModel::kGin), "GIN");
+}
+
+TEST(ComputeModelTest, MonotoneInVerticesAndEdges) {
+  ComputeModelParams params;
+  double base = LayerForwardSeconds(GnnModel::kGcn, 1000, 10000, 128, 128, params);
+  EXPECT_GT(LayerForwardSeconds(GnnModel::kGcn, 2000, 10000, 128, 128, params), base);
+  EXPECT_GT(LayerForwardSeconds(GnnModel::kGcn, 1000, 20000, 128, 128, params), base);
+}
+
+TEST(ComputeModelTest, ModelComplexityOrdering) {
+  // Paper §7: "From GCN to CommNet and GIN, the models have an increasing
+  // computation complexity".
+  ComputeModelParams params;
+  params.layer_overhead_s = 0.0;
+  const double gcn = LayerForwardSeconds(GnnModel::kGcn, 100000, 1000000, 256, 256, params);
+  const double commnet =
+      LayerForwardSeconds(GnnModel::kCommNet, 100000, 1000000, 256, 256, params);
+  const double gin = LayerForwardSeconds(GnnModel::kGin, 100000, 1000000, 256, 256, params);
+  EXPECT_LT(gcn, commnet);
+  EXPECT_LE(commnet, gin);
+}
+
+TEST(ComputeModelTest, EpochIsForwardTimesOnePlusBackwardFactor) {
+  ComputeModelParams params;
+  params.backward_factor = 2.0;
+  const double fwd = LayerForwardSeconds(GnnModel::kGcn, 5000, 50000, 64, 32, params) +
+                     LayerForwardSeconds(GnnModel::kGcn, 5000, 50000, 32, 32, params);
+  const double epoch = EpochComputeSeconds(GnnModel::kGcn, 5000, 50000, 64, 32, 2, params);
+  EXPECT_NEAR(epoch, fwd * 3.0, 1e-12);
+}
+
+TEST(ComputeModelTest, FirstLayerUsesFeatureDim) {
+  ComputeModelParams params;
+  params.layer_overhead_s = 0.0;
+  // Huge feature dim makes layer 1 dominate.
+  const double big_feat = EpochComputeSeconds(GnnModel::kGcn, 1000, 10000, 4096, 64, 2, params);
+  const double small_feat = EpochComputeSeconds(GnnModel::kGcn, 1000, 10000, 64, 64, 2, params);
+  EXPECT_GT(big_feat, small_feat * 5);
+}
+
+TEST(ComputeModelTest, MoreLayersCostMore) {
+  const double two = EpochComputeSeconds(GnnModel::kGin, 1000, 10000, 128, 128, 2);
+  const double three = EpochComputeSeconds(GnnModel::kGin, 1000, 10000, 128, 128, 3);
+  EXPECT_GT(three, two);
+}
+
+TEST(ComputeModelTest, ThroughputParametersScaleInversely) {
+  ComputeModelParams fast;
+  fast.dense_flops = 2e13;
+  fast.sparse_flops = 2e12;
+  fast.layer_overhead_s = 0.0;
+  ComputeModelParams slow;
+  slow.dense_flops = 1e13;
+  slow.sparse_flops = 1e12;
+  slow.layer_overhead_s = 0.0;
+  const double t_fast = LayerForwardSeconds(GnnModel::kGcn, 1000, 10000, 128, 128, fast);
+  const double t_slow = LayerForwardSeconds(GnnModel::kGcn, 1000, 10000, 128, 128, slow);
+  EXPECT_NEAR(t_slow / t_fast, 2.0, 1e-9);
+}
+
+
+TEST(ComputeModelTest, GatPaysPerEdgeAttention) {
+  ComputeModelParams params;
+  params.layer_overhead_s = 0.0;
+  const double gcn = LayerForwardSeconds(GnnModel::kGcn, 100000, 1000000, 256, 256, params);
+  const double gat = LayerForwardSeconds(GnnModel::kGat, 100000, 1000000, 256, 256, params);
+  EXPECT_GT(gat, gcn);
+  // The extra cost scales with edges: doubling edges widens the gap.
+  const double gcn2 = LayerForwardSeconds(GnnModel::kGcn, 100000, 2000000, 256, 256, params);
+  const double gat2 = LayerForwardSeconds(GnnModel::kGat, 100000, 2000000, 256, 256, params);
+  EXPECT_GT(gat2 - gcn2, gat - gcn);
+}
+
+}  // namespace
+}  // namespace dgcl

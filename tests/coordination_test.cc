@@ -1,0 +1,103 @@
+// Centralized vs decentralized coordination (§6.1) must deliver identical
+// results; only the synchronization protocol differs.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "partition/multilevel.h"
+#include "planner/spst.h"
+#include "runtime/allgather_engine.h"
+#include "topology/presets.h"
+
+namespace dgcl {
+namespace {
+
+struct Fixture {
+  CsrGraph graph;
+  Topology topo;
+  CommRelation relation;
+  CompiledPlan plan;
+
+  static Fixture Make(uint32_t gpus, uint64_t seed) {
+    Fixture f;
+    Rng rng(seed);
+    f.graph = GenerateErdosRenyi(70, 210, rng);
+    f.topo = BuildPaperTopology(gpus);
+    MultilevelPartitioner metis;
+    f.relation = *BuildCommRelation(f.graph, *metis.Partition(f.graph, gpus));
+    SpstPlanner spst;
+    f.plan = CompilePlan(*spst.Plan(f.relation, f.topo, 64), f.topo);
+    AssignBackwardSubstages(f.plan);
+    return f;
+  }
+
+  std::vector<EmbeddingMatrix> Local(uint32_t dim) const {
+    std::vector<EmbeddingMatrix> local;
+    for (uint32_t d = 0; d < relation.num_devices; ++d) {
+      const auto& locals = relation.local_vertices[d];
+      EmbeddingMatrix m = EmbeddingMatrix::Zero(static_cast<uint32_t>(locals.size()), dim);
+      for (uint32_t i = 0; i < locals.size(); ++i) {
+        m.Row(i)[0] = static_cast<float>(locals[i] + 1);
+      }
+      local.push_back(std::move(m));
+    }
+    return local;
+  }
+};
+
+class CoordinationSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CoordinationSweep, ModesProduceIdenticalForwardResults) {
+  Fixture f = Fixture::Make(GetParam(), 11);
+  auto engine = AllgatherEngine::Create(f.relation, f.plan, f.topo);
+  ASSERT_TRUE(engine.ok());
+  auto local = f.Local(3);
+
+  engine->set_coordination_mode(CoordinationMode::kDecentralized);
+  auto decentralized = engine->Forward(local);
+  ASSERT_TRUE(decentralized.ok());
+
+  engine->set_coordination_mode(CoordinationMode::kCentralized);
+  EXPECT_EQ(engine->coordination_mode(), CoordinationMode::kCentralized);
+  auto centralized = engine->Forward(local);
+  ASSERT_TRUE(centralized.ok());
+
+  for (uint32_t d = 0; d < f.relation.num_devices; ++d) {
+    EXPECT_EQ((*decentralized)[d].data, (*centralized)[d].data) << "device " << d;
+  }
+}
+
+TEST_P(CoordinationSweep, ModesProduceIdenticalBackwardResults) {
+  Fixture f = Fixture::Make(GetParam(), 13);
+  auto engine = AllgatherEngine::Create(f.relation, f.plan, f.topo);
+  ASSERT_TRUE(engine.ok());
+  std::vector<EmbeddingMatrix> grads;
+  for (uint32_t d = 0; d < f.relation.num_devices; ++d) {
+    EmbeddingMatrix g = EmbeddingMatrix::Zero(engine->NumContractSlots(d), 2);
+    for (float& x : g.data) {
+      x = 1.0f;
+    }
+    grads.push_back(std::move(g));
+  }
+  engine->set_coordination_mode(CoordinationMode::kDecentralized);
+  auto a = engine->Backward(grads);
+  engine->set_coordination_mode(CoordinationMode::kCentralized);
+  auto b = engine->Backward(grads);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (uint32_t d = 0; d < f.relation.num_devices; ++d) {
+    EXPECT_EQ((*a)[d].data, (*b)[d].data) << "device " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GpuCounts, CoordinationSweep, ::testing::Values(2u, 4u, 8u, 16u));
+
+TEST(CoordinationTest, DefaultIsDecentralized) {
+  Fixture f = Fixture::Make(2, 17);
+  auto engine = AllgatherEngine::Create(f.relation, f.plan, f.topo);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->coordination_mode(), CoordinationMode::kDecentralized);
+}
+
+}  // namespace
+}  // namespace dgcl

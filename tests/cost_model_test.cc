@@ -1,0 +1,146 @@
+#include "planner/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "planner/baselines.h"
+#include "topology/presets.h"
+
+namespace dgcl {
+namespace {
+
+// Two devices, one NV1 link each way: time = bytes / 24.22e9.
+Topology TwoDeviceNvLink() {
+  Topology topo;
+  DeviceId a = topo.AddDevice({"a", 0, 0, 0});
+  DeviceId b = topo.AddDevice({"b", 0, 0, 0});
+  ConnId fwd = topo.AddConnection({"nv.fwd", LinkType::kNvLink1, 0.0});
+  ConnId rev = topo.AddConnection({"nv.rev", LinkType::kNvLink1, 0.0});
+  EXPECT_TRUE(topo.AddLink(a, b, {fwd}).ok());
+  EXPECT_TRUE(topo.AddLink(b, a, {rev}).ok());
+  return topo;
+}
+
+TEST(CostModelTest, SingleTransferIsBytesOverBandwidth) {
+  Topology topo = TwoDeviceNvLink();
+  CostModel model(topo, 1, 1024.0);
+  model.AddTransfer(topo.LinkBetween(0, 1), 0, 1000);
+  EXPECT_NEAR(model.TotalSeconds(), 1000 * 1024.0 / 24.22e9, 1e-12);
+}
+
+TEST(CostModelTest, OppositeDirectionsDoNotContend) {
+  Topology topo = TwoDeviceNvLink();
+  CostModel model(topo, 1, 1024.0);
+  model.AddTransfer(topo.LinkBetween(0, 1), 0, 1000);
+  double one_way = model.TotalSeconds();
+  model.AddTransfer(topo.LinkBetween(1, 0), 0, 1000);
+  EXPECT_DOUBLE_EQ(model.TotalSeconds(), one_way);  // full duplex
+}
+
+TEST(CostModelTest, SharedHopContention) {
+  // DGX-1: GPU0->5 and GPU2->5 share the QPI; their stage time is the
+  // aggregate over the QPI.
+  Topology topo = BuildPaperTopology(8);
+  CostModel model(topo, 1, 1.0);
+  model.AddTransfer(topo.LinkBetween(0, 5), 0, 1'000'000'000);  // 1 GB
+  const double single = model.TotalSeconds();
+  EXPECT_NEAR(single, 1.0 / 9.56, 1e-9);
+  model.AddTransfer(topo.LinkBetween(2, 5), 0, 1'000'000'000);
+  EXPECT_NEAR(model.TotalSeconds(), 2.0 / 9.56, 1e-9);  // QPI carries 2 GB
+}
+
+TEST(CostModelTest, ParallelLinksDoNotAdd) {
+  // GPU0->1 (NV1) and GPU2->3 (NV1) are disjoint: stage time is the max.
+  Topology topo = BuildPaperTopology(8);
+  CostModel model(topo, 1, 1.0);
+  model.AddTransfer(topo.LinkBetween(0, 1), 0, 1'000'000'000);
+  double one = model.TotalSeconds();
+  model.AddTransfer(topo.LinkBetween(2, 3), 0, 500'000'000);
+  EXPECT_DOUBLE_EQ(model.TotalSeconds(), one);
+}
+
+TEST(CostModelTest, StagesAddUp) {
+  Topology topo = TwoDeviceNvLink();
+  CostModel model(topo, 3, 1.0);
+  model.AddTransfer(topo.LinkBetween(0, 1), 0, 1000);
+  model.AddTransfer(topo.LinkBetween(0, 1), 1, 2000);
+  model.AddTransfer(topo.LinkBetween(0, 1), 2, 3000);
+  EXPECT_NEAR(model.TotalSeconds(), 6000.0 / 24.22e9, 1e-15);
+  EXPECT_NEAR(model.StageSeconds(1), 2000.0 / 24.22e9, 1e-15);
+}
+
+TEST(CostModelTest, IncrementalMatchesCommittedDelta) {
+  // Property: IncrementalCost == TotalSeconds delta, across random sequences.
+  Topology topo = BuildPaperTopology(8);
+  Rng rng(21);
+  CostModel model(topo, 7, 2048.0);
+  for (int i = 0; i < 500; ++i) {
+    LinkId link = static_cast<LinkId>(rng.UniformInt(topo.num_links()));
+    uint32_t stage = static_cast<uint32_t>(rng.UniformInt(7));
+    uint64_t units = 1 + rng.UniformInt(50);
+    const double predicted = model.IncrementalCost(link, stage, units);
+    const double before = model.TotalSeconds();
+    model.AddTransfer(link, stage, units);
+    EXPECT_NEAR(model.TotalSeconds() - before, predicted, 1e-12);
+  }
+}
+
+TEST(CostModelTest, IncrementalIsZeroForUnderloadedLink) {
+  // Load the QPI path heavily; an NVLink addition in the same stage rides
+  // under the stage bottleneck for free — the load-balancing signal of SPST.
+  Topology topo = BuildPaperTopology(8);
+  CostModel model(topo, 1, 1024.0);
+  model.AddTransfer(topo.LinkBetween(0, 5), 0, 100000);
+  EXPECT_DOUBLE_EQ(model.IncrementalCost(topo.LinkBetween(2, 3), 0, 10), 0.0);
+  EXPECT_GT(model.IncrementalCost(topo.LinkBetween(0, 5), 0, 10), 0.0);
+}
+
+TEST(CostModelTest, CostIsLinearInBytesPerUnit) {
+  // §5.1: the optimal plan is feature-dimension independent because the cost
+  // scales linearly with the embedding size.
+  Rng rng(22);
+  CsrGraph g = GenerateErdosRenyi(60, 150, rng);
+  Topology topo = BuildPaperTopology(4);
+  HashPartitioner hash;
+  CommRelation rel = *BuildCommRelation(g, *hash.Partition(g, 4));
+  PeerToPeerPlanner p2p;
+  CommPlan plan = *p2p.Plan(rel, topo, 1.0);
+  const double c1 = EvaluatePlanCost(plan, topo, 512.0);
+  const double c2 = EvaluatePlanCost(plan, topo, 1024.0);
+  const double c3 = EvaluatePlanCost(plan, topo, 4096.0);
+  EXPECT_NEAR(c2 / c1, 2.0, 1e-9);
+  EXPECT_NEAR(c3 / c1, 8.0, 1e-9);
+}
+
+TEST(CostModelTest, ConnBusySecondsTracksLoadedConnections) {
+  Topology topo = TwoDeviceNvLink();
+  CostModel model(topo, 2, 1.0);
+  LinkId link = topo.LinkBetween(0, 1);
+  model.AddTransfer(link, 0, 1000);
+  model.AddTransfer(link, 1, 1000);
+  ConnId conn = topo.link(link).hops[0];
+  EXPECT_NEAR(model.ConnBusySeconds(conn), 2000.0 / 24.22e9, 1e-15);
+  ConnId other = topo.link(topo.LinkBetween(1, 0)).hops[0];
+  EXPECT_DOUBLE_EQ(model.ConnBusySeconds(other), 0.0);
+}
+
+TEST(CostModelTest, EvaluatePlanCostMatchesManualModel) {
+  Rng rng(23);
+  CsrGraph g = GenerateErdosRenyi(40, 100, rng);
+  Topology topo = BuildPaperTopology(8);
+  HashPartitioner hash;
+  CommRelation rel = *BuildCommRelation(g, *hash.Partition(g, 8));
+  PeerToPeerPlanner p2p;
+  CommPlan plan = *p2p.Plan(rel, topo, 1.0);
+  CostModel model(topo, 1, 777.0);
+  for (const CommTree& tree : plan.trees) {
+    for (const TreeEdge& e : tree.edges) {
+      model.AddTransfer(e.link, e.stage);
+    }
+  }
+  EXPECT_DOUBLE_EQ(EvaluatePlanCost(plan, topo, 777.0), model.TotalSeconds());
+}
+
+}  // namespace
+}  // namespace dgcl

@@ -1,0 +1,89 @@
+#include "graph/csr_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace dgcl {
+namespace {
+
+TEST(CsrGraphTest, BuildsSymmetrizedGraph) {
+  auto g = CsrGraph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}}, /*symmetrize=*/true);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 4u);
+  EXPECT_EQ(g->num_edges(), 6u);  // each undirected edge counted twice
+  ASSERT_EQ(g->Neighbors(1).size(), 2u);
+  EXPECT_EQ(g->Neighbors(1)[0], 0u);
+  EXPECT_EQ(g->Neighbors(1)[1], 2u);
+}
+
+TEST(CsrGraphTest, DirectedModeKeepsDirection) {
+  auto g = CsrGraph::FromEdges(3, {{0, 1}, {0, 2}}, /*symmetrize=*/false);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->Degree(0), 2u);
+  EXPECT_EQ(g->Degree(1), 0u);
+}
+
+TEST(CsrGraphTest, DropsSelfLoops) {
+  auto g = CsrGraph::FromEdges(3, {{0, 0}, {1, 1}, {0, 1}}, true);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+TEST(CsrGraphTest, DeduplicatesParallelEdges) {
+  auto g = CsrGraph::FromEdges(3, {{0, 1}, {0, 1}, {1, 0}, {0, 1}}, true);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+TEST(CsrGraphTest, RejectsOutOfRangeEndpoint) {
+  auto g = CsrGraph::FromEdges(2, {{0, 5}}, true);
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsrGraphTest, NeighborsAreSortedAscending) {
+  auto g = CsrGraph::FromEdges(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}}, true);
+  ASSERT_TRUE(g.ok());
+  auto nbrs = g->Neighbors(2);
+  ASSERT_EQ(nbrs.size(), 4u);
+  for (size_t i = 1; i < nbrs.size(); ++i) {
+    EXPECT_LT(nbrs[i - 1], nbrs[i]);
+  }
+}
+
+TEST(CsrGraphTest, EmptyGraph) {
+  auto g = CsrGraph::FromEdges(0, {}, true);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 0u);
+  EXPECT_EQ(g->num_edges(), 0u);
+  EXPECT_EQ(g->AverageDegree(), 0.0);
+}
+
+TEST(CsrGraphTest, AverageDegree) {
+  auto g = CsrGraph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}, true);
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->AverageDegree(), 2.0);
+}
+
+TEST(CsrGraphTest, InducedSubgraphKeepsInternalEdges) {
+  // Path 0-1-2-3; induce {1, 2, 3} -> path of 3 vertices.
+  auto g = CsrGraph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}}, true);
+  ASSERT_TRUE(g.ok());
+  std::vector<VertexId> keep = {1, 2, 3};
+  CsrGraph sub = g->InducedSubgraph(keep);
+  EXPECT_EQ(sub.num_vertices(), 3u);
+  EXPECT_EQ(sub.num_edges(), 4u);  // 1-2 and 2-3, both directions
+  EXPECT_EQ(sub.Degree(0), 1u);    // old vertex 1 lost its edge to 0
+  EXPECT_EQ(sub.Degree(1), 2u);
+}
+
+TEST(CsrGraphTest, InducedSubgraphOfDisconnectedSetHasNoEdges) {
+  auto g = CsrGraph::FromEdges(4, {{0, 1}, {2, 3}}, true);
+  ASSERT_TRUE(g.ok());
+  std::vector<VertexId> keep = {0, 2};
+  CsrGraph sub = g->InducedSubgraph(keep);
+  EXPECT_EQ(sub.num_vertices(), 2u);
+  EXPECT_EQ(sub.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace dgcl

@@ -1,0 +1,173 @@
+#include "dgcl/dgcl.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "topology/presets.h"
+
+namespace dgcl {
+namespace {
+
+TEST(DgclApiTest, InitRejectsEmptyTopology) {
+  Topology empty;
+  EXPECT_FALSE(DgclContext::Init(std::move(empty)).ok());
+}
+
+TEST(DgclApiTest, InitRejectsDisconnectedTopology) {
+  Topology topo;
+  topo.AddDevice({"a", 0, 0, 0});
+  topo.AddDevice({"b", 0, 0, 0});
+  // no links
+  EXPECT_FALSE(DgclContext::Init(std::move(topo)).ok());
+}
+
+TEST(DgclApiTest, OperationsFailBeforeBuildCommInfo) {
+  auto ctx = DgclContext::Init(BuildPaperTopology(4));
+  ASSERT_TRUE(ctx.ok());
+  EXPECT_FALSE(ctx->comm_info_ready());
+  EmbeddingMatrix features = EmbeddingMatrix::Zero(10, 4);
+  EXPECT_EQ(ctx->DispatchFeatures(features).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(ctx->GraphAllgather({}).ok());
+  EXPECT_FALSE(ctx->BuildDeviceGraph(0).ok());
+}
+
+TEST(DgclApiTest, FullWorkflowRoundTrip) {
+  // The paper's Listing 1 workflow: init -> buildCommInfo -> dispatch ->
+  // graphAllgather, then verify every device sees its full G_d inputs.
+  Rng rng(3);
+  CsrGraph graph = GenerateErdosRenyi(120, 360, rng);
+  auto ctx = DgclContext::Init(BuildPaperTopology(8));
+  ASSERT_TRUE(ctx.ok());
+  ASSERT_TRUE(ctx->BuildCommInfo(graph).ok());
+  EXPECT_TRUE(ctx->comm_info_ready());
+  EXPECT_EQ(ctx->num_devices(), 8u);
+
+  const uint32_t dim = 6;
+  EmbeddingMatrix features = EmbeddingMatrix::Zero(graph.num_vertices(), dim);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (uint32_t c = 0; c < dim; ++c) {
+      features.Row(v)[c] = static_cast<float>(v + c * 0.25f);
+    }
+  }
+  auto local = ctx->DispatchFeatures(features);
+  ASSERT_TRUE(local.ok());
+  auto slots = ctx->GraphAllgather(*local);
+  ASSERT_TRUE(slots.ok());
+
+  const CommRelation& rel = ctx->relation();
+  for (uint32_t d = 0; d < 8; ++d) {
+    const auto& locals = rel.local_vertices[d];
+    const auto& remotes = rel.remote_vertices[d];
+    for (uint32_t i = 0; i < locals.size(); ++i) {
+      EXPECT_EQ((*slots)[d].Row(i)[0], features.Row(locals[i])[0]);
+    }
+    for (uint32_t i = 0; i < remotes.size(); ++i) {
+      EXPECT_EQ((*slots)[d].Row(locals.size() + i)[0], features.Row(remotes[i])[0]);
+    }
+  }
+}
+
+TEST(DgclApiTest, DeviceGraphNeighborhoodsComplete) {
+  Rng rng(5);
+  CsrGraph graph = GenerateErdosRenyi(80, 240, rng);
+  auto ctx = DgclContext::Init(BuildPaperTopology(4));
+  ASSERT_TRUE(ctx.ok());
+  ASSERT_TRUE(ctx->BuildCommInfo(graph).ok());
+  uint64_t total_edges = 0;
+  for (uint32_t d = 0; d < 4; ++d) {
+    auto lg = ctx->BuildDeviceGraph(d);
+    ASSERT_TRUE(lg.ok());
+    total_edges += lg->nbr_slots.size();
+  }
+  EXPECT_EQ(total_edges, graph.num_edges());
+  EXPECT_FALSE(ctx->BuildDeviceGraph(99).ok());
+}
+
+TEST(DgclApiTest, PlanIsValidatedAndCompiled) {
+  Rng rng(7);
+  CsrGraph graph = GenerateErdosRenyi(60, 200, rng);
+  auto ctx = DgclContext::Init(BuildPaperTopology(8));
+  ASSERT_TRUE(ctx.ok());
+  ASSERT_TRUE(ctx->BuildCommInfo(graph).ok());
+  EXPECT_TRUE(ValidatePlan(ctx->plan(), ctx->relation(), ctx->topology()).ok());
+  EXPECT_TRUE(ValidateCompiledPlan(ctx->compiled_plan(), ctx->relation(), ctx->topology()).ok());
+  EXPECT_GT(ctx->compiled_plan().TableBytes(), 0u);
+}
+
+TEST(DgclApiTest, BackwardRoutesGradientsHome) {
+  Rng rng(9);
+  CsrGraph graph = GenerateErdosRenyi(50, 150, rng);
+  auto ctx = DgclContext::Init(BuildPaperTopology(4));
+  ASSERT_TRUE(ctx.ok());
+  ASSERT_TRUE(ctx->BuildCommInfo(graph).ok());
+  const CommRelation& rel = ctx->relation();
+  const uint32_t dim = 2;
+  std::vector<EmbeddingMatrix> grads;
+  for (uint32_t d = 0; d < 4; ++d) {
+    const uint32_t slots =
+        static_cast<uint32_t>(rel.local_vertices[d].size() + rel.remote_vertices[d].size());
+    EmbeddingMatrix g = EmbeddingMatrix::Zero(slots, dim);
+    for (uint32_t r = 0; r < slots; ++r) {
+      g.Row(r)[0] = 1.0f;
+    }
+    grads.push_back(std::move(g));
+  }
+  auto result = ctx->GraphAllgatherBackward(grads);
+  ASSERT_TRUE(result.ok());
+  // Each owner's vertex gradient = 1 (its own) + number of destinations.
+  for (uint32_t d = 0; d < 4; ++d) {
+    const auto& locals = rel.local_vertices[d];
+    for (uint32_t i = 0; i < locals.size(); ++i) {
+      const float expected = 1.0f + std::popcount(rel.dest_mask[locals[i]]);
+      EXPECT_EQ((*result)[d].Row(i)[0], expected);
+    }
+  }
+}
+
+TEST(DgclApiTest, ContextIsMovable) {
+  Rng rng(11);
+  CsrGraph graph = GenerateErdosRenyi(40, 120, rng);
+  auto ctx = DgclContext::Init(BuildPaperTopology(2));
+  ASSERT_TRUE(ctx.ok());
+  ASSERT_TRUE(ctx->BuildCommInfo(graph).ok());
+  DgclContext moved = std::move(ctx).value();
+  EmbeddingMatrix features = EmbeddingMatrix::Zero(graph.num_vertices(), 3);
+  auto local = moved.DispatchFeatures(features);
+  ASSERT_TRUE(local.ok());
+  EXPECT_TRUE(moved.GraphAllgather(*local).ok());
+}
+
+
+TEST(DgclApiTest, WorksOnNvSwitchAndMultiNicTopologies) {
+  Rng rng(13);
+  CsrGraph graph = GenerateErdosRenyi(100, 300, rng);
+  {
+    MachineConfig config;
+    config.num_gpus = 16;
+    config.nvswitch = true;
+    auto ctx = DgclContext::Init(BuildSingleMachine(config));
+    ASSERT_TRUE(ctx.ok());
+    ASSERT_TRUE(ctx->BuildCommInfo(graph).ok());
+    EmbeddingMatrix features = EmbeddingMatrix::Zero(graph.num_vertices(), 4);
+    auto local = ctx->DispatchFeatures(features);
+    ASSERT_TRUE(local.ok());
+    EXPECT_TRUE(ctx->GraphAllgather(*local).ok());
+  }
+  {
+    MachineConfig config;
+    config.num_gpus = 4;
+    config.nics_per_machine = 2;
+    auto ctx = DgclContext::Init(BuildCluster(2, config));
+    ASSERT_TRUE(ctx.ok());
+    ASSERT_TRUE(ctx->BuildCommInfo(graph).ok());
+    EXPECT_EQ(ctx->num_devices(), 8u);
+    EmbeddingMatrix features = EmbeddingMatrix::Zero(graph.num_vertices(), 4);
+    auto local = ctx->DispatchFeatures(features);
+    ASSERT_TRUE(local.ok());
+    EXPECT_TRUE(ctx->GraphAllgather(*local).ok());
+  }
+}
+
+}  // namespace
+}  // namespace dgcl

@@ -1,0 +1,202 @@
+#include "sim/epoch_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "planner/spst.h"
+#include "topology/presets.h"
+
+namespace dgcl {
+namespace {
+
+// A small dense-ish dataset so every method exercises real traffic.
+Dataset SmallDataset() {
+  Rng rng(77);
+  Dataset ds;
+  ds.name = "small";
+  ds.graph = GenerateRmat({.scale = 10, .num_edges = 8000}, rng);
+  ds.feature_dim = 64;
+  ds.hidden_dim = 32;
+  return ds;
+}
+
+EpochOptions FastOptions() {
+  EpochOptions opts;
+  opts.inverse_scale = 1;
+  opts.net.per_op_latency_s = 0.0;
+  opts.compute.layer_overhead_s = 0.0;  // fixed costs would mask scaling laws
+  return opts;
+}
+
+TEST(EpochSimTest, MethodNames) {
+  EXPECT_STREQ(MethodName(Method::kDgcl), "DGCL");
+  EXPECT_STREQ(MethodName(Method::kPeerToPeer), "Peer-to-peer");
+  EXPECT_STREQ(MethodName(Method::kSwap), "Swap");
+  EXPECT_STREQ(MethodName(Method::kReplication), "Replication");
+  EXPECT_STREQ(MethodName(Method::kDgclR), "DGCL-R");
+}
+
+TEST(EpochSimTest, AllMethodsRunOnSingleMachine) {
+  Dataset ds = SmallDataset();
+  Topology topo = BuildPaperTopology(8);
+  auto sim = EpochSimulator::Create(ds, topo, FastOptions());
+  ASSERT_TRUE(sim.ok());
+  for (Method m : {Method::kDgcl, Method::kPeerToPeer, Method::kSwap, Method::kReplication,
+                   Method::kDgclR}) {
+    auto report = sim->Simulate(m);
+    ASSERT_TRUE(report.ok()) << MethodName(m) << ": " << report.status().ToString();
+    EXPECT_FALSE(report->oom) << MethodName(m);
+    EXPECT_GE(report->comm_ms, 0.0);
+    EXPECT_GT(report->compute_ms, 0.0);
+  }
+}
+
+TEST(EpochSimTest, DgclCommNoSlowerThanPeerToPeer) {
+  Dataset ds = SmallDataset();
+  Topology topo = BuildPaperTopology(8);
+  auto sim = EpochSimulator::Create(ds, topo, FastOptions());
+  ASSERT_TRUE(sim.ok());
+  auto dgcl = sim->Simulate(Method::kDgcl);
+  auto p2p = sim->Simulate(Method::kPeerToPeer);
+  ASSERT_TRUE(dgcl.ok());
+  ASSERT_TRUE(p2p.ok());
+  EXPECT_LE(dgcl->comm_ms, p2p->comm_ms * 1.05);
+  // Same partitioning, same compute.
+  EXPECT_DOUBLE_EQ(dgcl->compute_ms, p2p->compute_ms);
+}
+
+TEST(EpochSimTest, ReplicationHasZeroCommAndFactorAboveOne) {
+  Dataset ds = SmallDataset();
+  Topology topo = BuildPaperTopology(8);
+  auto sim = EpochSimulator::Create(ds, topo, FastOptions());
+  ASSERT_TRUE(sim.ok());
+  auto rep = sim->Simulate(Method::kReplication);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_DOUBLE_EQ(rep->comm_ms, 0.0);
+  EXPECT_GT(rep->replication_factor, 1.0);
+  EXPECT_LE(rep->replication_factor, 8.0);
+  // Replicated compute must exceed non-replicated compute.
+  auto dgcl = sim->Simulate(Method::kDgcl);
+  EXPECT_GT(rep->compute_ms, dgcl->compute_ms);
+}
+
+TEST(EpochSimTest, ReplicationOomsWhenMemoryTight) {
+  // A well-partitionable sparse graph: DGCL stores ~1/8 of the graph per
+  // device, Replication's 2-hop closure stores several times more. A
+  // capacity between the two footprints OOMs only Replication — the
+  // mechanism behind the paper's Figure 7 OOM entries.
+  Rng rng(79);
+  Dataset ds;
+  ds.name = "communities";
+  ds.graph = GenerateCommunityGraph(4000, 8, 8.0, 0.3, rng);
+  ds.feature_dim = 64;
+  ds.hidden_dim = 32;
+  Topology topo = BuildPaperTopology(8);
+  EpochOptions opts = FastOptions();
+  opts.memory.device_capacity_bytes = 1.2e6;
+  auto sim = EpochSimulator::Create(ds, topo, opts);
+  ASSERT_TRUE(sim.ok());
+  auto rep = sim->Simulate(Method::kReplication);
+  auto dgcl = sim->Simulate(Method::kDgcl);
+  ASSERT_TRUE(rep.ok());
+  ASSERT_TRUE(dgcl.ok());
+  EXPECT_TRUE(rep->oom);
+  EXPECT_FALSE(dgcl->oom) << dgcl->oom_detail;
+}
+
+TEST(EpochSimTest, SwapFailsOnTwoMachines) {
+  Dataset ds = SmallDataset();
+  Topology topo = BuildPaperTopology(16);
+  auto sim = EpochSimulator::Create(ds, topo, FastOptions());
+  ASSERT_TRUE(sim.ok());
+  EXPECT_FALSE(sim->Simulate(Method::kSwap).ok());
+}
+
+TEST(EpochSimTest, DgclROnTwoMachinesNeedsMachineTopology) {
+  Dataset ds = SmallDataset();
+  Topology topo = BuildPaperTopology(16);
+  auto sim = EpochSimulator::Create(ds, topo, FastOptions());
+  ASSERT_TRUE(sim.ok());
+  EXPECT_FALSE(sim->Simulate(Method::kDgclR).ok());
+
+  EpochOptions opts = FastOptions();
+  Topology machine = BuildPaperTopology(8);
+  opts.machine_topology = &machine;
+  auto sim2 = EpochSimulator::Create(ds, topo, opts);
+  ASSERT_TRUE(sim2.ok());
+  auto report = sim2->Simulate(Method::kDgclR);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->replication_factor, 1.0);
+  EXPECT_LE(report->replication_factor, 2.0);  // bounded by machine count
+}
+
+TEST(EpochSimTest, DgclROnOneMachineEqualsDgcl) {
+  Dataset ds = SmallDataset();
+  Topology topo = BuildPaperTopology(4);
+  auto sim = EpochSimulator::Create(ds, topo, FastOptions());
+  ASSERT_TRUE(sim.ok());
+  auto r = sim->Simulate(Method::kDgclR);
+  auto d = sim->Simulate(Method::kDgcl);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(r->comm_ms, d->comm_ms);
+}
+
+TEST(EpochSimTest, InverseScaleScalesTimes) {
+  Dataset ds = SmallDataset();
+  Topology topo = BuildPaperTopology(4);
+  EpochOptions opts = FastOptions();
+  auto sim1 = EpochSimulator::Create(ds, topo, opts);
+  opts.inverse_scale = 4;
+  auto sim4 = EpochSimulator::Create(ds, topo, opts);
+  ASSERT_TRUE(sim1.ok());
+  ASSERT_TRUE(sim4.ok());
+  auto r1 = sim1->Simulate(Method::kPeerToPeer);
+  auto r4 = sim4->Simulate(Method::kPeerToPeer);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r4.ok());
+  EXPECT_NEAR(r4->comm_ms / r1->comm_ms, 4.0, 0.1);
+  EXPECT_GT(r4->compute_ms, r1->compute_ms * 2.0);
+}
+
+TEST(EpochSimTest, AllgatherEstimateTracksSimulation) {
+  Dataset ds = SmallDataset();
+  Topology topo = BuildPaperTopology(8);
+  auto sim = EpochSimulator::Create(ds, topo, FastOptions());
+  ASSERT_TRUE(sim.ok());
+  auto report = sim->Simulate(Method::kDgcl);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->estimated_allgather_ms, 0.0);
+  EXPECT_GT(report->simulated_allgather_ms, 0.0);
+  // Same order of magnitude (Figure 10's premise).
+  const double ratio = report->simulated_allgather_ms / report->estimated_allgather_ms;
+  EXPECT_GT(ratio, 0.2);
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST(EpochSimTest, VolumeFractionScalesAllgather) {
+  Dataset ds = SmallDataset();
+  Topology topo = BuildPaperTopology(8);
+  auto sim = EpochSimulator::Create(ds, topo, FastOptions());
+  ASSERT_TRUE(sim.ok());
+  SpstPlanner spst;
+  auto full = sim->SimulateAllgatherSeconds(spst, 64, 1.0);
+  auto half = sim->SimulateAllgatherSeconds(spst, 64, 0.5);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(half.ok());
+  EXPECT_NEAR(*half / *full, 0.5, 0.05);
+}
+
+TEST(EpochSimTest, PlanMetadataPopulated) {
+  Dataset ds = SmallDataset();
+  Topology topo = BuildPaperTopology(8);
+  auto sim = EpochSimulator::Create(ds, topo, FastOptions());
+  ASSERT_TRUE(sim.ok());
+  auto report = sim->Simulate(Method::kDgcl);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->plan_table_bytes, 0u);
+  EXPECT_GT(report->plan_wall_seconds, 0.0);
+  EXPECT_GT(report->avg_comm_bytes_per_gpu, 0u);
+}
+
+}  // namespace
+}  // namespace dgcl

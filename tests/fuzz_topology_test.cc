@@ -1,0 +1,114 @@
+// Randomized property tests: SPST must produce valid, executable plans on
+// *arbitrary* strongly-connected topologies, not just the DGX presets.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "planner/baselines.h"
+#include "planner/cost_model.h"
+#include "planner/spst.h"
+#include "runtime/allgather_engine.h"
+
+namespace dgcl {
+namespace {
+
+// A random topology: a directed ring guarantees strong connectivity; random
+// extra direct links with random media create shortcuts and contention.
+// (void return so gtest ASSERTs can be used inside.)
+void BuildRandomTopology(uint32_t devices, Rng& rng, Topology& topo) {
+  for (uint32_t d = 0; d < devices; ++d) {
+    topo.AddDevice({"d" + std::to_string(d), 0, d % 2, d / 2});
+  }
+  auto random_type = [&rng]() {
+    constexpr LinkType kTypes[] = {LinkType::kNvLink2, LinkType::kNvLink1, LinkType::kPcie,
+                                   LinkType::kQpi, LinkType::kInfiniBand, LinkType::kEthernet};
+    return kTypes[rng.UniformInt(6)];
+  };
+  // Shared contention domains: a handful of "buses" some links pass through.
+  std::vector<ConnId> buses;
+  for (int b = 0; b < 3; ++b) {
+    buses.push_back(topo.AddConnection({"bus" + std::to_string(b), random_type(), 0.0}));
+  }
+  auto add_link = [&](uint32_t i, uint32_t j) {
+    if (topo.LinkBetween(i, j) != kInvalidId) {
+      return;
+    }
+    ConnId direct = topo.AddConnection(
+        {"c" + std::to_string(i) + "_" + std::to_string(j), random_type(), 0.0});
+    std::vector<ConnId> hops = {direct};
+    if (rng.UniformDouble() < 0.4) {
+      hops.push_back(buses[rng.UniformInt(buses.size())]);  // multi-hop link
+    }
+    ASSERT_TRUE(topo.AddLink(i, j, std::move(hops)).ok());
+  };
+  for (uint32_t d = 0; d < devices; ++d) {
+    add_link(d, (d + 1) % devices);
+  }
+  const uint32_t extra = devices * 2;
+  for (uint32_t e = 0; e < extra; ++e) {
+    uint32_t i = static_cast<uint32_t>(rng.UniformInt(devices));
+    uint32_t j = static_cast<uint32_t>(rng.UniformInt(devices));
+    if (i != j) {
+      add_link(i, j);
+    }
+  }
+}
+
+class FuzzSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzSweep, SpstValidExecutableAndNoWorseThanRing) {
+  Rng rng(GetParam());
+  const uint32_t devices = 2 + static_cast<uint32_t>(rng.UniformInt(9));
+  Topology topo;
+  BuildRandomTopology(devices, rng, topo);
+
+  CsrGraph graph = GenerateErdosRenyi(40 + static_cast<VertexId>(rng.UniformInt(60)),
+                                      200 + rng.UniformInt(200), rng);
+  RandomPartitioner partitioner(GetParam());
+  CommRelation rel = *BuildCommRelation(graph, *partitioner.Partition(graph, devices));
+
+  SpstPlanner spst;
+  auto plan = spst.Plan(rel, topo, 512);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE(ValidatePlan(*plan, rel, topo).ok());
+
+  CompiledPlan compiled = CompilePlan(*plan, topo);
+  AssignBackwardSubstages(compiled);
+  ASSERT_TRUE(ValidateCompiledPlan(compiled, rel, topo).ok());
+
+  // Execute it for real.
+  auto engine = AllgatherEngine::Create(rel, compiled, topo);
+  ASSERT_TRUE(engine.ok());
+  std::vector<EmbeddingMatrix> local;
+  for (uint32_t d = 0; d < devices; ++d) {
+    const auto& locals = rel.local_vertices[d];
+    EmbeddingMatrix m = EmbeddingMatrix::Zero(static_cast<uint32_t>(locals.size()), 2);
+    for (uint32_t i = 0; i < locals.size(); ++i) {
+      m.Row(i)[0] = static_cast<float>(locals[i]);
+    }
+    local.push_back(std::move(m));
+  }
+  auto slots = engine->Forward(local);
+  ASSERT_TRUE(slots.ok());
+  for (uint32_t d = 0; d < devices; ++d) {
+    const auto& locals = rel.local_vertices[d];
+    const auto& remotes = rel.remote_vertices[d];
+    for (uint32_t i = 0; i < remotes.size(); ++i) {
+      ASSERT_EQ((*slots)[d].Row(locals.size() + i)[0], static_cast<float>(remotes[i]));
+    }
+  }
+
+  // SPST should never lose to the oblivious ring on its own cost model.
+  RingPlanner ring;
+  auto ring_plan = ring.Plan(rel, topo, 512);
+  ASSERT_TRUE(ring_plan.ok());
+  EXPECT_LE(EvaluatePlanCost(*plan, topo, 512),
+            EvaluatePlanCost(*ring_plan, topo, 512) * 1.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Values(1001u, 1002u, 1003u, 1004u, 1005u, 1006u, 1007u,
+                                           1008u, 1009u, 1010u));
+
+}  // namespace
+}  // namespace dgcl

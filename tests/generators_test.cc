@@ -1,0 +1,129 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+
+namespace dgcl {
+namespace {
+
+TEST(ErdosRenyiTest, ProducesRequestedEdges) {
+  Rng rng(1);
+  CsrGraph g = GenerateErdosRenyi(100, 300, rng);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 600u);  // symmetrized
+}
+
+TEST(ErdosRenyiTest, DeterministicForSeed) {
+  Rng a(9);
+  Rng b(9);
+  CsrGraph ga = GenerateErdosRenyi(50, 100, a);
+  CsrGraph gb = GenerateErdosRenyi(50, 100, b);
+  EXPECT_EQ(ga.targets(), gb.targets());
+  EXPECT_EQ(ga.offsets(), gb.offsets());
+}
+
+TEST(RmatTest, RespectsScale) {
+  Rng rng(2);
+  RmatParams params;
+  params.scale = 10;
+  params.num_edges = 4000;
+  CsrGraph g = GenerateRmat(params, rng);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  // Some dedup losses are expected, but most samples should survive.
+  EXPECT_GT(g.num_edges(), 4000u);  // symmetrized: up to 8000
+  EXPECT_LE(g.num_edges(), 8000u);
+}
+
+TEST(RmatTest, SkewedParamsProduceSkewedDegrees) {
+  Rng rng(3);
+  RmatParams params;
+  params.scale = 12;
+  params.num_edges = 20000;
+  params.a = 0.57;
+  params.b = 0.19;
+  params.c = 0.19;
+  CsrGraph g = GenerateRmat(params, rng);
+  GraphStats stats = ComputeStats(g);
+  // Heavy tail: max degree far above the average.
+  EXPECT_GT(stats.max_degree, stats.avg_degree * 8);
+}
+
+TEST(CommunityGraphTest, IntraEdgesDominate) {
+  Rng rng(4);
+  CsrGraph g = GenerateCommunityGraph(1000, 4, 8.0, 0.5, rng);
+  uint64_t intra = 0;
+  uint64_t inter = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.Neighbors(v)) {
+      if (v / 250 == u / 250) {
+        ++intra;
+      } else {
+        ++inter;
+      }
+    }
+  }
+  EXPECT_GT(intra, inter * 5);
+}
+
+TEST(GridTest, CornerAndCenterDegrees) {
+  CsrGraph g = GenerateGrid(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.Degree(0), 2u);   // corner
+  EXPECT_EQ(g.Degree(5), 4u);   // interior (row 1, col 1)
+  EXPECT_EQ(g.num_edges(), 2u * (3 * 3 + 2 * 4));  // horizontal + vertical, doubled
+}
+
+TEST(PaperStatsTest, MatchesTable4) {
+  DatasetPaperStats reddit = GetPaperStats(DatasetId::kReddit);
+  EXPECT_DOUBLE_EQ(reddit.avg_degree, 478.0);
+  EXPECT_EQ(reddit.feature_dim, 602u);
+  EXPECT_EQ(reddit.hidden_dim, 256u);
+  DatasetPaperStats wiki = GetPaperStats(DatasetId::kWikiTalk);
+  EXPECT_DOUBLE_EQ(wiki.avg_degree, 2.09);
+  EXPECT_EQ(wiki.feature_dim, 256u);
+}
+
+class DatasetParamTest : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(DatasetParamTest, StandInTracksPaperRegime) {
+  const DatasetId id = GetParam();
+  const DatasetPaperStats paper = GetPaperStats(id);
+  Dataset ds = MakeDataset(id, /*inverse_scale=*/256);
+  EXPECT_EQ(ds.name, paper.name);
+  EXPECT_EQ(ds.feature_dim, paper.feature_dim);
+  EXPECT_EQ(ds.hidden_dim, paper.hidden_dim);
+  GraphStats stats = ComputeStats(ds.graph);
+  // Vertex count within the rounding of a power of two around target.
+  const double target_n = paper.vertices_millions * 1e6 / 256;
+  EXPECT_GE(stats.num_vertices, target_n);
+  EXPECT_LT(stats.num_vertices, target_n * 2.1);
+  // Average degree within a factor of ~2.5 of the paper (dedup losses on the
+  // dense graphs are expected); the dense/sparse split must be preserved.
+  EXPECT_GT(stats.avg_degree, paper.avg_degree / 2.5);
+  EXPECT_LT(stats.avg_degree, paper.avg_degree * 2.5);
+}
+
+TEST_P(DatasetParamTest, DeterministicAcrossCalls) {
+  Dataset a = MakeDataset(GetParam(), 512, 99);
+  Dataset b = MakeDataset(GetParam(), 512, 99);
+  EXPECT_EQ(a.graph.targets(), b.graph.targets());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetParamTest,
+                         ::testing::Values(DatasetId::kReddit, DatasetId::kComOrkut,
+                                           DatasetId::kWebGoogle, DatasetId::kWikiTalk),
+                         [](const auto& info) {
+                           std::string name = GetPaperStats(info.param).name;
+                           std::erase_if(name, [](char c) { return !std::isalnum(c); });
+                           return name;
+                         });
+
+TEST(DatasetTest, DenseAndSparseRegimesDiffer) {
+  Dataset reddit = MakeDataset(DatasetId::kReddit, 256);
+  Dataset wiki = MakeDataset(DatasetId::kWikiTalk, 256);
+  EXPECT_GT(reddit.graph.AverageDegree(), wiki.graph.AverageDegree() * 20);
+}
+
+}  // namespace
+}  // namespace dgcl

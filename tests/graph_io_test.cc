@@ -1,0 +1,122 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace dgcl {
+namespace {
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return (std::filesystem::temp_directory_path() / ("dgcl_io_" + name)).string();
+  }
+
+  void TearDown() override {
+    for (const std::string& path : created_) {
+      std::remove(path.c_str());
+    }
+  }
+
+  std::string Create(const std::string& name, const std::string& content) {
+    std::string path = TempPath(name);
+    std::ofstream(path) << content;
+    created_.push_back(path);
+    return path;
+  }
+
+  std::string Track(const std::string& name) {
+    std::string path = TempPath(name);
+    created_.push_back(path);
+    return path;
+  }
+
+  std::vector<std::string> created_;
+};
+
+TEST_F(GraphIoTest, LoadsSnapStyleEdgeList) {
+  std::string path = Create("snap.txt",
+                            "# Directed graph\n"
+                            "# Nodes: 4 Edges: 3\n"
+                            "0\t1\n"
+                            "1 2\n"
+                            "\n"
+                            "2 3   # trailing comment\n");
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_vertices(), 4u);
+  EXPECT_EQ(g->num_edges(), 6u);  // symmetrized path
+}
+
+TEST_F(GraphIoTest, CompactIdsRenumberSparseIds) {
+  std::string path = Create("sparse.txt", "1000000 2000000\n2000000 3000000\n");
+  auto g = LoadEdgeList(path, true, /*compact_ids=*/true);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 3u);
+  EXPECT_EQ(g->num_edges(), 4u);
+}
+
+TEST_F(GraphIoTest, RejectsMalformedLine) {
+  std::string path = Create("bad.txt", "0 1\n2\n");
+  EXPECT_FALSE(LoadEdgeList(path).ok());
+}
+
+TEST_F(GraphIoTest, MissingFileIsNotFound) {
+  EXPECT_EQ(LoadEdgeList("/nonexistent/graph.txt").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(GraphIoTest, EdgeListRoundTrip) {
+  Rng rng(3);
+  CsrGraph g = GenerateErdosRenyi(60, 150, rng);
+  std::string path = Track("roundtrip.txt");
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_edges(), g.num_edges());
+  EXPECT_EQ(loaded->targets(), g.targets());
+  EXPECT_EQ(loaded->offsets(), g.offsets());
+}
+
+TEST_F(GraphIoTest, BinaryRoundTripIsExact) {
+  Rng rng(5);
+  CsrGraph g = GenerateRmat({.scale = 9, .num_edges = 2000}, rng);
+  std::string path = Track("roundtrip.bin");
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_vertices(), g.num_vertices());
+  EXPECT_EQ(loaded->offsets(), g.offsets());
+  EXPECT_EQ(loaded->targets(), g.targets());
+}
+
+TEST_F(GraphIoTest, BinaryRejectsWrongMagic) {
+  std::string path = Create("garbage.bin", "THIS IS NOT A GRAPH FILE AT ALL");
+  EXPECT_EQ(LoadBinary(path).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(GraphIoTest, BinaryRejectsTruncation) {
+  Rng rng(7);
+  CsrGraph g = GenerateErdosRenyi(50, 120, rng);
+  std::string path = Track("trunc.bin");
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+  EXPECT_FALSE(LoadBinary(path).ok());
+}
+
+TEST_F(GraphIoTest, EmptyGraphRoundTrips) {
+  auto g = CsrGraph::FromEdges(0, {}, true);
+  ASSERT_TRUE(g.ok());
+  std::string path = Track("empty.bin");
+  ASSERT_TRUE(SaveBinary(*g, path).ok());
+  auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace dgcl

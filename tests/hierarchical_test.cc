@@ -1,0 +1,113 @@
+#include "partition/hierarchical.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "partition/multilevel.h"
+#include "topology/presets.h"
+
+namespace dgcl {
+namespace {
+
+TEST(GroupDevicesByMachineTest, SingleMachine) {
+  Topology topo = BuildPaperTopology(8);
+  auto groups = GroupDevicesByMachine(topo);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 8u);
+}
+
+TEST(GroupDevicesByMachineTest, TwoMachines) {
+  Topology topo = BuildPaperTopology(16);
+  auto groups = GroupDevicesByMachine(topo);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].size(), 8u);
+  EXPECT_EQ(groups[1].size(), 8u);
+  for (uint32_t d : groups[0]) {
+    EXPECT_EQ(topo.device(d).machine, 0u);
+  }
+}
+
+TEST(HierarchicalTest, RejectsBadGroups) {
+  Rng rng(1);
+  CsrGraph g = GenerateErdosRenyi(100, 200, rng);
+  MultilevelPartitioner inner;
+  EXPECT_FALSE(HierarchicalPartition(g, {}, inner).ok());
+  EXPECT_FALSE(HierarchicalPartition(g, {{0, 1}, {2}}, inner).ok());  // unequal
+  EXPECT_FALSE(HierarchicalPartition(g, {{0, 1}, {1, 2}}, inner).ok());  // overlap
+  EXPECT_FALSE(HierarchicalPartition(g, {{0, 1}, {3, 4}}, inner).ok());  // gap
+}
+
+TEST(HierarchicalTest, SingleGroupMapsToGlobalIds) {
+  Rng rng(2);
+  CsrGraph g = GenerateErdosRenyi(100, 300, rng);
+  MultilevelPartitioner inner;
+  auto result = HierarchicalPartition(g, {{0, 1, 2, 3}}, inner);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_parts, 4u);
+  EXPECT_TRUE(ValidatePartitioning(g, *result).ok());
+}
+
+TEST(HierarchicalTest, CoversAllPartsAcrossGroups) {
+  Rng rng(3);
+  CsrGraph g = GenerateCommunityGraph(1200, 4, 10.0, 0.8, rng);
+  MultilevelPartitioner inner;
+  auto result = HierarchicalPartition(g, {{0, 1}, {2, 3}}, inner);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(ValidatePartitioning(g, *result).ok());
+  PartitionQuality q = EvaluatePartition(g, *result);
+  for (uint32_t size : q.part_sizes) {
+    EXPECT_GT(size, 0u);
+  }
+}
+
+// The whole point of hierarchical partitioning: the cut across the group
+// (machine) boundary should be no worse than what a flat partitioning puts
+// across the same boundary.
+TEST(HierarchicalTest, PrioritizesCrossGroupCut) {
+  Rng rng(4);
+  CsrGraph g = GenerateCommunityGraph(3000, 2, 12.0, 0.8, rng);
+  MultilevelPartitioner inner;
+  auto hier = HierarchicalPartition(g, {{0, 1, 2, 3}, {4, 5, 6, 7}}, inner);
+  ASSERT_TRUE(hier.ok());
+  auto group_of = [](uint32_t part) { return part / 4; };
+  auto cross_cut = [&](const Partitioning& p) {
+    uint64_t cut = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      for (VertexId u : g.Neighbors(v)) {
+        if (group_of(p.assignment[v]) != group_of(p.assignment[u])) {
+          ++cut;
+        }
+      }
+    }
+    return cut;
+  };
+  RandomPartitioner random(5);
+  auto flat_random = random.Partition(g, 8);
+  ASSERT_TRUE(flat_random.ok());
+  EXPECT_LT(cross_cut(*hier), cross_cut(*flat_random) / 2);
+}
+
+TEST(PartitionForTopologyTest, UsesTopologyDeviceCount) {
+  Rng rng(6);
+  CsrGraph g = GenerateErdosRenyi(500, 1500, rng);
+  Topology topo = BuildPaperTopology(4);
+  MultilevelPartitioner inner;
+  auto result = PartitionForTopology(g, topo, inner);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_parts, 4u);
+  EXPECT_TRUE(ValidatePartitioning(g, *result).ok());
+}
+
+TEST(PartitionForTopologyTest, HierarchicalOnTwoMachines) {
+  Rng rng(7);
+  CsrGraph g = GenerateCommunityGraph(2000, 4, 8.0, 0.5, rng);
+  Topology topo = BuildPaperTopology(16);
+  MultilevelPartitioner inner;
+  auto result = PartitionForTopology(g, topo, inner);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_parts, 16u);
+  EXPECT_TRUE(ValidatePartitioning(g, *result).ok());
+}
+
+}  // namespace
+}  // namespace dgcl

@@ -1,0 +1,112 @@
+#include "graph/khop.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace dgcl {
+namespace {
+
+CsrGraph Path5() {
+  auto g = CsrGraph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}}, true);
+  return std::move(g).value();
+}
+
+TEST(ExpandKHopTest, ZeroHopsReturnsSeeds) {
+  CsrGraph g = Path5();
+  std::vector<VertexId> seeds = {2};
+  auto out = ExpandKHop(g, seeds, 0);
+  EXPECT_EQ(out, std::vector<VertexId>({2}));
+}
+
+TEST(ExpandKHopTest, OneHopOnPath) {
+  CsrGraph g = Path5();
+  std::vector<VertexId> seeds = {2};
+  auto out = ExpandKHop(g, seeds, 1);
+  EXPECT_EQ(out, std::vector<VertexId>({1, 2, 3}));
+}
+
+TEST(ExpandKHopTest, TwoHopsOnPath) {
+  CsrGraph g = Path5();
+  std::vector<VertexId> seeds = {2};
+  auto out = ExpandKHop(g, seeds, 2);
+  EXPECT_EQ(out, std::vector<VertexId>({0, 1, 2, 3, 4}));
+}
+
+TEST(ExpandKHopTest, DuplicateSeedsHandled) {
+  CsrGraph g = Path5();
+  std::vector<VertexId> seeds = {0, 0, 1};
+  auto out = ExpandKHop(g, seeds, 0);
+  EXPECT_EQ(out, std::vector<VertexId>({0, 1}));
+}
+
+TEST(ExpandKHopTest, SaturatesAtWholeGraph) {
+  CsrGraph g = Path5();
+  std::vector<VertexId> seeds = {0};
+  auto out = ExpandKHop(g, seeds, 100);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(ExpandKHopTest, StarGraphOneHopCoversAll) {
+  // Star: center 0 connected to 1..9.
+  std::vector<Edge> edges;
+  for (VertexId i = 1; i < 10; ++i) {
+    edges.push_back({0, i});
+  }
+  CsrGraph g = std::move(CsrGraph::FromEdges(10, edges, true)).value();
+  std::vector<VertexId> seeds = {0};
+  EXPECT_EQ(ExpandKHop(g, seeds, 1).size(), 10u);
+  std::vector<VertexId> leaf = {3};
+  EXPECT_EQ(ExpandKHop(g, leaf, 1).size(), 2u);   // leaf + center
+  EXPECT_EQ(ExpandKHop(g, leaf, 2).size(), 10u);  // whole star
+}
+
+TEST(ReplicationFactorTest, SinglePartIsOne) {
+  CsrGraph g = Path5();
+  std::vector<uint32_t> parts(5, 0);
+  EXPECT_DOUBLE_EQ(ReplicationFactor(g, parts, 1, 2), 1.0);
+}
+
+TEST(ReplicationFactorTest, ZeroHopsIsOne) {
+  CsrGraph g = Path5();
+  std::vector<uint32_t> parts = {0, 0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(ReplicationFactor(g, parts, 2, 0), 1.0);
+}
+
+TEST(ReplicationFactorTest, PathSplitOneHop) {
+  // Parts {0,1} and {2,3,4}: part0 pulls 2, part1 pulls 1 -> (3+4)/5.
+  CsrGraph g = Path5();
+  std::vector<uint32_t> parts = {0, 0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(ReplicationFactor(g, parts, 2, 1), 7.0 / 5.0);
+}
+
+TEST(ReplicationFactorTest, GrowsWithHops) {
+  Rng rng(5);
+  CsrGraph g = GenerateErdosRenyi(500, 1500, rng);
+  std::vector<uint32_t> parts(500);
+  for (VertexId v = 0; v < 500; ++v) {
+    parts[v] = v % 4;
+  }
+  double r1 = ReplicationFactor(g, parts, 4, 1);
+  double r2 = ReplicationFactor(g, parts, 4, 2);
+  double r3 = ReplicationFactor(g, parts, 4, 3);
+  EXPECT_GE(r2, r1);
+  EXPECT_GE(r3, r2);
+  EXPECT_GT(r1, 1.0);
+  EXPECT_LE(r3, 4.0);  // bounded by num_parts
+}
+
+TEST(ReplicationFactorTest, GrowsWithParts) {
+  Rng rng(6);
+  CsrGraph g = GenerateErdosRenyi(400, 1200, rng);
+  std::vector<uint32_t> parts2(400);
+  std::vector<uint32_t> parts8(400);
+  for (VertexId v = 0; v < 400; ++v) {
+    parts2[v] = v % 2;
+    parts8[v] = v % 8;
+  }
+  EXPECT_LE(ReplicationFactor(g, parts2, 2, 2), ReplicationFactor(g, parts8, 8, 2));
+}
+
+}  // namespace
+}  // namespace dgcl

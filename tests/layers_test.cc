@@ -1,0 +1,201 @@
+#include "gnn/layers.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace dgcl {
+namespace {
+
+LocalGraph TriangleGraph() {
+  auto g = CsrGraph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}}, true);
+  return FullLocalGraph(*g);
+}
+
+TEST(AggregateTest, MeanWithSelfOnTriangle) {
+  LocalGraph lg = TriangleGraph();
+  EmbeddingMatrix h = EmbeddingMatrix::Zero(3, 1);
+  h.Row(0)[0] = 3.0f;
+  h.Row(1)[0] = 6.0f;
+  h.Row(2)[0] = 9.0f;
+  EmbeddingMatrix agg = AggregateMeanWithSelf(lg, h);
+  // Every vertex sees all three values: mean 6.
+  EXPECT_FLOAT_EQ(agg.Row(0)[0], 6.0f);
+  EXPECT_FLOAT_EQ(agg.Row(1)[0], 6.0f);
+  EXPECT_FLOAT_EQ(agg.Row(2)[0], 6.0f);
+}
+
+TEST(AggregateTest, MeanNeighborsExcludesSelf) {
+  LocalGraph lg = TriangleGraph();
+  EmbeddingMatrix h = EmbeddingMatrix::Zero(3, 1);
+  h.Row(0)[0] = 3.0f;
+  h.Row(1)[0] = 6.0f;
+  h.Row(2)[0] = 9.0f;
+  EmbeddingMatrix agg = AggregateMeanNeighbors(lg, h);
+  EXPECT_FLOAT_EQ(agg.Row(0)[0], 7.5f);  // (6+9)/2
+  EXPECT_FLOAT_EQ(agg.Row(1)[0], 6.0f);  // (3+9)/2
+}
+
+TEST(AggregateTest, SumNeighbors) {
+  LocalGraph lg = TriangleGraph();
+  EmbeddingMatrix h = EmbeddingMatrix::Zero(3, 1);
+  h.Row(0)[0] = 1.0f;
+  h.Row(1)[0] = 2.0f;
+  h.Row(2)[0] = 4.0f;
+  EmbeddingMatrix agg = AggregateSumNeighbors(lg, h);
+  EXPECT_FLOAT_EQ(agg.Row(0)[0], 6.0f);
+  EXPECT_FLOAT_EQ(agg.Row(2)[0], 3.0f);
+}
+
+TEST(AggregateTest, IsolatedVertexGetsZeroNeighborAggregate) {
+  auto g = CsrGraph::FromEdges(3, {{0, 1}}, true);
+  LocalGraph lg = FullLocalGraph(*g);
+  EmbeddingMatrix h = EmbeddingMatrix::Zero(3, 2);
+  h.Row(2)[0] = 5.0f;
+  EmbeddingMatrix mean = AggregateMeanNeighbors(lg, h);
+  EXPECT_FLOAT_EQ(mean.Row(2)[0], 0.0f);
+  EmbeddingMatrix self_mean = AggregateMeanWithSelf(lg, h);
+  EXPECT_FLOAT_EQ(self_mean.Row(2)[0], 5.0f);  // only itself
+}
+
+// Scatter ops are the exact adjoints of the aggregations: <Ag, y> == <g, A^T y>.
+TEST(ScatterTest, AdjointProperty) {
+  Rng rng(11);
+  CsrGraph g = GenerateErdosRenyi(30, 90, rng);
+  LocalGraph lg = FullLocalGraph(g);
+  const uint32_t dim = 4;
+  EmbeddingMatrix x = RandomWeights(lg.num_slots, dim, rng);
+  EmbeddingMatrix y = RandomWeights(lg.num_compute, dim, rng);
+  auto dot = [](const EmbeddingMatrix& a, const EmbeddingMatrix& b) {
+    double s = 0.0;
+    for (size_t i = 0; i < a.data.size(); ++i) {
+      s += static_cast<double>(a.data[i]) * b.data[i];
+    }
+    return s;
+  };
+  {
+    EmbeddingMatrix ax = AggregateMeanWithSelf(lg, x);
+    EmbeddingMatrix aty = ScatterMeanWithSelfBackward(lg, y);
+    EXPECT_NEAR(dot(ax, y), dot(x, aty), 1e-3);
+  }
+  {
+    EmbeddingMatrix ax = AggregateMeanNeighbors(lg, x);
+    EmbeddingMatrix aty = ScatterMeanNeighborsBackward(lg, y);
+    EXPECT_NEAR(dot(ax, y), dot(x, aty), 1e-3);
+  }
+  {
+    EmbeddingMatrix ax = AggregateSumNeighbors(lg, x);
+    EmbeddingMatrix aty = ScatterSumNeighborsBackward(lg, y);
+    EXPECT_NEAR(dot(ax, y), dot(x, aty), 1e-3);
+  }
+}
+
+// Finite-difference check of the full layer backward for every model.
+class LayerGradSweep : public ::testing::TestWithParam<GnnModel> {};
+
+TEST_P(LayerGradSweep, InputGradientMatchesFiniteDifference) {
+  Rng rng(13);
+  CsrGraph g = GenerateErdosRenyi(10, 20, rng);
+  LocalGraph lg = FullLocalGraph(g);
+  const uint32_t dim_in = 3;
+  const uint32_t dim_out = 2;
+  Rng wrng(17);
+  auto layer = MakeLayer(GetParam(), dim_in, dim_out, wrng);
+  EmbeddingMatrix x = RandomWeights(lg.num_slots, dim_in, rng);
+
+  // Scalar objective: sum of outputs weighted by fixed random coefficients.
+  EmbeddingMatrix coeff = RandomWeights(lg.num_compute, dim_out, rng);
+  auto objective = [&](const EmbeddingMatrix& input) {
+    Rng fresh(17);
+    auto probe = MakeLayer(GetParam(), dim_in, dim_out, fresh);  // same weights
+    EmbeddingMatrix out = probe->Forward(lg, input);
+    double s = 0.0;
+    for (size_t i = 0; i < out.data.size(); ++i) {
+      s += static_cast<double>(out.data[i]) * coeff.data[i];
+    }
+    return s;
+  };
+
+  layer->Forward(lg, x);
+  EmbeddingMatrix dx = layer->Backward(lg, coeff);
+  ASSERT_EQ(dx.rows, lg.num_slots);
+
+  const double eps = 1e-2;
+  int checked = 0;
+  for (uint32_t r = 0; r < dx.rows && checked < 12; ++r) {
+    for (uint32_t c = 0; c < dim_in && checked < 12; ++c) {
+      EmbeddingMatrix plus = x;
+      plus.Row(r)[c] += eps;
+      EmbeddingMatrix minus = x;
+      minus.Row(r)[c] -= eps;
+      const double num = (objective(plus) - objective(minus)) / (2 * eps);
+      EXPECT_NEAR(dx.Row(r)[c], num, 5e-2 + 0.05 * std::abs(num))
+          << "model " << GnnModelName(GetParam()) << " r=" << r << " c=" << c;
+      ++checked;
+    }
+  }
+}
+
+TEST_P(LayerGradSweep, StepReducesObjectiveOnToyProblem) {
+  // One layer + fixed target: repeated (forward, backward, step) must reduce
+  // squared error.
+  Rng rng(19);
+  CsrGraph g = GenerateErdosRenyi(12, 30, rng);
+  LocalGraph lg = FullLocalGraph(g);
+  Rng wrng(23);
+  auto layer = MakeLayer(GetParam(), 4, 3, wrng);
+  EmbeddingMatrix x = RandomWeights(lg.num_slots, 4, rng);
+  EmbeddingMatrix target = RandomWeights(lg.num_compute, 3, rng);
+  for (float& t : target.data) {
+    t = std::abs(t) + 0.1f;  // reachable through ReLU
+  }
+  auto loss_and_grad = [&](EmbeddingMatrix& grad) {
+    EmbeddingMatrix out = layer->Forward(lg, x);
+    grad = EmbeddingMatrix::Zero(out.rows, out.dim);
+    double loss = 0.0;
+    for (size_t i = 0; i < out.data.size(); ++i) {
+      const float diff = out.data[i] - target.data[i];
+      loss += 0.5 * diff * diff;
+      grad.data[i] = diff;
+    }
+    return loss;
+  };
+  EmbeddingMatrix grad;
+  const double initial = loss_and_grad(grad);
+  double final_loss = initial;
+  // Attention layers need a gentler, longer descent on this toy objective.
+  const bool gat = GetParam() == GnnModel::kGat;
+  const float lr = gat ? 0.002f : 0.005f;
+  const int iterations = gat ? 1500 : 300;
+  for (int iter = 0; iter < iterations; ++iter) {
+    final_loss = loss_and_grad(grad);
+    layer->Backward(lg, grad);
+    layer->Step(lr);
+  }
+  EXPECT_LT(final_loss, initial * 0.7) << GnnModelName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, LayerGradSweep,
+                         ::testing::Values(GnnModel::kGcn, GnnModel::kCommNet, GnnModel::kGin,
+                                           GnnModel::kGat),
+                         [](const auto& info) { return GnnModelName(info.param); });
+
+TEST(LayerTest, ParamsAndGradsAligned) {
+  Rng rng(29);
+  for (GnnModel m :
+       {GnnModel::kGcn, GnnModel::kCommNet, GnnModel::kGin, GnnModel::kGat}) {
+    auto layer = MakeLayer(m, 4, 4, rng);
+    auto params = layer->Params();
+    auto grads = layer->Grads();
+    ASSERT_EQ(params.size(), grads.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      EXPECT_EQ(params[i]->rows, grads[i]->rows);
+      EXPECT_EQ(params[i]->dim, grads[i]->dim);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dgcl

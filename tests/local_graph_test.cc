@@ -1,0 +1,62 @@
+#include "gnn/local_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace dgcl {
+namespace {
+
+TEST(LocalGraphTest, FullGraphIsIdentityMapping) {
+  CsrGraph g = GenerateGrid(3, 3);
+  LocalGraph lg = FullLocalGraph(g);
+  EXPECT_EQ(lg.num_compute, 9u);
+  EXPECT_EQ(lg.num_slots, 9u);
+  for (VertexId v = 0; v < 9; ++v) {
+    auto expected = g.Neighbors(v);
+    auto actual = lg.Neighbors(v);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_EQ(actual[i], expected[i]);
+    }
+  }
+}
+
+TEST(LocalGraphTest, RemoteNeighborsMapToRemoteSlots) {
+  // Path 0-1-2-3 split {0,1} | {2,3}.
+  auto g = CsrGraph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}}, true);
+  ASSERT_TRUE(g.ok());
+  Partitioning p;
+  p.num_parts = 2;
+  p.assignment = {0, 0, 1, 1};
+  CommRelation rel = *BuildCommRelation(*g, p);
+  LocalGraph lg0 = BuildLocalGraph(*g, rel, 0);
+  EXPECT_EQ(lg0.num_compute, 2u);
+  EXPECT_EQ(lg0.num_slots, 3u);  // locals {0,1} + remote {2}
+  // Local row 1 (= vertex 1) has neighbors vertex 0 (slot 0) and 2 (slot 2).
+  auto nbrs = lg0.Neighbors(1);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_EQ(nbrs[1], 2u);
+}
+
+TEST(LocalGraphTest, EdgeCountsConserved) {
+  Rng rng(9);
+  CsrGraph g = GenerateErdosRenyi(100, 300, rng);
+  HashPartitioner hash;
+  CommRelation rel = *BuildCommRelation(g, *hash.Partition(g, 4));
+  uint64_t local_edges = 0;
+  for (uint32_t d = 0; d < 4; ++d) {
+    LocalGraph lg = BuildLocalGraph(g, rel, d);
+    local_edges += lg.nbr_slots.size();
+    EXPECT_EQ(lg.num_compute, rel.local_vertices[d].size());
+    EXPECT_EQ(lg.num_slots, rel.local_vertices[d].size() + rel.remote_vertices[d].size());
+    for (uint32_t slot : lg.nbr_slots) {
+      EXPECT_LT(slot, lg.num_slots);
+    }
+  }
+  EXPECT_EQ(local_edges, g.num_edges());
+}
+
+}  // namespace
+}  // namespace dgcl

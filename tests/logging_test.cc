@@ -1,0 +1,90 @@
+#include "common/logging.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace dgcl {
+namespace {
+
+// Captures std::cerr for the lifetime of the object.
+class CerrCapture {
+ public:
+  CerrCapture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~CerrCapture() { std::cerr.rdbuf(old_); }
+
+  std::string str() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(previous_); }
+
+  LogLevel previous_ = LogLevel::kWarning;
+};
+
+TEST_F(LoggingTest, MessagesBelowThresholdAreDropped) {
+  SetLogLevel(LogLevel::kWarning);
+  CerrCapture capture;
+  DGCL_LOG(kInfo) << "should not appear";
+  DGCL_LOG(kWarning) << "should appear";
+  EXPECT_EQ(capture.str().find("should not appear"), std::string::npos);
+  EXPECT_NE(capture.str().find("should appear"), std::string::npos);
+}
+
+TEST_F(LoggingTest, PrefixContainsLevelAndFile) {
+  SetLogLevel(LogLevel::kDebug);
+  CerrCapture capture;
+  DGCL_LOG(kError) << "boom";
+  const std::string out = capture.str();
+  EXPECT_NE(out.find("[E "), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+  EXPECT_NE(out.find("boom"), std::string::npos);
+}
+
+TEST_F(LoggingTest, StreamedValuesAreFormatted) {
+  SetLogLevel(LogLevel::kDebug);
+  CerrCapture capture;
+  DGCL_LOG(kInfo) << "x=" << 42 << " y=" << 2.5;
+  EXPECT_NE(capture.str().find("x=42 y=2.5"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ThresholdIsAdjustableAtRuntime) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  {
+    CerrCapture capture;
+    DGCL_LOG(kWarning) << "muted";
+    EXPECT_TRUE(capture.str().empty());
+  }
+  SetLogLevel(LogLevel::kDebug);
+  {
+    CerrCapture capture;
+    DGCL_LOG(kDebug) << "verbose";
+    EXPECT_FALSE(capture.str().empty());
+  }
+}
+
+using LoggingDeathTest = LoggingTest;
+
+TEST_F(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ DGCL_CHECK(1 == 2) << "impossible"; }, "CHECK failed");
+  EXPECT_DEATH({ DGCL_CHECK_EQ(3, 4); }, "3 vs 4");
+  EXPECT_DEATH({ DGCL_CHECK_LT(5, 5); }, "CHECK failed");
+}
+
+TEST_F(LoggingTest, CheckPassesSilently) {
+  CerrCapture capture;
+  DGCL_CHECK(true);
+  DGCL_CHECK_EQ(1, 1);
+  DGCL_CHECK_GE(2, 1);
+  EXPECT_TRUE(capture.str().empty());
+}
+
+}  // namespace
+}  // namespace dgcl

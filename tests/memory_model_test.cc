@@ -1,0 +1,50 @@
+#include "sim/memory_model.h"
+
+#include <gtest/gtest.h>
+
+namespace dgcl {
+namespace {
+
+TEST(MemoryModelTest, MonotoneInEverything) {
+  const double base = TrainingFootprintBytes(1000, 10000, 128, 64, 2);
+  EXPECT_GT(TrainingFootprintBytes(2000, 10000, 128, 64, 2), base);
+  EXPECT_GT(TrainingFootprintBytes(1000, 20000, 128, 64, 2), base);
+  EXPECT_GT(TrainingFootprintBytes(1000, 10000, 256, 64, 2), base);
+  EXPECT_GT(TrainingFootprintBytes(1000, 10000, 128, 128, 2), base);
+  EXPECT_GT(TrainingFootprintBytes(1000, 10000, 128, 64, 3), base);
+}
+
+TEST(MemoryModelTest, FeatureBytesDominateForWideFeatures) {
+  // 1M vertices x 602 floats = ~2.4 GB of features alone.
+  const double footprint = TrainingFootprintBytes(1'000'000, 10'000'000, 602, 256, 2);
+  EXPECT_GT(footprint, 1'000'000.0 * 602 * 4);
+}
+
+TEST(MemoryModelTest, OomThreshold) {
+  MemoryModelParams params;
+  params.device_capacity_bytes = 1e9;
+  params.inverse_scale = 1;
+  EXPECT_FALSE(WouldOom(0.9e9, params));
+  EXPECT_TRUE(WouldOom(1.1e9, params));
+}
+
+TEST(MemoryModelTest, InverseScaleShrinksCapacity) {
+  MemoryModelParams params;
+  params.device_capacity_bytes = 16e9;
+  params.inverse_scale = 16;
+  EXPECT_DOUBLE_EQ(params.EffectiveCapacity(), 1e9);
+  EXPECT_TRUE(WouldOom(2e9, params));
+  params.inverse_scale = 1;
+  EXPECT_FALSE(WouldOom(2e9, params));
+}
+
+TEST(MemoryModelTest, ReplicationBlowsFootprint) {
+  // Storing 8x the vertices (full replication on 8 GPUs) multiplies the
+  // footprint accordingly — the mechanism behind the paper's OOMs.
+  const double unreplicated = TrainingFootprintBytes(300'000, 3'000'000, 256, 256, 2);
+  const double replicated = TrainingFootprintBytes(2'400'000, 24'000'000, 256, 256, 2);
+  EXPECT_NEAR(replicated / unreplicated, 8.0, 0.5);
+}
+
+}  // namespace
+}  // namespace dgcl

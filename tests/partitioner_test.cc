@@ -1,0 +1,75 @@
+#include "partition/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace dgcl {
+namespace {
+
+TEST(HashPartitionerTest, CoversAndBalances) {
+  Rng rng(1);
+  CsrGraph g = GenerateErdosRenyi(100, 200, rng);
+  HashPartitioner p;
+  auto result = p.Partition(g, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ValidatePartitioning(g, *result).ok());
+  PartitionQuality q = EvaluatePartition(g, *result);
+  EXPECT_EQ(q.part_sizes.size(), 4u);
+  EXPECT_EQ(q.part_sizes[0] + q.part_sizes[1] + q.part_sizes[2] + q.part_sizes[3], 100u);
+  EXPECT_LE(q.balance, 1.01);
+}
+
+TEST(HashPartitionerTest, RejectsZeroParts) {
+  CsrGraph g;
+  HashPartitioner p;
+  EXPECT_FALSE(p.Partition(g, 0).ok());
+}
+
+TEST(RandomPartitionerTest, BalancedAndValid) {
+  Rng rng(2);
+  CsrGraph g = GenerateErdosRenyi(99, 200, rng);
+  RandomPartitioner p(7);
+  auto result = p.Partition(g, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ValidatePartitioning(g, *result).ok());
+  PartitionQuality q = EvaluatePartition(g, *result);
+  EXPECT_LE(q.balance, 1.01);
+}
+
+TEST(RandomPartitionerTest, SeedDeterminism) {
+  Rng rng(3);
+  CsrGraph g = GenerateErdosRenyi(50, 80, rng);
+  RandomPartitioner a(42);
+  RandomPartitioner b(42);
+  EXPECT_EQ(a.Partition(g, 4)->assignment, b.Partition(g, 4)->assignment);
+}
+
+TEST(EvaluatePartitionTest, CountsCutEdges) {
+  // Path 0-1-2-3 split in the middle: one undirected edge cut (2 directed).
+  auto g = CsrGraph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}}, true);
+  ASSERT_TRUE(g.ok());
+  Partitioning p;
+  p.num_parts = 2;
+  p.assignment = {0, 0, 1, 1};
+  PartitionQuality q = EvaluatePartition(*g, p);
+  EXPECT_EQ(q.edge_cut, 2u);
+  EXPECT_DOUBLE_EQ(q.cut_fraction, 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(q.balance, 1.0);
+}
+
+TEST(ValidatePartitioningTest, DetectsBadAssignments) {
+  auto g = CsrGraph::FromEdges(3, {{0, 1}}, true);
+  ASSERT_TRUE(g.ok());
+  Partitioning p;
+  p.num_parts = 2;
+  p.assignment = {0, 1};  // too short
+  EXPECT_FALSE(ValidatePartitioning(*g, p).ok());
+  p.assignment = {0, 1, 5};  // out of range
+  EXPECT_EQ(ValidatePartitioning(*g, p).code(), StatusCode::kOutOfRange);
+  p.assignment = {0, 1, 1};
+  EXPECT_TRUE(ValidatePartitioning(*g, p).ok());
+}
+
+}  // namespace
+}  // namespace dgcl

@@ -1,0 +1,95 @@
+#include "comm/plan_dump.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "planner/spst.h"
+#include "topology/presets.h"
+
+namespace dgcl {
+namespace {
+
+struct Fixture {
+  CsrGraph graph;
+  Topology topo;
+  CommRelation relation;
+  CommPlan plan;
+
+  static Fixture Make() {
+    Fixture f;
+    Rng rng(3);
+    f.graph = GenerateErdosRenyi(40, 120, rng);
+    f.topo = BuildPaperTopology(8);
+    HashPartitioner hash;
+    f.relation = *BuildCommRelation(f.graph, *hash.Partition(f.graph, 8));
+    SpstPlanner spst;
+    f.plan = *spst.Plan(f.relation, f.topo, 256);
+    return f;
+  }
+};
+
+TEST(VertexTreeToDotTest, ContainsTreeEdgesAndStages) {
+  Fixture f = Fixture::Make();
+  auto work = f.relation.VerticesWithDestinations();
+  ASSERT_FALSE(work.empty());
+  const VertexId v = work.front();
+  std::string dot = VertexTreeToDot(f.plan, f.topo, v);
+  EXPECT_NE(dot.find("digraph vertex_"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("stage 0"), std::string::npos);
+  // Source device appears as a node name.
+  EXPECT_NE(dot.find(f.topo.device(f.relation.source[v]).name), std::string::npos);
+}
+
+TEST(VertexTreeToDotTest, EmptyForLocalOnlyVertex) {
+  Fixture f = Fixture::Make();
+  VertexId local_only = kInvalidId;
+  for (VertexId v = 0; v < f.graph.num_vertices(); ++v) {
+    if (f.relation.dest_mask[v] == 0) {
+      local_only = v;
+      break;
+    }
+  }
+  if (local_only == kInvalidId) {
+    GTEST_SKIP() << "every vertex has remote destinations in this fixture";
+  }
+  std::string dot = VertexTreeToDot(f.plan, f.topo, local_only);
+  EXPECT_EQ(dot.find("->"), std::string::npos);
+}
+
+TEST(StageGanttTest, ListsStagesAndConnections) {
+  Fixture f = Fixture::Make();
+  CompiledPlan compiled = CompilePlan(f.plan, f.topo);
+  std::string gantt = StageGantt(compiled, f.topo);
+  EXPECT_NE(gantt.find("stage 0:"), std::string::npos);
+  EXPECT_NE(gantt.find("#"), std::string::npos);
+  // Every stage of the plan appears.
+  for (uint32_t k = 0; k < compiled.num_stages; ++k) {
+    bool used = false;
+    for (const TransferOp& op : compiled.ops) {
+      used |= op.stage == k;
+    }
+    if (used) {
+      EXPECT_NE(gantt.find("stage " + std::to_string(k) + ":"), std::string::npos);
+    }
+  }
+}
+
+TEST(StageGanttTest, BarsAreBounded) {
+  Fixture f = Fixture::Make();
+  CompiledPlan compiled = CompilePlan(f.plan, f.topo);
+  std::string gantt = StageGantt(compiled, f.topo, 10);
+  // No bar longer than the requested width.
+  size_t pos = 0;
+  while ((pos = gantt.find('#', pos)) != std::string::npos) {
+    size_t run = 0;
+    while (pos + run < gantt.size() && gantt[pos + run] == '#') {
+      ++run;
+    }
+    EXPECT_LE(run, 10u);
+    pos += run;
+  }
+}
+
+}  // namespace
+}  // namespace dgcl

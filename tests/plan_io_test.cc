@@ -1,0 +1,98 @@
+#include "comm/plan_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "planner/spst.h"
+#include "topology/presets.h"
+
+namespace dgcl {
+namespace {
+
+struct Fixture {
+  CsrGraph graph;
+  Topology topo;
+  CommRelation relation;
+  CompiledPlan plan;
+
+  static Fixture Make(uint32_t gpus, uint64_t seed) {
+    Fixture f;
+    Rng rng(seed);
+    f.graph = GenerateErdosRenyi(80, 240, rng);
+    f.topo = BuildPaperTopology(gpus);
+    HashPartitioner hash;
+    f.relation = *BuildCommRelation(f.graph, *hash.Partition(f.graph, gpus));
+    SpstPlanner spst;
+    f.plan = CompilePlan(*spst.Plan(f.relation, f.topo, 256), f.topo);
+    AssignBackwardSubstages(f.plan);
+    return f;
+  }
+};
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("dgcl_plan_" + name)).string();
+}
+
+TEST(PlanIoTest, RoundTripPreservesEverything) {
+  Fixture f = Fixture::Make(8, 1);
+  std::string path = TempPath("roundtrip.bin");
+  ASSERT_TRUE(SaveCompiledPlan(f.plan, f.topo, path).ok());
+  auto loaded = LoadCompiledPlan(f.topo, path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_devices, f.plan.num_devices);
+  EXPECT_EQ(loaded->num_stages, f.plan.num_stages);
+  ASSERT_EQ(loaded->ops.size(), f.plan.ops.size());
+  for (size_t i = 0; i < f.plan.ops.size(); ++i) {
+    EXPECT_EQ(loaded->ops[i].link, f.plan.ops[i].link);
+    EXPECT_EQ(loaded->ops[i].src, f.plan.ops[i].src);
+    EXPECT_EQ(loaded->ops[i].dst, f.plan.ops[i].dst);
+    EXPECT_EQ(loaded->ops[i].stage, f.plan.ops[i].stage);
+    EXPECT_EQ(loaded->ops[i].substage, f.plan.ops[i].substage);
+    EXPECT_EQ(loaded->ops[i].vertices, f.plan.ops[i].vertices);
+  }
+  // Loaded plan must still validate against the same relation.
+  EXPECT_TRUE(ValidateCompiledPlan(*loaded, f.relation, f.topo).ok());
+}
+
+TEST(PlanIoTest, RejectsDifferentTopology) {
+  Fixture f = Fixture::Make(8, 2);
+  std::string path = TempPath("wrongtopo.bin");
+  ASSERT_TRUE(SaveCompiledPlan(f.plan, f.topo, path).ok());
+  Topology other = BuildPaperTopology(4);
+  auto loaded = LoadCompiledPlan(other, path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PlanIoTest, RejectsGarbage) {
+  std::string path = TempPath("garbage.bin");
+  std::ofstream(path) << "not a plan";
+  Topology topo = BuildPaperTopology(4);
+  auto loaded = LoadCompiledPlan(topo, path);
+  std::remove(path.c_str());
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(PlanIoTest, MissingFileIsNotFound) {
+  Topology topo = BuildPaperTopology(4);
+  EXPECT_EQ(LoadCompiledPlan(topo, "/nonexistent/plan.bin").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PlanIoTest, RejectsTruncatedPayload) {
+  Fixture f = Fixture::Make(4, 3);
+  std::string path = TempPath("trunc.bin");
+  ASSERT_TRUE(SaveCompiledPlan(f.plan, f.topo, path).ok());
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 8);
+  auto loaded = LoadCompiledPlan(f.topo, path);
+  std::remove(path.c_str());
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace dgcl

@@ -1,0 +1,104 @@
+#include "comm/plan_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "partition/multilevel.h"
+#include "planner/baselines.h"
+#include "planner/spst.h"
+#include "topology/presets.h"
+
+namespace dgcl {
+namespace {
+
+struct Fixture {
+  CsrGraph graph;
+  Topology topo;
+  CommRelation relation;
+
+  static Fixture Make(uint64_t seed) {
+    Fixture f;
+    Rng rng(seed);
+    f.graph = GenerateRmat({.scale = 10, .num_edges = 8000}, rng);
+    f.topo = BuildPaperTopology(8);
+    MultilevelPartitioner metis;
+    f.relation = *BuildCommRelation(f.graph, *metis.Partition(f.graph, 8));
+    return f;
+  }
+};
+
+TEST(PlanStatsTest, PeerToPeerIsTheNaiveBaseline) {
+  Fixture f = Fixture::Make(1);
+  PeerToPeerPlanner p2p;
+  CommPlan plan = *p2p.Plan(f.relation, f.topo, 1024);
+  PlanStats stats = ComputePlanStats(plan, f.relation, f.topo);
+  EXPECT_EQ(stats.tree_edges, stats.naive_transfers);
+  EXPECT_DOUBLE_EQ(stats.FusionRatio(), 1.0);
+  EXPECT_EQ(stats.relayed_edges, 0u);
+  EXPECT_EQ(stats.forwarded_extras, 0u);
+  EXPECT_EQ(stats.stages, 1u);
+  EXPECT_EQ(stats.trees, f.relation.VerticesWithDestinations().size());
+}
+
+TEST(PlanStatsTest, SpstFusesAndRelays) {
+  Fixture f = Fixture::Make(2);
+  SpstPlanner spst;
+  CommPlan plan = *spst.Plan(f.relation, f.topo, 1024);
+  PlanStats stats = ComputePlanStats(plan, f.relation, f.topo);
+  // Trees never use more edges than destinations (they are trees over the
+  // destination set plus relays; relays only exist when they pay off, but
+  // the edge count per tree is bounded by |D_u| + relays <= devices - 1).
+  EXPECT_GT(stats.relayed_edges, 0u);
+  EXPECT_GT(stats.stages, 1u);
+  // On the DGX box, SPST routes most traffic over NVLink.
+  EXPECT_GT(stats.NvLinkShare(), 0.5);
+  // P2P on the same relation has a much lower NVLink share.
+  PeerToPeerPlanner p2p;
+  PlanStats p2p_stats =
+      ComputePlanStats(*p2p.Plan(f.relation, f.topo, 1024), f.relation, f.topo);
+  EXPECT_GT(stats.NvLinkShare(), p2p_stats.NvLinkShare());
+}
+
+TEST(PlanStatsTest, TrafficByTypeCoversAllHops) {
+  Fixture f = Fixture::Make(3);
+  SpstPlanner spst;
+  CommPlan plan = *spst.Plan(f.relation, f.topo, 1024);
+  PlanStats stats = ComputePlanStats(plan, f.relation, f.topo);
+  uint64_t total = 0;
+  for (const auto& [type, units] : stats.traffic_by_type) {
+    total += units;
+  }
+  uint64_t expected = 0;
+  for (const CommTree& tree : plan.trees) {
+    for (const TreeEdge& e : tree.edges) {
+      expected += f.topo.link(e.link).hops.size();
+    }
+  }
+  EXPECT_EQ(total, expected);
+}
+
+TEST(PlanStatsTest, ToStringMentionsKeyFields) {
+  Fixture f = Fixture::Make(4);
+  SpstPlanner spst;
+  CommPlan plan = *spst.Plan(f.relation, f.topo, 1024);
+  std::string s = ComputePlanStats(plan, f.relation, f.topo).ToString();
+  EXPECT_NE(s.find("fusion ratio"), std::string::npos);
+  EXPECT_NE(s.find("nvlink_share"), std::string::npos);
+}
+
+TEST(PlanStatsTest, EmptyPlanIsAllZeros) {
+  CommPlan plan;
+  plan.num_devices = 4;
+  CommRelation rel;
+  rel.num_devices = 4;
+  rel.local_vertices.resize(4);
+  rel.remote_vertices.resize(4);
+  Topology topo = BuildPaperTopology(4);
+  PlanStats stats = ComputePlanStats(plan, rel, topo);
+  EXPECT_EQ(stats.trees, 0u);
+  EXPECT_DOUBLE_EQ(stats.FusionRatio(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.NvLinkShare(), 0.0);
+}
+
+}  // namespace
+}  // namespace dgcl

@@ -1,0 +1,152 @@
+#include "comm/plan.h"
+
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "planner/baselines.h"
+#include "topology/presets.h"
+
+namespace dgcl {
+namespace {
+
+// Small fixture: a 30-vertex graph on a 4-GPU topology.
+struct Fixture {
+  CsrGraph graph;
+  Topology topo;
+  CommRelation relation;
+
+  static Fixture Make(uint32_t num_gpus = 4) {
+    Fixture f;
+    Rng rng(17);
+    f.graph = GenerateErdosRenyi(30, 80, rng);
+    f.topo = BuildPaperTopology(num_gpus);
+    HashPartitioner hash;
+    f.relation = *BuildCommRelation(f.graph, *hash.Partition(f.graph, num_gpus));
+    return f;
+  }
+};
+
+TEST(PlanTest, PeerToPeerPlanValidates) {
+  Fixture f = Fixture::Make();
+  PeerToPeerPlanner p2p;
+  auto plan = p2p.Plan(f.relation, f.topo, 1024);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(ValidatePlan(*plan, f.relation, f.topo).ok());
+  EXPECT_EQ(plan->NumStages(), 1u);
+}
+
+TEST(PlanTest, DetectsMissingTree) {
+  Fixture f = Fixture::Make();
+  PeerToPeerPlanner p2p;
+  CommPlan plan = *p2p.Plan(f.relation, f.topo, 1024);
+  ASSERT_FALSE(plan.trees.empty());
+  plan.trees.pop_back();
+  EXPECT_FALSE(ValidatePlan(plan, f.relation, f.topo).ok());
+}
+
+TEST(PlanTest, DetectsDuplicateTree) {
+  Fixture f = Fixture::Make();
+  PeerToPeerPlanner p2p;
+  CommPlan plan = *p2p.Plan(f.relation, f.topo, 1024);
+  plan.trees.push_back(plan.trees.front());
+  EXPECT_FALSE(ValidatePlan(plan, f.relation, f.topo).ok());
+}
+
+TEST(PlanTest, DetectsUncoveredDestination) {
+  Fixture f = Fixture::Make();
+  PeerToPeerPlanner p2p;
+  CommPlan plan = *p2p.Plan(f.relation, f.topo, 1024);
+  // Drop one edge from a multi-destination tree.
+  for (CommTree& tree : plan.trees) {
+    if (tree.edges.size() >= 2) {
+      tree.edges.pop_back();
+      EXPECT_FALSE(ValidatePlan(plan, f.relation, f.topo).ok());
+      return;
+    }
+  }
+  GTEST_SKIP() << "no multi-destination vertex in fixture";
+}
+
+TEST(PlanTest, DetectsWrongStage) {
+  Fixture f = Fixture::Make();
+  PeerToPeerPlanner p2p;
+  CommPlan plan = *p2p.Plan(f.relation, f.topo, 1024);
+  plan.trees.front().edges.front().stage = 2;  // root edges must be stage 0
+  EXPECT_FALSE(ValidatePlan(plan, f.relation, f.topo).ok());
+}
+
+TEST(PlanTest, DetectsEdgeFromOutsideTree) {
+  Fixture f = Fixture::Make();
+  // Build a tree whose edge starts at a device not yet in the tree.
+  auto work = f.relation.VerticesWithDestinations();
+  ASSERT_FALSE(work.empty());
+  VertexId v = work.front();
+  uint32_t src = f.relation.source[v];
+  // Pick a link whose source is a different device.
+  LinkId bad_link = kInvalidId;
+  for (LinkId l = 0; l < f.topo.num_links(); ++l) {
+    if (f.topo.link(l).src != src) {
+      bad_link = l;
+      break;
+    }
+  }
+  ASSERT_NE(bad_link, kInvalidId);
+  CommPlan plan;
+  plan.num_devices = f.relation.num_devices;
+  for (VertexId u : work) {
+    CommTree tree;
+    tree.vertex = u;
+    if (u == v) {
+      tree.edges.push_back(TreeEdge{bad_link, 0});
+    } else {
+      DeviceMask mask = f.relation.dest_mask[u];
+      while (mask != 0) {
+        uint32_t d = static_cast<uint32_t>(std::countr_zero(mask));
+        mask &= mask - 1;
+        tree.edges.push_back(TreeEdge{f.topo.LinkBetween(f.relation.source[u], d), 0});
+      }
+    }
+    plan.trees.push_back(std::move(tree));
+  }
+  EXPECT_FALSE(ValidatePlan(plan, f.relation, f.topo).ok());
+}
+
+TEST(PlanTest, HopLoadsSumToTraffic) {
+  Fixture f = Fixture::Make();
+  PeerToPeerPlanner p2p;
+  CommPlan plan = *p2p.Plan(f.relation, f.topo, 1024);
+  auto loads = PlanHopLoads(plan, f.topo);
+  ASSERT_EQ(loads.size(), 1u);  // p2p is single stage
+  // Every tree edge contributes one unit per hop of its link.
+  uint64_t expected = 0;
+  for (const CommTree& tree : plan.trees) {
+    for (const TreeEdge& e : tree.edges) {
+      expected += f.topo.link(e.link).hops.size();
+    }
+  }
+  uint64_t actual = 0;
+  for (uint64_t l : loads[0]) {
+    actual += l;
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(PlanTest, TotalTrafficCountsTreeEdges) {
+  Fixture f = Fixture::Make();
+  PeerToPeerPlanner p2p;
+  CommPlan plan = *p2p.Plan(f.relation, f.topo, 1024);
+  EXPECT_EQ(PlanTotalTraffic(plan), f.relation.TotalTransfers());
+}
+
+TEST(PlanTest, SummaryMentionsStages) {
+  Fixture f = Fixture::Make();
+  PeerToPeerPlanner p2p;
+  CommPlan plan = *p2p.Plan(f.relation, f.topo, 1024);
+  std::string s = PlanSummary(plan, f.topo);
+  EXPECT_NE(s.find("1 stages"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dgcl

@@ -1,0 +1,264 @@
+#include "planner/spst.h"
+
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "partition/multilevel.h"
+#include "planner/baselines.h"
+#include "topology/presets.h"
+
+namespace dgcl {
+namespace {
+
+CommRelation MakeRelation(const CsrGraph& g, uint32_t num_gpus) {
+  HashPartitioner hash;
+  return *BuildCommRelation(g, *hash.Partition(g, num_gpus));
+}
+
+TEST(SpstTest, EmptyRelationGivesEmptyPlan) {
+  Rng rng(1);
+  CsrGraph g = GenerateErdosRenyi(20, 40, rng);
+  Topology topo = BuildPaperTopology(1);
+  HashPartitioner hash;
+  CommRelation rel = *BuildCommRelation(g, *hash.Partition(g, 1));
+  SpstPlanner spst;
+  auto plan = spst.Plan(rel, topo, 1024);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->trees.empty());
+}
+
+class SpstValiditySweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SpstValiditySweep, PlansAreValidTrees) {
+  const uint32_t gpus = GetParam();
+  Rng rng(100 + gpus);
+  CsrGraph g = GenerateErdosRenyi(120, 400, rng);
+  Topology topo = BuildPaperTopology(gpus);
+  CommRelation rel = MakeRelation(g, gpus);
+  SpstPlanner spst;
+  auto plan = spst.Plan(rel, topo, 1024);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(ValidatePlan(*plan, rel, topo).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(GpuCounts, SpstValiditySweep, ::testing::Values(2u, 4u, 8u, 16u));
+
+// The headline property: under the cost model, SPST never loses to
+// peer-to-peer (SPST could always reproduce the P2P trees).
+class SpstVsP2PSweep : public ::testing::TestWithParam<std::pair<uint32_t, uint64_t>> {};
+
+TEST_P(SpstVsP2PSweep, NeverWorseThanPeerToPeer) {
+  const auto [gpus, seed] = GetParam();
+  Rng rng(seed);
+  CsrGraph g = GenerateRmat({.scale = 9, .num_edges = 4000}, rng);
+  Topology topo = BuildPaperTopology(gpus);
+  CommRelation rel = MakeRelation(g, gpus);
+  SpstPlanner spst;
+  PeerToPeerPlanner p2p;
+  const double bytes = 1024.0;
+  auto spst_plan = spst.Plan(rel, topo, bytes);
+  auto p2p_plan = p2p.Plan(rel, topo, bytes);
+  ASSERT_TRUE(spst_plan.ok());
+  ASSERT_TRUE(p2p_plan.ok());
+  const double spst_cost = EvaluatePlanCost(*spst_plan, topo, bytes);
+  const double p2p_cost = EvaluatePlanCost(*p2p_plan, topo, bytes);
+  // Allow a whisker for greedy-order artifacts; in practice SPST wins big.
+  EXPECT_LE(spst_cost, p2p_cost * 1.02) << "gpus=" << gpus << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, SpstVsP2PSweep,
+                         ::testing::Values(std::pair{2u, 1ull}, std::pair{4u, 2ull},
+                                           std::pair{8u, 3ull}, std::pair{8u, 4ull},
+                                           std::pair{16u, 5ull}, std::pair{16u, 6ull}));
+
+TEST(SpstTest, SubstantialWinOnDgx8) {
+  // Dense cross-partition traffic on the NVLink box: SPST should beat P2P
+  // clearly, not marginally (the paper reports 4.45x average).
+  Rng rng(31);
+  CsrGraph g = GenerateRmat({.scale = 11, .num_edges = 30000}, rng);
+  Topology topo = BuildPaperTopology(8);
+  MultilevelPartitioner metis;
+  CommRelation rel = *BuildCommRelation(g, *metis.Partition(g, 8));
+  SpstPlanner spst;
+  PeerToPeerPlanner p2p;
+  const double bytes = 2048.0;
+  const double spst_cost = EvaluatePlanCost(*spst.Plan(rel, topo, bytes), topo, bytes);
+  const double p2p_cost = EvaluatePlanCost(*p2p.Plan(rel, topo, bytes), topo, bytes);
+  EXPECT_LT(spst_cost, p2p_cost * 0.6);
+}
+
+TEST(SpstTest, RoutesAroundSlowDirectLink) {
+  // Craft a relation with all traffic on the PCIe-QPI-PCIe pair (0 -> 5):
+  // SPST must relay over NVLink instead of hammering the direct slow link.
+  Topology topo = BuildPaperTopology(8);
+  CommRelation rel;
+  rel.num_devices = 8;
+  const uint32_t n = 512;
+  rel.source.assign(n, 0);
+  rel.dest_mask.assign(n, DeviceMask{1} << 5);
+  rel.local_vertices.resize(8);
+  rel.remote_vertices.resize(8);
+  for (VertexId v = 0; v < n; ++v) {
+    rel.local_vertices[0].push_back(v);
+    rel.remote_vertices[5].push_back(v);
+  }
+  SpstPlanner spst;
+  auto plan = spst.Plan(rel, topo, 4096);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(ValidatePlan(*plan, rel, topo).ok());
+  // Count vertex-hops over QPI vs NVLink.
+  uint64_t qpi_units = 0;
+  uint64_t nv_units = 0;
+  for (const CommTree& tree : plan->trees) {
+    for (const TreeEdge& e : tree.edges) {
+      for (ConnId hop : topo.link(e.link).hops) {
+        LinkType t = topo.connection(hop).type;
+        if (t == LinkType::kQpi) {
+          ++qpi_units;
+        } else if (t == LinkType::kNvLink1 || t == LinkType::kNvLink2) {
+          ++nv_units;
+        }
+      }
+    }
+  }
+  EXPECT_GT(nv_units, qpi_units) << "SPST should prefer NVLink relays";
+  // And it must beat P2P (which puts all 512 embeddings on the QPI).
+  PeerToPeerPlanner p2p;
+  EXPECT_LT(EvaluatePlanCost(*plan, topo, 4096),
+            EvaluatePlanCost(*p2p.Plan(rel, topo, 4096), topo, 4096) * 0.7);
+}
+
+TEST(SpstTest, BalancesLoadAcrossParallelRoutes) {
+  // All traffic 0 -> {1, 2, 3}: several NVLinks are available; no single
+  // link should carry everything.
+  Topology topo = BuildPaperTopology(4);
+  CommRelation rel;
+  rel.num_devices = 4;
+  const uint32_t n = 300;
+  rel.source.assign(n, 0);
+  rel.dest_mask.assign(n, 0b1110);
+  rel.local_vertices.resize(4);
+  rel.remote_vertices.resize(4);
+  for (VertexId v = 0; v < n; ++v) {
+    rel.local_vertices[0].push_back(v);
+    for (uint32_t d = 1; d < 4; ++d) {
+      rel.remote_vertices[d].push_back(v);
+    }
+  }
+  SpstPlanner spst;
+  auto plan = spst.Plan(rel, topo, 1024);
+  ASSERT_TRUE(plan.ok());
+  auto loads = PlanHopLoads(*plan, topo);
+  uint64_t max_conn = 0;
+  uint64_t total = 0;
+  for (const auto& stage_loads : loads) {
+    for (uint64_t l : stage_loads) {
+      max_conn = std::max(max_conn, l);
+      total += l;
+    }
+  }
+  // Total tree traffic is >= 3n hop-units; if one connection carried 3n the
+  // plan degenerated to a single pipe.
+  EXPECT_LT(max_conn, 3ull * n);
+}
+
+TEST(SpstTest, FusesMultiDestinationVertices) {
+  // A vertex needed by every other device: with fusion the tree has at most
+  // num_devices - 1 edges but fewer *root* emissions than P2P's fan-out when
+  // relaying is cheaper. At minimum the tree must stay a tree (no duplicate
+  // deliveries).
+  Topology topo = BuildPaperTopology(8);
+  CommRelation rel;
+  rel.num_devices = 8;
+  rel.source.assign(1, 0);
+  rel.dest_mask.assign(1, 0b11111110);
+  rel.local_vertices.resize(8);
+  rel.remote_vertices.resize(8);
+  rel.local_vertices[0].push_back(0);
+  for (uint32_t d = 1; d < 8; ++d) {
+    rel.remote_vertices[d].push_back(0);
+  }
+  SpstPlanner spst;
+  auto plan = spst.Plan(rel, topo, 1024);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->trees.size(), 1u);
+  EXPECT_EQ(plan->trees[0].edges.size(), 7u);  // exactly a spanning tree
+  EXPECT_TRUE(ValidatePlan(*plan, rel, topo).ok());
+}
+
+TEST(SpstTest, ShuffleOffIsDeterministic) {
+  Rng rng(41);
+  CsrGraph g = GenerateErdosRenyi(80, 240, rng);
+  Topology topo = BuildPaperTopology(8);
+  CommRelation rel = MakeRelation(g, 8);
+  SpstOptions opts;
+  opts.shuffle = false;
+  SpstPlanner a(opts);
+  SpstPlanner b(opts);
+  auto pa = a.Plan(rel, topo, 1024);
+  auto pb = b.Plan(rel, topo, 1024);
+  ASSERT_TRUE(pa.ok());
+  ASSERT_TRUE(pb.ok());
+  ASSERT_EQ(pa->trees.size(), pb->trees.size());
+  for (size_t i = 0; i < pa->trees.size(); ++i) {
+    EXPECT_EQ(pa->trees[i].vertex, pb->trees[i].vertex);
+    ASSERT_EQ(pa->trees[i].edges.size(), pb->trees[i].edges.size());
+    for (size_t e = 0; e < pa->trees[i].edges.size(); ++e) {
+      EXPECT_EQ(pa->trees[i].edges[e].link, pb->trees[i].edges[e].link);
+      EXPECT_EQ(pa->trees[i].edges[e].stage, pb->trees[i].edges[e].stage);
+    }
+  }
+}
+
+TEST(SpstTest, DepthCapOneStillCoversAllDestinations) {
+  Rng rng(43);
+  CsrGraph g = GenerateErdosRenyi(60, 200, rng);
+  Topology topo = BuildPaperTopology(8);
+  CommRelation rel = MakeRelation(g, 8);
+  SpstOptions opts;
+  opts.max_tree_depth = 1;  // degenerate: direct sends only
+  SpstPlanner spst(opts);
+  auto plan = spst.Plan(rel, topo, 1024);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(ValidatePlan(*plan, rel, topo).ok());
+  EXPECT_LE(plan->NumStages(), 1u);
+}
+
+
+// §5.1 corollary: the optimal plan is independent of the feature dimension —
+// scaling every cost by a constant never changes SPST's greedy choices, so
+// the same plan serves every layer and model.
+TEST(SpstTest, PlanIsFeatureDimensionIndependent) {
+  Rng rng(47);
+  CsrGraph g = GenerateErdosRenyi(100, 300, rng);
+  Topology topo = BuildPaperTopology(8);
+  CommRelation rel = MakeRelation(g, 8);
+  SpstPlanner spst;
+  auto narrow = spst.Plan(rel, topo, 4.0);       // 1 float
+  auto wide = spst.Plan(rel, topo, 4096.0);      // 1024 floats
+  ASSERT_TRUE(narrow.ok());
+  ASSERT_TRUE(wide.ok());
+  ASSERT_EQ(narrow->trees.size(), wide->trees.size());
+  for (size_t t = 0; t < narrow->trees.size(); ++t) {
+    EXPECT_EQ(narrow->trees[t].vertex, wide->trees[t].vertex);
+    ASSERT_EQ(narrow->trees[t].edges.size(), wide->trees[t].edges.size());
+    for (size_t e = 0; e < narrow->trees[t].edges.size(); ++e) {
+      EXPECT_EQ(narrow->trees[t].edges[e].link, wide->trees[t].edges[e].link);
+      EXPECT_EQ(narrow->trees[t].edges[e].stage, wide->trees[t].edges[e].stage);
+    }
+  }
+}
+
+TEST(SpstTest, RejectsMismatchedTopology) {
+  Rng rng(44);
+  CsrGraph g = GenerateErdosRenyi(30, 60, rng);
+  CommRelation rel = MakeRelation(g, 4);
+  Topology topo = BuildPaperTopology(8);
+  SpstPlanner spst;
+  EXPECT_FALSE(spst.Plan(rel, topo, 1024).ok());
+}
+
+}  // namespace
+}  // namespace dgcl

@@ -1,0 +1,37 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace dgcl {
+namespace {
+
+TEST(StatsTest, CountsBasics) {
+  auto g = CsrGraph::FromEdges(5, {{0, 1}, {0, 2}, {0, 3}}, true);
+  ASSERT_TRUE(g.ok());
+  GraphStats s = ComputeStats(*g);
+  EXPECT_EQ(s.num_vertices, 5u);
+  EXPECT_EQ(s.num_edges, 6u);
+  EXPECT_EQ(s.max_degree, 3u);
+  EXPECT_EQ(s.isolated_vertices, 1u);  // vertex 4
+  EXPECT_DOUBLE_EQ(s.avg_degree, 6.0 / 5.0);
+}
+
+TEST(StatsTest, EmptyGraph) {
+  auto g = CsrGraph::FromEdges(0, {}, true);
+  ASSERT_TRUE(g.ok());
+  GraphStats s = ComputeStats(*g);
+  EXPECT_EQ(s.num_vertices, 0u);
+  EXPECT_EQ(s.max_degree, 0u);
+}
+
+TEST(StatsTest, ToStringMentionsEveryField) {
+  auto g = CsrGraph::FromEdges(3, {{0, 1}}, true);
+  ASSERT_TRUE(g.ok());
+  std::string s = ComputeStats(*g).ToString();
+  EXPECT_NE(s.find("vertices=3"), std::string::npos);
+  EXPECT_NE(s.find("edges=2"), std::string::npos);
+  EXPECT_NE(s.find("isolated=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dgcl

@@ -1,0 +1,105 @@
+#include "sim/swap_model.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "partition/multilevel.h"
+#include "topology/presets.h"
+
+namespace dgcl {
+namespace {
+
+CommRelation MakeRelation(uint32_t num_gpus, uint32_t vertices, uint64_t seed) {
+  Rng rng(seed);
+  CsrGraph g = GenerateErdosRenyi(vertices, vertices * 3, rng);
+  HashPartitioner hash;
+  return *BuildCommRelation(g, *hash.Partition(g, num_gpus));
+}
+
+TEST(SwapModelTest, RejectsMultiMachine) {
+  CommRelation rel = MakeRelation(16, 200, 1);
+  Topology topo = BuildPaperTopology(16);
+  SwapOptions opts;
+  auto result = SwapExchangeSeconds(rel, topo, opts);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SwapModelTest, ScalesWithEmbeddingBytes) {
+  CommRelation rel = MakeRelation(8, 400, 2);
+  Topology topo = BuildPaperTopology(8);
+  SwapOptions opts;
+  opts.per_pass_latency_s = 0.0;
+  opts.pipeline_overlap = 0.0;
+  opts.bytes_per_unit = 512;
+  double t1 = *SwapExchangeSeconds(rel, topo, opts);
+  opts.bytes_per_unit = 2048;
+  double t4 = *SwapExchangeSeconds(rel, topo, opts);
+  EXPECT_NEAR(t4 / t1, 4.0, 1e-9);
+}
+
+TEST(SwapModelTest, ChainTransferIsFaster) {
+  CommRelation rel = MakeRelation(8, 400, 3);
+  Topology topo = BuildPaperTopology(8);
+  SwapOptions opts;
+  opts.per_pass_latency_s = 0.0;
+  opts.pipeline_overlap = 0.0;
+  opts.chain_transfer = true;
+  double chained = *SwapExchangeSeconds(rel, topo, opts);
+  opts.chain_transfer = false;
+  double unchained = *SwapExchangeSeconds(rel, topo, opts);
+  // dump+load vs max(dump, load): strictly better, up to 2x when balanced.
+  EXPECT_LT(chained, unchained);
+  EXPECT_GE(unchained, chained * 1.1);
+  EXPECT_LE(unchained, chained * 2.0 + 1e-12);
+}
+
+TEST(SwapModelTest, CostFloorTracksAllEmbeddingsEvenWithZeroCut) {
+  // The defining weakness of Swap (§7.1): the dump volume is *all* local
+  // embeddings, so even a near-perfect partition (almost no cut) pays at
+  // least (vertices on the busiest socket) x bytes over the shared uplink.
+  Topology topo = BuildPaperTopology(8);
+  Rng rng(4);
+  CsrGraph tiny_cut = GenerateCommunityGraph(1000, 8, 8.0, 0.01, rng);
+  MultilevelPartitioner metis;
+  Partitioning parts = *metis.Partition(tiny_cut, 8);
+  CommRelation rel = *BuildCommRelation(tiny_cut, parts);
+  SwapOptions opts;
+  opts.per_pass_latency_s = 0.0;
+  opts.pipeline_overlap = 0.0;
+  opts.bytes_per_unit = 4096.0;
+  double seconds = *SwapExchangeSeconds(rel, topo, opts);
+  // Busiest PCIe switch (2 GPUs of 8) holds >= a quarter of the vertices.
+  const double floor =
+      (tiny_cut.num_vertices() / 4.0) * opts.bytes_per_unit / (11.13e9);
+  EXPECT_GE(seconds, floor * 0.99);
+}
+
+TEST(SwapModelTest, LatencyFloorApplies) {
+  CommRelation rel = MakeRelation(4, 8, 5);
+  Topology topo = BuildPaperTopology(4);
+  SwapOptions opts;
+  opts.per_pass_latency_s = 5e-3;
+  EXPECT_GE(*SwapExchangeSeconds(rel, topo, opts), 5e-3);
+}
+
+TEST(SwapModelTest, MoreGpusOnOneSocketShareTheUplink) {
+  // Same total vertices on 2 vs 4 GPUs of one socket: aggregate socket
+  // volume is equal, so swap does not speed up with more GPUs per socket.
+  Topology topo2 = BuildPaperTopology(2);
+  Topology topo4 = BuildPaperTopology(4);
+  Rng rng(6);
+  CsrGraph g = GenerateErdosRenyi(800, 2400, rng);
+  HashPartitioner hash;
+  CommRelation rel2 = *BuildCommRelation(g, *hash.Partition(g, 2));
+  CommRelation rel4 = *BuildCommRelation(g, *hash.Partition(g, 4));
+  SwapOptions opts;
+  opts.per_pass_latency_s = 0.0;
+  opts.pipeline_overlap = 0.0;
+  double t2 = *SwapExchangeSeconds(rel2, topo2, opts);
+  double t4 = *SwapExchangeSeconds(rel4, topo4, opts);
+  // t4 can even be slower (more remotes to load); it must not halve.
+  EXPECT_GT(t4, t2 * 0.8);
+}
+
+}  // namespace
+}  // namespace dgcl

@@ -1,0 +1,168 @@
+#include "topology/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/presets.h"
+
+namespace dgcl {
+namespace {
+
+TEST(LinkTypeTest, Table1Bandwidths) {
+  EXPECT_DOUBLE_EQ(LinkTypeBandwidthGBps(LinkType::kNvLink2), 48.35);
+  EXPECT_DOUBLE_EQ(LinkTypeBandwidthGBps(LinkType::kNvLink1), 24.22);
+  EXPECT_DOUBLE_EQ(LinkTypeBandwidthGBps(LinkType::kPcie), 11.13);
+  EXPECT_DOUBLE_EQ(LinkTypeBandwidthGBps(LinkType::kQpi), 9.56);
+  EXPECT_DOUBLE_EQ(LinkTypeBandwidthGBps(LinkType::kInfiniBand), 6.37);
+  EXPECT_DOUBLE_EQ(LinkTypeBandwidthGBps(LinkType::kEthernet), 3.12);
+}
+
+TEST(TopologyTest, AddAndQuery) {
+  Topology topo;
+  DeviceId a = topo.AddDevice({"a", 0, 0, 0});
+  DeviceId b = topo.AddDevice({"b", 0, 0, 0});
+  ConnId c = topo.AddConnection({"nv", LinkType::kNvLink1, 0.0});
+  EXPECT_DOUBLE_EQ(topo.connection(c).bandwidth_gbps, 24.22);  // default filled
+  auto link = topo.AddLink(a, b, {c});
+  ASSERT_TRUE(link.ok());
+  EXPECT_EQ(topo.LinkBetween(a, b), *link);
+  EXPECT_EQ(topo.LinkBetween(b, a), kInvalidId);
+  EXPECT_EQ(topo.LinksFrom(a).size(), 1u);
+  EXPECT_EQ(topo.LinksFrom(b).size(), 0u);
+}
+
+TEST(TopologyTest, LinkValidation) {
+  Topology topo;
+  DeviceId a = topo.AddDevice({"a", 0, 0, 0});
+  DeviceId b = topo.AddDevice({"b", 0, 0, 0});
+  ConnId c = topo.AddConnection({"x", LinkType::kPcie, 0.0});
+  EXPECT_FALSE(topo.AddLink(a, a, {c}).ok());       // self link
+  EXPECT_FALSE(topo.AddLink(a, 9, {c}).ok());       // bad endpoint
+  EXPECT_FALSE(topo.AddLink(a, b, {}).ok());        // no hops
+  EXPECT_FALSE(topo.AddLink(a, b, {42}).ok());      // bad hop
+  ASSERT_TRUE(topo.AddLink(a, b, {c}).ok());
+  EXPECT_FALSE(topo.AddLink(a, b, {c}).ok());       // duplicate
+}
+
+TEST(TopologyTest, BottleneckIsSlowestHop) {
+  Topology topo;
+  DeviceId a = topo.AddDevice({"a", 0, 0, 0});
+  DeviceId b = topo.AddDevice({"b", 0, 1, 1});
+  ConnId pcie = topo.AddConnection({"p", LinkType::kPcie, 0.0});
+  ConnId qpi = topo.AddConnection({"q", LinkType::kQpi, 0.0});
+  auto link = topo.AddLink(a, b, {pcie, qpi, pcie});
+  ASSERT_TRUE(link.ok());
+  EXPECT_DOUBLE_EQ(topo.LinkBottleneckGBps(*link), 9.56);
+}
+
+class PaperTopologyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PaperTopologyTest, FullyConnectedWithCorrectDeviceCount) {
+  const uint32_t gpus = GetParam();
+  Topology topo = BuildPaperTopology(gpus);
+  EXPECT_EQ(topo.num_devices(), gpus);
+  EXPECT_TRUE(topo.IsFullyConnected());
+}
+
+INSTANTIATE_TEST_SUITE_P(GpuCounts, PaperTopologyTest, ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+TEST(PresetTest, FourGpusAllNvLinkConnected) {
+  // The paper: with <= 4 GPUs all pairs have direct NVLink.
+  Topology topo = BuildPaperTopology(4);
+  for (DeviceId i = 0; i < 4; ++i) {
+    for (DeviceId j = 0; j < 4; ++j) {
+      if (i == j) {
+        continue;
+      }
+      LinkId link = topo.LinkBetween(i, j);
+      ASSERT_NE(link, kInvalidId);
+      ASSERT_EQ(topo.link(link).hops.size(), 1u);
+      LinkType t = topo.connection(topo.link(link).hops[0]).type;
+      EXPECT_TRUE(t == LinkType::kNvLink1 || t == LinkType::kNvLink2);
+    }
+  }
+}
+
+TEST(PresetTest, CrossSocketNonNvLinkPairGoesThroughQpi) {
+  Topology topo = BuildPaperTopology(8);
+  // GPU0 (socket 0) and GPU5 (socket 1) have no NVLink in the cube mesh.
+  LinkId link = topo.LinkBetween(0, 5);
+  ASSERT_NE(link, kInvalidId);
+  bool has_qpi = false;
+  for (ConnId hop : topo.link(link).hops) {
+    if (topo.connection(hop).type == LinkType::kQpi) {
+      has_qpi = true;
+    }
+  }
+  EXPECT_TRUE(has_qpi);
+  EXPECT_DOUBLE_EQ(topo.LinkBottleneckGBps(link), 9.56);
+}
+
+TEST(PresetTest, EveryPairWithinTwoNvLinkHops) {
+  // Paper §3: "all GPU pairs in Figure 3 can be connected within two hops of
+  // NVLink".
+  Topology topo = BuildPaperTopology(8);
+  auto nv_direct = [&](DeviceId i, DeviceId j) {
+    LinkId link = topo.LinkBetween(i, j);
+    if (link == kInvalidId || topo.link(link).hops.size() != 1) {
+      return false;
+    }
+    LinkType t = topo.connection(topo.link(link).hops[0]).type;
+    return t == LinkType::kNvLink1 || t == LinkType::kNvLink2;
+  };
+  for (DeviceId i = 0; i < 8; ++i) {
+    for (DeviceId j = 0; j < 8; ++j) {
+      if (i == j) {
+        continue;
+      }
+      bool reachable = nv_direct(i, j);
+      for (DeviceId k = 0; k < 8 && !reachable; ++k) {
+        reachable = k != i && k != j && nv_direct(i, k) && nv_direct(k, j);
+      }
+      EXPECT_TRUE(reachable) << "GPUs " << i << " and " << j;
+    }
+  }
+}
+
+TEST(PresetTest, CrossMachineLinksUseNic) {
+  Topology topo = BuildPaperTopology(16);
+  LinkId link = topo.LinkBetween(0, 8);
+  ASSERT_NE(link, kInvalidId);
+  bool has_ib = false;
+  for (ConnId hop : topo.link(link).hops) {
+    if (topo.connection(hop).type == LinkType::kInfiniBand) {
+      has_ib = true;
+    }
+  }
+  EXPECT_TRUE(has_ib);
+  EXPECT_DOUBLE_EQ(topo.LinkBottleneckGBps(link), 6.37);
+}
+
+TEST(PresetTest, PcieOnlyConfigHasNoNvLink) {
+  Topology topo = BuildPaperTopology(8, /*nvlink=*/false);
+  for (ConnId c = 0; c < topo.num_connections(); ++c) {
+    LinkType t = topo.connection(c).type;
+    EXPECT_TRUE(t != LinkType::kNvLink1 && t != LinkType::kNvLink2);
+  }
+  EXPECT_TRUE(topo.IsFullyConnected());
+}
+
+TEST(PresetTest, EthernetClusterOption) {
+  MachineConfig config;
+  config.num_gpus = 4;
+  config.nic = LinkType::kEthernet;
+  Topology topo = BuildCluster(2, config);
+  LinkId link = topo.LinkBetween(0, 4);
+  ASSERT_NE(link, kInvalidId);
+  EXPECT_DOUBLE_EQ(topo.LinkBottleneckGBps(link), 3.12);
+}
+
+TEST(PresetTest, ToStringListsDevicesAndLinks) {
+  Topology topo = BuildPaperTopology(2);
+  std::string s = topo.ToString();
+  EXPECT_NE(s.find("m0.gpu0"), std::string::npos);
+  EXPECT_NE(s.find("m0.gpu1"), std::string::npos);
+  EXPECT_NE(s.find("NV"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dgcl

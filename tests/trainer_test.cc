@@ -1,0 +1,208 @@
+#include "gnn/trainer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/ids.h"
+#include "graph/generators.h"
+#include "partition/multilevel.h"
+#include "planner/spst.h"
+#include "topology/presets.h"
+
+namespace dgcl {
+namespace {
+
+struct World {
+  CsrGraph graph;
+  Topology topo;
+  CommRelation relation;
+  CompiledPlan plan;
+  EmbeddingMatrix features;
+  std::vector<uint32_t> labels;
+  uint32_t num_classes = 4;
+
+  static World Make(uint32_t gpus, uint64_t seed) {
+    World w;
+    Rng rng(seed);
+    // Community graph: labels = community ids, learnable by aggregation.
+    w.graph = GenerateCommunityGraph(160, 4, 10.0, 0.5, rng);
+    w.topo = BuildPaperTopology(gpus);
+    MultilevelPartitioner metis;
+    w.relation = *BuildCommRelation(w.graph, *metis.Partition(w.graph, gpus));
+    SpstPlanner spst;
+    w.plan = CompilePlan(*spst.Plan(w.relation, w.topo, 64), w.topo);
+    AssignBackwardSubstages(w.plan);
+    w.features = EmbeddingMatrix::Zero(160, 8);
+    w.labels.resize(160);
+    for (VertexId v = 0; v < 160; ++v) {
+      const uint32_t community = std::min<uint32_t>(v / 40, 3);
+      w.labels[v] = community;
+      // Noisy one-hot-ish features correlated with the community.
+      for (uint32_t c = 0; c < 8; ++c) {
+        w.features.Row(v)[c] = rng.UniformFloat(-0.3f, 0.3f);
+      }
+      w.features.Row(v)[community] += 1.0f;
+    }
+    return w;
+  }
+};
+
+TEST(TrainerTest, LossDecreasesOverEpochs) {
+  World w = World::Make(4, 31);
+  auto engine = AllgatherEngine::Create(w.relation, w.plan, w.topo);
+  ASSERT_TRUE(engine.ok());
+  TrainerOptions opts;
+  opts.model = GnnModel::kGcn;
+  opts.hidden_dim = 16;
+  opts.learning_rate = 0.8f;
+  auto trainer = DistributedTrainer::Create(w.graph, w.relation, *engine, w.features, w.labels,
+                                            w.num_classes, opts);
+  ASSERT_TRUE(trainer.ok());
+  auto first = trainer->TrainEpoch();
+  ASSERT_TRUE(first.ok());
+  double loss = first->loss;
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    auto r = trainer->TrainEpoch();
+    ASSERT_TRUE(r.ok());
+    loss = r->loss;
+  }
+  EXPECT_LT(loss, first->loss * 0.5);
+  auto eval = trainer->Evaluate();
+  ASSERT_TRUE(eval.ok());
+  EXPECT_GT(eval->accuracy, 0.8);
+}
+
+class TrainerModelSweep : public ::testing::TestWithParam<GnnModel> {};
+
+TEST_P(TrainerModelSweep, TrainsOnAllModels) {
+  World w = World::Make(4, 37);
+  auto engine = AllgatherEngine::Create(w.relation, w.plan, w.topo);
+  ASSERT_TRUE(engine.ok());
+  TrainerOptions opts;
+  opts.model = GetParam();
+  opts.hidden_dim = 16;
+  opts.learning_rate =
+      GetParam() == GnnModel::kGin || GetParam() == GnnModel::kGat ? 0.05f : 0.4f;
+  auto trainer = DistributedTrainer::Create(w.graph, w.relation, *engine, w.features, w.labels,
+                                            w.num_classes, opts);
+  ASSERT_TRUE(trainer.ok());
+  auto first = trainer->TrainEpoch();
+  ASSERT_TRUE(first.ok());
+  double loss = first->loss;
+  for (int epoch = 0; epoch < 40; ++epoch) {
+    auto r = trainer->TrainEpoch();
+    ASSERT_TRUE(r.ok());
+    loss = r->loss;
+  }
+  EXPECT_LT(loss, first->loss) << GnnModelName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, TrainerModelSweep,
+                         ::testing::Values(GnnModel::kGcn, GnnModel::kCommNet, GnnModel::kGin,
+                                           GnnModel::kGat),
+                         [](const auto& info) { return GnnModelName(info.param); });
+
+// The distributed-equals-single-device property: same graph, same seeds,
+// 1 device vs 4 devices must produce near-identical logits and loss.
+TEST(TrainerTest, DistributedMatchesSingleDevice) {
+  World multi = World::Make(4, 41);
+
+  // Single-device world over the same graph/features/labels.
+  Topology topo1 = BuildPaperTopology(1);
+  MultilevelPartitioner metis;
+  CommRelation rel1 = *BuildCommRelation(multi.graph, *metis.Partition(multi.graph, 1));
+  SpstPlanner spst;
+  CompiledPlan plan1 = CompilePlan(*spst.Plan(rel1, topo1, 64), topo1);
+  auto engine1 = AllgatherEngine::Create(rel1, plan1, topo1);
+  auto engine4 = AllgatherEngine::Create(multi.relation, multi.plan, multi.topo);
+  ASSERT_TRUE(engine1.ok());
+  ASSERT_TRUE(engine4.ok());
+
+  TrainerOptions opts;
+  opts.model = GnnModel::kGcn;
+  opts.hidden_dim = 12;
+  opts.learning_rate = 0.3f;
+  auto t1 = DistributedTrainer::Create(multi.graph, rel1, *engine1, multi.features,
+                                       multi.labels, multi.num_classes, opts);
+  auto t4 = DistributedTrainer::Create(multi.graph, multi.relation, *engine4, multi.features,
+                                       multi.labels, multi.num_classes, opts);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t4.ok());
+
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    auto r1 = t1->TrainEpoch();
+    auto r4 = t4->TrainEpoch();
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r4.ok());
+    EXPECT_NEAR(r1->loss, r4->loss, 1e-3 * (1.0 + std::abs(r1->loss))) << "epoch " << epoch;
+  }
+  auto l1 = t1->Logits();
+  auto l4 = t4->Logits();
+  ASSERT_TRUE(l1.ok());
+  ASSERT_TRUE(l4.ok());
+  ASSERT_EQ(l1->data.size(), l4->data.size());
+  for (size_t i = 0; i < l1->data.size(); ++i) {
+    EXPECT_NEAR(l1->data[i], l4->data[i], 5e-3) << "logit " << i;
+  }
+}
+
+TEST(TrainerTest, RejectsBadInputs) {
+  World w = World::Make(2, 43);
+  auto engine = AllgatherEngine::Create(w.relation, w.plan, w.topo);
+  ASSERT_TRUE(engine.ok());
+  TrainerOptions opts;
+  EmbeddingMatrix short_features = EmbeddingMatrix::Zero(10, 8);
+  EXPECT_FALSE(DistributedTrainer::Create(w.graph, w.relation, *engine, short_features,
+                                          w.labels, 4, opts)
+                   .ok());
+  opts.num_layers = 0;
+  EXPECT_FALSE(
+      DistributedTrainer::Create(w.graph, w.relation, *engine, w.features, w.labels, 4, opts)
+          .ok());
+}
+
+TEST(TrainerTest, RingAllreduceSyncTrainsEquivalently) {
+  World w = World::Make(4, 53);
+  auto engine = AllgatherEngine::Create(w.relation, w.plan, w.topo);
+  ASSERT_TRUE(engine.ok());
+  TrainerOptions naive_opts;
+  naive_opts.hidden_dim = 12;
+  naive_opts.learning_rate = 0.4f;
+  TrainerOptions ring_opts = naive_opts;
+  ring_opts.use_ring_allreduce = true;
+  auto naive = DistributedTrainer::Create(w.graph, w.relation, *engine, w.features, w.labels,
+                                          w.num_classes, naive_opts);
+  auto ring = DistributedTrainer::Create(w.graph, w.relation, *engine, w.features, w.labels,
+                                         w.num_classes, ring_opts);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(ring.ok());
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    auto a = naive->TrainEpoch();
+    auto b = ring->TrainEpoch();
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    // Same sums up to float ordering: losses track closely.
+    EXPECT_NEAR(a->loss, b->loss, 1e-2 * (1.0 + a->loss)) << "epoch " << epoch;
+  }
+}
+
+TEST(TrainerTest, UnlabeledVerticesAreIgnored) {
+  World w = World::Make(2, 47);
+  for (VertexId v = 0; v < w.graph.num_vertices(); v += 2) {
+    w.labels[v] = kInvalidId;
+  }
+  auto engine = AllgatherEngine::Create(w.relation, w.plan, w.topo);
+  ASSERT_TRUE(engine.ok());
+  TrainerOptions opts;
+  opts.hidden_dim = 8;
+  auto trainer = DistributedTrainer::Create(w.graph, w.relation, *engine, w.features, w.labels,
+                                            4, opts);
+  ASSERT_TRUE(trainer.ok());
+  auto r = trainer->TrainEpoch();
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->loss, 0.0);
+}
+
+}  // namespace
+}  // namespace dgcl

@@ -1,0 +1,39 @@
+#include "runtime/transport.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/presets.h"
+
+namespace dgcl {
+namespace {
+
+TEST(TransportTest, SameSocketUsesCudaVm) {
+  Topology topo = BuildPaperTopology(8);
+  EXPECT_EQ(SelectTransport(topo, 0, 1), Transport::kCudaVirtualMemory);
+  EXPECT_EQ(SelectTransport(topo, 2, 3), Transport::kCudaVirtualMemory);
+  EXPECT_EQ(SelectTransport(topo, 4, 7), Transport::kCudaVirtualMemory);
+}
+
+TEST(TransportTest, CrossSocketUsesPinnedHost) {
+  Topology topo = BuildPaperTopology(8);
+  EXPECT_EQ(SelectTransport(topo, 0, 5), Transport::kPinnedHostMemory);
+  EXPECT_EQ(SelectTransport(topo, 7, 2), Transport::kPinnedHostMemory);
+}
+
+TEST(TransportTest, CrossMachineUsesNic) {
+  Topology topo = BuildPaperTopology(16);
+  EXPECT_EQ(SelectTransport(topo, 0, 8), Transport::kNic);
+  EXPECT_EQ(SelectTransport(topo, 15, 3), Transport::kNic);
+  // Within machine 1 it is still local transports.
+  EXPECT_EQ(SelectTransport(topo, 8, 9), Transport::kCudaVirtualMemory);
+  EXPECT_EQ(SelectTransport(topo, 8, 13), Transport::kPinnedHostMemory);
+}
+
+TEST(TransportTest, NamesAreStable) {
+  EXPECT_STREQ(TransportName(Transport::kCudaVirtualMemory), "cuda-vm");
+  EXPECT_STREQ(TransportName(Transport::kPinnedHostMemory), "pinned-host");
+  EXPECT_STREQ(TransportName(Transport::kNic), "nic");
+}
+
+}  // namespace
+}  // namespace dgcl

@@ -1,0 +1,226 @@
+// dgcl_plan — command-line front end for the planning pipeline.
+//
+// Loads a graph (SNAP edge list or DGCL binary; synthetic RMAT if omitted),
+// partitions it for a chosen topology preset, runs a planner, prints the
+// plan statistics / cost estimate / simulated allgather time, and optionally
+// saves the compiled plan for later runtime use.
+//
+// Usage:
+//   dgcl_plan [--graph path] [--gpus N] [--no-nvlink] [--nvswitch]
+//             [--machines M] [--dim D] [--planner spst|p2p|ring]
+//             [--save-plan path] [--seed S]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "comm/plan_io.h"
+#include "comm/plan_stats.h"
+#include "common/table_printer.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "graph/stats.h"
+#include "partition/hierarchical.h"
+#include "partition/multilevel.h"
+#include "planner/baselines.h"
+#include "planner/cost_model.h"
+#include "planner/spst.h"
+#include "sim/network_sim.h"
+#include "topology/presets.h"
+
+using namespace dgcl;
+
+namespace {
+
+struct Args {
+  std::string graph_path;
+  std::string save_plan;
+  std::string planner = "spst";
+  uint32_t gpus = 8;
+  uint32_t machines = 1;
+  uint32_t dim = 128;
+  uint64_t seed = 7;
+  bool nvlink = true;
+  bool nvswitch = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: dgcl_plan [--graph path] [--gpus N] [--machines M] [--no-nvlink]\n"
+      "                 [--nvswitch] [--dim D] [--planner spst|p2p|ring]\n"
+      "                 [--save-plan path] [--seed S]\n");
+}
+
+bool Parse(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", name);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (flag == "--graph") {
+      const char* v = next("--graph");
+      if (v == nullptr) {
+        return false;
+      }
+      args.graph_path = v;
+    } else if (flag == "--save-plan") {
+      const char* v = next("--save-plan");
+      if (v == nullptr) {
+        return false;
+      }
+      args.save_plan = v;
+    } else if (flag == "--planner") {
+      const char* v = next("--planner");
+      if (v == nullptr) {
+        return false;
+      }
+      args.planner = v;
+    } else if (flag == "--gpus") {
+      const char* v = next("--gpus");
+      if (v == nullptr) {
+        return false;
+      }
+      args.gpus = static_cast<uint32_t>(std::stoul(v));
+    } else if (flag == "--machines") {
+      const char* v = next("--machines");
+      if (v == nullptr) {
+        return false;
+      }
+      args.machines = static_cast<uint32_t>(std::stoul(v));
+    } else if (flag == "--dim") {
+      const char* v = next("--dim");
+      if (v == nullptr) {
+        return false;
+      }
+      args.dim = static_cast<uint32_t>(std::stoul(v));
+    } else if (flag == "--seed") {
+      const char* v = next("--seed");
+      if (v == nullptr) {
+        return false;
+      }
+      args.seed = std::stoull(v);
+    } else if (flag == "--no-nvlink") {
+      args.nvlink = false;
+    } else if (flag == "--nvswitch") {
+      args.nvswitch = true;
+    } else if (flag == "--help" || flag == "-h") {
+      PrintUsage();
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      PrintUsage();
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<CsrGraph> LoadGraph(const Args& args) {
+  if (args.graph_path.empty()) {
+    Rng rng(args.seed);
+    std::printf("no --graph given; generating a synthetic RMAT graph (seed %llu)\n",
+                static_cast<unsigned long long>(args.seed));
+    return GenerateRmat({.scale = 13, .num_edges = 100000}, rng);
+  }
+  if (args.graph_path.size() > 4 &&
+      args.graph_path.compare(args.graph_path.size() - 4, 4, ".bin") == 0) {
+    return LoadBinary(args.graph_path);
+  }
+  return LoadEdgeList(args.graph_path, /*symmetrize=*/true, /*compact_ids=*/true);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, args)) {
+    return 1;
+  }
+
+  auto graph = LoadGraph(args);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("graph: %s\n", ComputeStats(*graph).ToString().c_str());
+
+  MachineConfig config;
+  config.num_gpus = args.gpus;
+  config.nvlink = args.nvlink;
+  config.nvswitch = args.nvswitch;
+  Topology topo = BuildCluster(args.machines, config);
+  std::printf("topology: %u machines x %u GPUs = %u devices, %u physical connections\n",
+              args.machines, args.gpus, topo.num_devices(), topo.num_connections());
+
+  MultilevelPartitioner metis;
+  auto parts = PartitionForTopology(*graph, topo, metis);
+  if (!parts.ok()) {
+    std::fprintf(stderr, "partitioning failed: %s\n", parts.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("partition: %s\n", EvaluatePartition(*graph, *parts).ToString().c_str());
+
+  auto rel = BuildCommRelation(*graph, *parts);
+  if (!rel.ok()) {
+    std::fprintf(stderr, "relation failed: %s\n", rel.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("communication relation: %llu vertex transfers\n",
+              static_cast<unsigned long long>(rel->TotalTransfers()));
+
+  SpstPlanner spst;
+  PeerToPeerPlanner p2p;
+  RingPlanner ring;
+  Planner* planner = nullptr;
+  if (args.planner == "spst") {
+    planner = &spst;
+  } else if (args.planner == "p2p") {
+    planner = &p2p;
+  } else if (args.planner == "ring") {
+    planner = &ring;
+  } else {
+    std::fprintf(stderr, "unknown planner %s\n", args.planner.c_str());
+    return 1;
+  }
+
+  const double bytes = static_cast<double>(args.dim) * sizeof(float);
+  auto plan = planner->Plan(*rel, topo, bytes);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = ValidatePlan(*plan, *rel, topo); !s.ok()) {
+    std::fprintf(stderr, "plan invalid: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  CompiledPlan compiled = CompilePlan(*plan, topo);
+  AssignBackwardSubstages(compiled);
+  NetworkSimOptions net;
+  net.bytes_per_unit = bytes;
+  const double simulated = SimulateTransfer(compiled, topo, net).total_seconds;
+  std::printf("\nplanner %s (embedding dim %u):\n", planner->name().c_str(), args.dim);
+  std::printf("  stages              %u\n", plan->NumStages());
+  std::printf("  transfer ops        %zu\n", compiled.ops.size());
+  std::printf("  link traversals     %llu\n",
+              static_cast<unsigned long long>(PlanTotalTraffic(*plan)));
+  std::printf("  send/recv tables    %s\n",
+              TablePrinter::FmtBytes(static_cast<double>(compiled.TableBytes())).c_str());
+  std::printf("  plan stats          %s\n",
+              ComputePlanStats(*plan, *rel, topo).ToString().c_str());
+  std::printf("  cost-model estimate %.3f ms\n", EvaluatePlanCost(*plan, topo, bytes) * 1e3);
+  std::printf("  simulated allgather %.3f ms\n", simulated * 1e3);
+
+  if (!args.save_plan.empty()) {
+    if (Status s = SaveCompiledPlan(compiled, topo, args.save_plan); !s.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("compiled plan saved to %s\n", args.save_plan.c_str());
+  }
+  return 0;
+}
