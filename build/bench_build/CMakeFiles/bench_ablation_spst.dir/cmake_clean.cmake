@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_spst"
+  "../bench/bench_ablation_spst.pdb"
+  "CMakeFiles/bench_ablation_spst.dir/bench_ablation_spst.cc.o"
+  "CMakeFiles/bench_ablation_spst.dir/bench_ablation_spst.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_spst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_coordination"
+  "../bench/bench_ext_coordination.pdb"
+  "CMakeFiles/bench_ext_coordination.dir/bench_ext_coordination.cc.o"
+  "CMakeFiles/bench_ext_coordination.dir/bench_ext_coordination.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

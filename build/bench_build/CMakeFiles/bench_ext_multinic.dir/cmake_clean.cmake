@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_multinic"
+  "../bench/bench_ext_multinic.pdb"
+  "CMakeFiles/bench_ext_multinic.dir/bench_ext_multinic.cc.o"
+  "CMakeFiles/bench_ext_multinic.dir/bench_ext_multinic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multinic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_strategies"
+  "../bench/bench_ext_strategies.pdb"
+  "CMakeFiles/bench_ext_strategies.dir/bench_ext_strategies.cc.o"
+  "CMakeFiles/bench_ext_strategies.dir/bench_ext_strategies.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

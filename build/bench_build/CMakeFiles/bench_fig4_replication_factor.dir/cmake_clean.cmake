@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_replication_factor"
+  "../bench/bench_fig4_replication_factor.pdb"
+  "CMakeFiles/bench_fig4_replication_factor.dir/bench_fig4_replication_factor.cc.o"
+  "CMakeFiles/bench_fig4_replication_factor.dir/bench_fig4_replication_factor.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_replication_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_main_results"
+  "../bench/bench_fig7_main_results.pdb"
+  "CMakeFiles/bench_fig7_main_results.dir/bench_fig7_main_results.cc.o"
+  "CMakeFiles/bench_fig7_main_results.dir/bench_fig7_main_results.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_main_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_gcn_reddit_scaling"
+  "../bench/bench_fig8_gcn_reddit_scaling.pdb"
+  "CMakeFiles/bench_fig8_gcn_reddit_scaling.dir/bench_fig8_gcn_reddit_scaling.cc.o"
+  "CMakeFiles/bench_fig8_gcn_reddit_scaling.dir/bench_fig8_gcn_reddit_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_gcn_reddit_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

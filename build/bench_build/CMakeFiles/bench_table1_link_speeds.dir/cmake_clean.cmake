@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_link_speeds"
+  "../bench/bench_table1_link_speeds.pdb"
+  "CMakeFiles/bench_table1_link_speeds.dir/bench_table1_link_speeds.cc.o"
+  "CMakeFiles/bench_table1_link_speeds.dir/bench_table1_link_speeds.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_link_speeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

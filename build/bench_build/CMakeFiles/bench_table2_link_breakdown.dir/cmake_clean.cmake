@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_link_breakdown"
+  "../bench/bench_table2_link_breakdown.pdb"
+  "CMakeFiles/bench_table2_link_breakdown.dir/bench_table2_link_breakdown.cc.o"
+  "CMakeFiles/bench_table2_link_breakdown.dir/bench_table2_link_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_link_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

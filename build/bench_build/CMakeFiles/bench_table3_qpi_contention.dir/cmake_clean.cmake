@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_qpi_contention"
+  "../bench/bench_table3_qpi_contention.pdb"
+  "CMakeFiles/bench_table3_qpi_contention.dir/bench_table3_qpi_contention.cc.o"
+  "CMakeFiles/bench_table3_qpi_contention.dir/bench_table3_qpi_contention.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_qpi_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_dgcl_r"
+  "../bench/bench_table5_dgcl_r.pdb"
+  "CMakeFiles/bench_table5_dgcl_r.dir/bench_table5_dgcl_r.cc.o"
+  "CMakeFiles/bench_table5_dgcl_r.dir/bench_table5_dgcl_r.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_dgcl_r.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

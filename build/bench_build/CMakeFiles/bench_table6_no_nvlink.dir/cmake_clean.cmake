@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_no_nvlink"
+  "../bench/bench_table6_no_nvlink.pdb"
+  "CMakeFiles/bench_table6_no_nvlink.dir/bench_table6_no_nvlink.cc.o"
+  "CMakeFiles/bench_table6_no_nvlink.dir/bench_table6_no_nvlink.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_no_nvlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

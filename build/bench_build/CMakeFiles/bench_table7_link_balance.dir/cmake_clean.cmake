@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_link_balance"
+  "../bench/bench_table7_link_balance.pdb"
+  "CMakeFiles/bench_table7_link_balance.dir/bench_table7_link_balance.cc.o"
+  "CMakeFiles/bench_table7_link_balance.dir/bench_table7_link_balance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_link_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

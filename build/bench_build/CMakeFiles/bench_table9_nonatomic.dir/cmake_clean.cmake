@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table9_nonatomic"
+  "../bench/bench_table9_nonatomic.pdb"
+  "CMakeFiles/bench_table9_nonatomic.dir/bench_table9_nonatomic.cc.o"
+  "CMakeFiles/bench_table9_nonatomic.dir/bench_table9_nonatomic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_nonatomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

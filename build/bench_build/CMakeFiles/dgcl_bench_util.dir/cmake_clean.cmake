@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libdgcl_bench_util.a"
+  "../lib/libdgcl_bench_util.pdb"
+  "CMakeFiles/dgcl_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/dgcl_bench_util.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgcl_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

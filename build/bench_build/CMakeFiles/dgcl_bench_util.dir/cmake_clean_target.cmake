@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libdgcl_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_inspection.dir/plan_inspection.cpp.o"
+  "CMakeFiles/plan_inspection.dir/plan_inspection.cpp.o.d"
+  "plan_inspection"
+  "plan_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

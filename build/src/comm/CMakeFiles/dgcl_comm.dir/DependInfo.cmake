@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/compiled_plan.cc" "src/comm/CMakeFiles/dgcl_comm.dir/compiled_plan.cc.o" "gcc" "src/comm/CMakeFiles/dgcl_comm.dir/compiled_plan.cc.o.d"
+  "/root/repo/src/comm/plan.cc" "src/comm/CMakeFiles/dgcl_comm.dir/plan.cc.o" "gcc" "src/comm/CMakeFiles/dgcl_comm.dir/plan.cc.o.d"
+  "/root/repo/src/comm/plan_dump.cc" "src/comm/CMakeFiles/dgcl_comm.dir/plan_dump.cc.o" "gcc" "src/comm/CMakeFiles/dgcl_comm.dir/plan_dump.cc.o.d"
+  "/root/repo/src/comm/plan_io.cc" "src/comm/CMakeFiles/dgcl_comm.dir/plan_io.cc.o" "gcc" "src/comm/CMakeFiles/dgcl_comm.dir/plan_io.cc.o.d"
+  "/root/repo/src/comm/plan_stats.cc" "src/comm/CMakeFiles/dgcl_comm.dir/plan_stats.cc.o" "gcc" "src/comm/CMakeFiles/dgcl_comm.dir/plan_stats.cc.o.d"
+  "/root/repo/src/comm/relation.cc" "src/comm/CMakeFiles/dgcl_comm.dir/relation.cc.o" "gcc" "src/comm/CMakeFiles/dgcl_comm.dir/relation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dgcl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dgcl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/dgcl_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dgcl_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgcl_comm.dir/compiled_plan.cc.o"
+  "CMakeFiles/dgcl_comm.dir/compiled_plan.cc.o.d"
+  "CMakeFiles/dgcl_comm.dir/plan.cc.o"
+  "CMakeFiles/dgcl_comm.dir/plan.cc.o.d"
+  "CMakeFiles/dgcl_comm.dir/plan_dump.cc.o"
+  "CMakeFiles/dgcl_comm.dir/plan_dump.cc.o.d"
+  "CMakeFiles/dgcl_comm.dir/plan_io.cc.o"
+  "CMakeFiles/dgcl_comm.dir/plan_io.cc.o.d"
+  "CMakeFiles/dgcl_comm.dir/plan_stats.cc.o"
+  "CMakeFiles/dgcl_comm.dir/plan_stats.cc.o.d"
+  "CMakeFiles/dgcl_comm.dir/relation.cc.o"
+  "CMakeFiles/dgcl_comm.dir/relation.cc.o.d"
+  "libdgcl_comm.a"
+  "libdgcl_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgcl_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgcl_common.dir/logging.cc.o"
+  "CMakeFiles/dgcl_common.dir/logging.cc.o.d"
+  "CMakeFiles/dgcl_common.dir/status.cc.o"
+  "CMakeFiles/dgcl_common.dir/status.cc.o.d"
+  "CMakeFiles/dgcl_common.dir/table_printer.cc.o"
+  "CMakeFiles/dgcl_common.dir/table_printer.cc.o.d"
+  "libdgcl_common.a"
+  "libdgcl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgcl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

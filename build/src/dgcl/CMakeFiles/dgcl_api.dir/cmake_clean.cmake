@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgcl_api.dir/dgcl.cc.o"
+  "CMakeFiles/dgcl_api.dir/dgcl.cc.o.d"
+  "libdgcl_api.a"
+  "libdgcl_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgcl_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

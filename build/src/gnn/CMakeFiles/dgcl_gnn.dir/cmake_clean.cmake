@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgcl_gnn.dir/layers.cc.o"
+  "CMakeFiles/dgcl_gnn.dir/layers.cc.o.d"
+  "CMakeFiles/dgcl_gnn.dir/local_graph.cc.o"
+  "CMakeFiles/dgcl_gnn.dir/local_graph.cc.o.d"
+  "CMakeFiles/dgcl_gnn.dir/nn.cc.o"
+  "CMakeFiles/dgcl_gnn.dir/nn.cc.o.d"
+  "CMakeFiles/dgcl_gnn.dir/trainer.cc.o"
+  "CMakeFiles/dgcl_gnn.dir/trainer.cc.o.d"
+  "libdgcl_gnn.a"
+  "libdgcl_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgcl_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgcl_graph.dir/csr_graph.cc.o"
+  "CMakeFiles/dgcl_graph.dir/csr_graph.cc.o.d"
+  "CMakeFiles/dgcl_graph.dir/generators.cc.o"
+  "CMakeFiles/dgcl_graph.dir/generators.cc.o.d"
+  "CMakeFiles/dgcl_graph.dir/graph_io.cc.o"
+  "CMakeFiles/dgcl_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/dgcl_graph.dir/khop.cc.o"
+  "CMakeFiles/dgcl_graph.dir/khop.cc.o.d"
+  "CMakeFiles/dgcl_graph.dir/stats.cc.o"
+  "CMakeFiles/dgcl_graph.dir/stats.cc.o.d"
+  "libdgcl_graph.a"
+  "libdgcl_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgcl_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/hierarchical.cc" "src/partition/CMakeFiles/dgcl_partition.dir/hierarchical.cc.o" "gcc" "src/partition/CMakeFiles/dgcl_partition.dir/hierarchical.cc.o.d"
+  "/root/repo/src/partition/multilevel.cc" "src/partition/CMakeFiles/dgcl_partition.dir/multilevel.cc.o" "gcc" "src/partition/CMakeFiles/dgcl_partition.dir/multilevel.cc.o.d"
+  "/root/repo/src/partition/partitioner.cc" "src/partition/CMakeFiles/dgcl_partition.dir/partitioner.cc.o" "gcc" "src/partition/CMakeFiles/dgcl_partition.dir/partitioner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dgcl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dgcl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dgcl_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

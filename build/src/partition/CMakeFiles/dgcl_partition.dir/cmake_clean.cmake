@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgcl_partition.dir/hierarchical.cc.o"
+  "CMakeFiles/dgcl_partition.dir/hierarchical.cc.o.d"
+  "CMakeFiles/dgcl_partition.dir/multilevel.cc.o"
+  "CMakeFiles/dgcl_partition.dir/multilevel.cc.o.d"
+  "CMakeFiles/dgcl_partition.dir/partitioner.cc.o"
+  "CMakeFiles/dgcl_partition.dir/partitioner.cc.o.d"
+  "libdgcl_partition.a"
+  "libdgcl_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgcl_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/planner/baselines.cc" "src/planner/CMakeFiles/dgcl_planner.dir/baselines.cc.o" "gcc" "src/planner/CMakeFiles/dgcl_planner.dir/baselines.cc.o.d"
+  "/root/repo/src/planner/cost_model.cc" "src/planner/CMakeFiles/dgcl_planner.dir/cost_model.cc.o" "gcc" "src/planner/CMakeFiles/dgcl_planner.dir/cost_model.cc.o.d"
+  "/root/repo/src/planner/spst.cc" "src/planner/CMakeFiles/dgcl_planner.dir/spst.cc.o" "gcc" "src/planner/CMakeFiles/dgcl_planner.dir/spst.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/dgcl_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/dgcl_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dgcl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dgcl_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dgcl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgcl_planner.dir/baselines.cc.o"
+  "CMakeFiles/dgcl_planner.dir/baselines.cc.o.d"
+  "CMakeFiles/dgcl_planner.dir/cost_model.cc.o"
+  "CMakeFiles/dgcl_planner.dir/cost_model.cc.o.d"
+  "CMakeFiles/dgcl_planner.dir/spst.cc.o"
+  "CMakeFiles/dgcl_planner.dir/spst.cc.o.d"
+  "libdgcl_planner.a"
+  "libdgcl_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgcl_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgcl_runtime.dir/allgather_engine.cc.o"
+  "CMakeFiles/dgcl_runtime.dir/allgather_engine.cc.o.d"
+  "CMakeFiles/dgcl_runtime.dir/allreduce.cc.o"
+  "CMakeFiles/dgcl_runtime.dir/allreduce.cc.o.d"
+  "CMakeFiles/dgcl_runtime.dir/transport.cc.o"
+  "CMakeFiles/dgcl_runtime.dir/transport.cc.o.d"
+  "libdgcl_runtime.a"
+  "libdgcl_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgcl_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

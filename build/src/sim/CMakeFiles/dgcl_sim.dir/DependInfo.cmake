@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/compute_model.cc" "src/sim/CMakeFiles/dgcl_sim.dir/compute_model.cc.o" "gcc" "src/sim/CMakeFiles/dgcl_sim.dir/compute_model.cc.o.d"
+  "/root/repo/src/sim/epoch_sim.cc" "src/sim/CMakeFiles/dgcl_sim.dir/epoch_sim.cc.o" "gcc" "src/sim/CMakeFiles/dgcl_sim.dir/epoch_sim.cc.o.d"
+  "/root/repo/src/sim/memory_model.cc" "src/sim/CMakeFiles/dgcl_sim.dir/memory_model.cc.o" "gcc" "src/sim/CMakeFiles/dgcl_sim.dir/memory_model.cc.o.d"
+  "/root/repo/src/sim/network_sim.cc" "src/sim/CMakeFiles/dgcl_sim.dir/network_sim.cc.o" "gcc" "src/sim/CMakeFiles/dgcl_sim.dir/network_sim.cc.o.d"
+  "/root/repo/src/sim/swap_model.cc" "src/sim/CMakeFiles/dgcl_sim.dir/swap_model.cc.o" "gcc" "src/sim/CMakeFiles/dgcl_sim.dir/swap_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/planner/CMakeFiles/dgcl_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/dgcl_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/dgcl_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dgcl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dgcl_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dgcl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

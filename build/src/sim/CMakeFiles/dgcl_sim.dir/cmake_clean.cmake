@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgcl_sim.dir/compute_model.cc.o"
+  "CMakeFiles/dgcl_sim.dir/compute_model.cc.o.d"
+  "CMakeFiles/dgcl_sim.dir/epoch_sim.cc.o"
+  "CMakeFiles/dgcl_sim.dir/epoch_sim.cc.o.d"
+  "CMakeFiles/dgcl_sim.dir/memory_model.cc.o"
+  "CMakeFiles/dgcl_sim.dir/memory_model.cc.o.d"
+  "CMakeFiles/dgcl_sim.dir/network_sim.cc.o"
+  "CMakeFiles/dgcl_sim.dir/network_sim.cc.o.d"
+  "CMakeFiles/dgcl_sim.dir/swap_model.cc.o"
+  "CMakeFiles/dgcl_sim.dir/swap_model.cc.o.d"
+  "libdgcl_sim.a"
+  "libdgcl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgcl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

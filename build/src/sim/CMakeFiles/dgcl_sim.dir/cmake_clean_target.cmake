@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdgcl_sim.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgcl_topology.dir/presets.cc.o"
+  "CMakeFiles/dgcl_topology.dir/presets.cc.o.d"
+  "CMakeFiles/dgcl_topology.dir/topology.cc.o"
+  "CMakeFiles/dgcl_topology.dir/topology.cc.o.d"
+  "libdgcl_topology.a"
+  "libdgcl_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgcl_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

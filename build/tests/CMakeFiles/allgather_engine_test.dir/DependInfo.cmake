@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/allgather_engine_test.cc" "tests/CMakeFiles/allgather_engine_test.dir/allgather_engine_test.cc.o" "gcc" "tests/CMakeFiles/allgather_engine_test.dir/allgather_engine_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dgcl/CMakeFiles/dgcl_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/dgcl_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dgcl_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dgcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/dgcl_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/dgcl_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/dgcl_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dgcl_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dgcl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dgcl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allgather_engine_test.dir/allgather_engine_test.cc.o"
+  "CMakeFiles/allgather_engine_test.dir/allgather_engine_test.cc.o.d"
+  "allgather_engine_test"
+  "allgather_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allgather_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

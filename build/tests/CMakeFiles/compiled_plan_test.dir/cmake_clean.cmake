@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiled_plan_test.dir/compiled_plan_test.cc.o"
+  "CMakeFiles/compiled_plan_test.dir/compiled_plan_test.cc.o.d"
+  "compiled_plan_test"
+  "compiled_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiled_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compute_model_test.dir/compute_model_test.cc.o"
+  "CMakeFiles/compute_model_test.dir/compute_model_test.cc.o.d"
+  "compute_model_test"
+  "compute_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compute_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

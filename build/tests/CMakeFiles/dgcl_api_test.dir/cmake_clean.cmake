@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgcl_api_test.dir/dgcl_api_test.cc.o"
+  "CMakeFiles/dgcl_api_test.dir/dgcl_api_test.cc.o.d"
+  "dgcl_api_test"
+  "dgcl_api_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgcl_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

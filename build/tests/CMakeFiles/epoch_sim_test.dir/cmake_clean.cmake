@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoch_sim_test.dir/epoch_sim_test.cc.o"
+  "CMakeFiles/epoch_sim_test.dir/epoch_sim_test.cc.o.d"
+  "epoch_sim_test"
+  "epoch_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoch_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_cache_test.dir/feature_cache_test.cc.o"
+  "CMakeFiles/feature_cache_test.dir/feature_cache_test.cc.o.d"
+  "feature_cache_test"
+  "feature_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_graph_test.dir/local_graph_test.cc.o"
+  "CMakeFiles/local_graph_test.dir/local_graph_test.cc.o.d"
+  "local_graph_test"
+  "local_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

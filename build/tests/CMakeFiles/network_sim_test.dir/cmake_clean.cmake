@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_sim_test.dir/network_sim_test.cc.o"
+  "CMakeFiles/network_sim_test.dir/network_sim_test.cc.o.d"
+  "network_sim_test"
+  "network_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

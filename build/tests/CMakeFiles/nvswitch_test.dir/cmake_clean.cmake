@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvswitch_test.dir/nvswitch_test.cc.o"
+  "CMakeFiles/nvswitch_test.dir/nvswitch_test.cc.o.d"
+  "nvswitch_test"
+  "nvswitch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvswitch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_dump_test.dir/plan_dump_test.cc.o"
+  "CMakeFiles/plan_dump_test.dir/plan_dump_test.cc.o.d"
+  "plan_dump_test"
+  "plan_dump_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_dump_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

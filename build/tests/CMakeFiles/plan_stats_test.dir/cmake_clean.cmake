@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_stats_test.dir/plan_stats_test.cc.o"
+  "CMakeFiles/plan_stats_test.dir/plan_stats_test.cc.o.d"
+  "plan_stats_test"
+  "plan_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

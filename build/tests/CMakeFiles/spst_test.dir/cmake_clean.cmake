@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spst_test.dir/spst_test.cc.o"
+  "CMakeFiles/spst_test.dir/spst_test.cc.o.d"
+  "spst_test"
+  "spst_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/straggler_test.dir/straggler_test.cc.o"
+  "CMakeFiles/straggler_test.dir/straggler_test.cc.o.d"
+  "straggler_test"
+  "straggler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/straggler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

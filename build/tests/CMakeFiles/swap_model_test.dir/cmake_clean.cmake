@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swap_model_test.dir/swap_model_test.cc.o"
+  "CMakeFiles/swap_model_test.dir/swap_model_test.cc.o.d"
+  "swap_model_test"
+  "swap_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swap_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

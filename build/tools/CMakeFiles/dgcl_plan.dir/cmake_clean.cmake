@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgcl_plan.dir/dgcl_plan.cc.o"
+  "CMakeFiles/dgcl_plan.dir/dgcl_plan.cc.o.d"
+  "dgcl_plan"
+  "dgcl_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgcl_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
