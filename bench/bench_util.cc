@@ -1,6 +1,8 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <map>
 
 namespace dgcl {
@@ -82,6 +84,75 @@ std::string CommCell(const Result<EpochReport>& report) {
     return "OOM";
   }
   return TablePrinter::Fmt(report->comm_ms, 1);
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void JsonRecord::AddString(const std::string& key, const std::string& value) {
+  fields.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+void JsonRecord::AddNumber(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  fields.emplace_back(key, buf);
+}
+
+void JsonRecord::AddInt(const std::string& key, uint64_t value) {
+  fields.emplace_back(key, std::to_string(value));
+}
+
+std::optional<std::string> ConsumeJsonFlag(int* argc, char** argv) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+      std::string path = argv[i + 1];
+      for (int j = i; j + 2 < *argc; ++j) {
+        argv[j] = argv[j + 2];
+      }
+      *argc -= 2;
+      return path;
+    }
+  }
+  return std::nullopt;
+}
+
+Status WriteJsonRecords(const std::string& path, const std::vector<JsonRecord>& records) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  out << "[\n";
+  for (size_t r = 0; r < records.size(); ++r) {
+    out << "  {";
+    for (size_t f = 0; f < records[r].fields.size(); ++f) {
+      out << "\"" << JsonEscape(records[r].fields[f].first)
+          << "\": " << records[r].fields[f].second;
+      if (f + 1 < records[r].fields.size()) {
+        out << ", ";
+      }
+    }
+    out << "}" << (r + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  out.close();
+  if (!out) {
+    return Status::Internal("error writing " + path);
+  }
+  return Status::Ok();
 }
 
 void PrintHeader(const std::string& what) {

@@ -8,9 +8,12 @@
 #ifndef DGCL_BENCH_BENCH_UTIL_H_
 #define DGCL_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/table_printer.h"
 #include "graph/generators.h"
@@ -50,6 +53,28 @@ std::string EpochCell(const Result<EpochReport>& report);
 std::string CommCell(const Result<EpochReport>& report);
 
 void PrintHeader(const std::string& what);
+
+// ---- Machine-readable bench output ----------------------------------------
+//
+// Benches accumulate flat records and, when the user passes `--json <path>`,
+// write them as a JSON array of objects so the perf trajectory can be tracked
+// across revisions (e.g. BENCH_table8.json from scripts/reproduce.sh).
+
+struct JsonRecord {
+  // Field order is preserved; values are stored pre-encoded.
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  void AddString(const std::string& key, const std::string& value);
+  void AddNumber(const std::string& key, double value);
+  void AddInt(const std::string& key, uint64_t value);
+};
+
+// Strips a "--json <path>" pair from argv (so downstream flag parsers, e.g.
+// google-benchmark's, never see it) and returns the path when present.
+std::optional<std::string> ConsumeJsonFlag(int* argc, char** argv);
+
+// Writes the records as a JSON array; parent directory must exist.
+Status WriteJsonRecords(const std::string& path, const std::vector<JsonRecord>& records);
 
 }  // namespace bench
 }  // namespace dgcl

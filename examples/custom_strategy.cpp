@@ -58,19 +58,23 @@ Topology BuildRingTopology() {
 }
 
 // Every vertex goes source -> hub (device 0) -> destinations. Deliberately
-// naive; shows the Planner contract (trees rooted at the source).
+// naive; shows the Planner contract (class trees rooted at the source —
+// all vertices of a (source, dest_mask) class share one tree).
 class HubPlanner final : public Planner {
  public:
-  Result<CommPlan> Plan(const CommRelation& relation, const Topology& topo,
-                        double bytes_per_unit) override {
+  Result<ClassPlan> PlanClasses(const CommClasses& classes, const Topology& topo,
+                                double bytes_per_unit) override {
     (void)bytes_per_unit;
-    CommPlan plan;
-    plan.num_devices = relation.num_devices;
-    for (VertexId v : relation.VerticesWithDestinations()) {
-      CommTree tree;
-      tree.vertex = v;
-      const uint32_t src = relation.source[v];
-      DeviceMask remaining = relation.dest_mask[v];
+    ClassPlan plan;
+    plan.num_devices = classes.num_devices;
+    for (uint32_t c = 0; c < classes.classes.size(); ++c) {
+      const CommClass& cls = classes.classes[c];
+      ClassTree tree;
+      tree.class_id = c;
+      tree.first = 0;
+      tree.count = static_cast<uint32_t>(cls.vertices.size());
+      const uint32_t src = cls.source;
+      DeviceMask remaining = cls.mask;
       uint32_t fanout_stage = 0;
       if (src != 0) {
         if ((remaining >> 0) & 1) {

@@ -8,5 +8,10 @@ cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
-for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
-echo "done: see test_output.txt and bench_output.txt"
+for b in build/bench/*; do
+  case "$(basename "$b")" in
+    bench_table8_spst_runtime) "$b" --json BENCH_table8.json ;;
+    *) "$b" ;;
+  esac
+done 2>&1 | tee bench_output.txt
+echo "done: see test_output.txt, bench_output.txt and BENCH_table8.json"

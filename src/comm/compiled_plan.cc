@@ -9,19 +9,16 @@
 #include "common/logging.h"
 
 namespace dgcl {
+namespace {
 
-CompiledPlan CompilePlan(const CommPlan& plan, const Topology& topo) {
+// (stage, link) -> vertex ids crossing there; shared by both compile paths.
+using TransferGroups = std::map<std::pair<uint32_t, LinkId>, std::vector<VertexId>>;
+
+CompiledPlan GroupsToPlan(TransferGroups& groups, uint32_t num_devices, uint32_t num_stages,
+                          const Topology& topo) {
   CompiledPlan out;
-  out.num_devices = plan.num_devices;
-  out.num_stages = plan.NumStages();
-
-  // Group tree edges by (stage, link).
-  std::map<std::pair<uint32_t, LinkId>, std::vector<VertexId>> groups;
-  for (const CommTree& tree : plan.trees) {
-    for (const TreeEdge& e : tree.edges) {
-      groups[{e.stage, e.link}].push_back(tree.vertex);
-    }
-  }
+  out.num_devices = num_devices;
+  out.num_stages = num_stages;
   out.ops.reserve(groups.size());
   for (auto& [key, vertices] : groups) {
     std::sort(vertices.begin(), vertices.end());
@@ -41,6 +38,35 @@ CompiledPlan CompilePlan(const CommPlan& plan, const Topology& topo) {
     out.ops_by_dst[out.ops[i].dst].push_back(i);
   }
   return out;
+}
+
+}  // namespace
+
+CompiledPlan CompilePlan(const CommPlan& plan, const Topology& topo) {
+  TransferGroups groups;
+  for (const CommTree& tree : plan.trees) {
+    for (const TreeEdge& e : tree.edges) {
+      groups[{e.stage, e.link}].push_back(tree.vertex);
+    }
+  }
+  return GroupsToPlan(groups, plan.num_devices, plan.NumStages(), topo);
+}
+
+CompiledPlan CompilePlan(const ClassPlan& plan, const CommClasses& classes,
+                         const Topology& topo) {
+  TransferGroups groups;
+  for (const ClassTree& tree : plan.trees) {
+    DGCL_CHECK_LT(tree.class_id, classes.classes.size());
+    const CommClass& cls = classes.classes[tree.class_id];
+    DGCL_CHECK(tree.first + tree.count <= cls.vertices.size());
+    const auto chunk_begin = cls.vertices.begin() + tree.first;
+    const auto chunk_end = chunk_begin + tree.count;
+    for (const TreeEdge& e : tree.edges) {
+      auto& vertices = groups[{e.stage, e.link}];
+      vertices.insert(vertices.end(), chunk_begin, chunk_end);
+    }
+  }
+  return GroupsToPlan(groups, plan.num_devices, plan.NumStages(), topo);
 }
 
 uint64_t CompiledPlan::TableBytes() const {

@@ -50,6 +50,13 @@ struct CompiledPlan {
 // Groups the plan's per-vertex tree edges into batched transfer ops.
 CompiledPlan CompilePlan(const CommPlan& plan, const Topology& topo);
 
+// Same, but straight from a class plan: each class tree's edges contribute
+// the chunk's vertex ids to the (stage, link) group. Produces byte-identical
+// tables to CompilePlan(ExpandClassPlan(plan, classes), topo) without
+// materializing the per-vertex trees.
+CompiledPlan CompilePlan(const ClassPlan& plan, const CommClasses& classes,
+                         const Topology& topo);
+
 // Assigns backward sub-stages (§6.2): within each (receiving device, stage)
 // group, two ops that both carry a given vertex must land in different
 // sub-stages so its gradient is never written by two peers concurrently.

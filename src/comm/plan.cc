@@ -25,6 +25,48 @@ uint32_t CommPlan::NumStages() const {
   return stages;
 }
 
+uint32_t ClassTree::MaxStage() const {
+  uint32_t max_stage = 0;
+  for (const TreeEdge& e : edges) {
+    max_stage = std::max(max_stage, e.stage);
+  }
+  return max_stage;
+}
+
+uint32_t ClassPlan::NumStages() const {
+  uint32_t stages = 0;
+  for (const ClassTree& tree : trees) {
+    if (!tree.edges.empty()) {
+      stages = std::max(stages, tree.MaxStage() + 1);
+    }
+  }
+  return stages;
+}
+
+CommPlan ExpandClassPlan(const ClassPlan& plan, const CommClasses& classes) {
+  CommPlan out;
+  out.num_devices = plan.num_devices;
+  uint64_t total = 0;
+  for (const ClassTree& tree : plan.trees) {
+    total += tree.count;
+  }
+  out.trees.reserve(total);
+  for (const ClassTree& tree : plan.trees) {
+    DGCL_CHECK_LT(tree.class_id, classes.classes.size());
+    const CommClass& cls = classes.classes[tree.class_id];
+    DGCL_CHECK(tree.first + tree.count <= cls.vertices.size());
+    for (uint32_t i = 0; i < tree.count; ++i) {
+      CommTree per_vertex;
+      per_vertex.vertex = cls.vertices[tree.first + i];
+      per_vertex.edges = tree.edges;
+      out.trees.push_back(std::move(per_vertex));
+    }
+  }
+  std::sort(out.trees.begin(), out.trees.end(),
+            [](const CommTree& a, const CommTree& b) { return a.vertex < b.vertex; });
+  return out;
+}
+
 Status ValidatePlan(const CommPlan& plan, const CommRelation& relation, const Topology& topo) {
   if (plan.num_devices != relation.num_devices) {
     return Status::InvalidArgument("device count mismatch");

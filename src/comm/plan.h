@@ -38,6 +38,33 @@ struct CommPlan {
   uint32_t NumStages() const;
 };
 
+// One tree shared by a contiguous chunk of an equivalence class: it covers
+// classes[class_id].vertices[first, first + count) and every edge carries
+// `count` vertex units. A class larger than the planner's chunk bound is
+// split into several ClassTrees whose ranges partition the vertex list.
+struct ClassTree {
+  uint32_t class_id = 0;
+  uint32_t first = 0;
+  uint32_t count = 0;
+  std::vector<TreeEdge> edges;  // ordered so a parent edge precedes children
+
+  uint32_t MaxStage() const;
+};
+
+// A plan over destination-set equivalence classes (batched SPST). The
+// runtime never sees this form: it is either expanded to the per-vertex
+// CommPlan or compiled directly into the same send/recv tables.
+struct ClassPlan {
+  uint32_t num_devices = 0;
+  std::vector<ClassTree> trees;
+
+  uint32_t NumStages() const;
+};
+
+// Expands class trees into the per-vertex plan: every vertex of a chunk gets
+// a copy of the chunk's tree. Trees come out ordered by vertex id.
+CommPlan ExpandClassPlan(const ClassPlan& plan, const CommClasses& classes);
+
 // Verifies the plan against the relation and topology:
 //  * every tree's edges form a connected tree rooted at source(u), with edge
 //    stages equal to child depth and each device entered at most once;

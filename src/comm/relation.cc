@@ -1,6 +1,8 @@
 #include "comm/relation.h"
 
 #include <bit>
+#include <map>
+#include <utility>
 
 namespace dgcl {
 
@@ -57,6 +59,37 @@ std::vector<std::vector<uint64_t>> CommRelation::PairVolumes() const {
     }
   }
   return volumes;
+}
+
+uint64_t CommClasses::TotalWeight() const {
+  uint64_t total = 0;
+  for (const CommClass& c : classes) {
+    total += c.weight;
+  }
+  return total;
+}
+
+CommClasses BuildCommClasses(const CommRelation& relation) {
+  CommClasses out;
+  out.num_devices = relation.num_devices;
+  // std::map keys give the deterministic (source, mask) ascending order;
+  // vertices arrive ascending because v is scanned in id order.
+  std::map<std::pair<uint32_t, DeviceMask>, std::vector<VertexId>> groups;
+  for (VertexId v = 0; v < relation.dest_mask.size(); ++v) {
+    if (relation.dest_mask[v] != 0) {
+      groups[{relation.source[v], relation.dest_mask[v]}].push_back(v);
+    }
+  }
+  out.classes.reserve(groups.size());
+  for (auto& [key, vertices] : groups) {
+    CommClass c;
+    c.source = key.first;
+    c.mask = key.second;
+    c.weight = vertices.size();
+    c.vertices = std::move(vertices);
+    out.classes.push_back(std::move(c));
+  }
+  return out;
 }
 
 std::vector<VertexId> CommRelation::VerticesWithDestinations() const {

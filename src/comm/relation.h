@@ -45,6 +45,32 @@ struct CommRelation {
   std::vector<VertexId> VerticesWithDestinations() const;
 };
 
+// A destination-set equivalence class: every vertex owned by `source` whose
+// destination set is exactly `mask`. All members share the same feasible
+// strategies, so the planner can grow one tree for the whole class and commit
+// `weight` vertex units to the cost model in one shot — millions of vertices
+// collapse into at most (num_devices × distinct masks) classes.
+struct CommClass {
+  uint32_t source = 0;
+  DeviceMask mask = 0;
+  std::vector<VertexId> vertices;  // members, ascending global ids
+  uint64_t weight = 0;             // == vertices.size(): units of traffic
+};
+
+// The grouped view of a CommRelation. Classes are ordered by (source, mask)
+// ascending, so the grouping is deterministic for a given relation.
+struct CommClasses {
+  uint32_t num_devices = 0;
+  std::vector<CommClass> classes;
+
+  // Sum of class weights == number of vertices with destinations.
+  uint64_t TotalWeight() const;
+};
+
+// Groups the relation's vertices into destination-set equivalence classes.
+// Vertices with an empty destination set are skipped (they need no plan).
+CommClasses BuildCommClasses(const CommRelation& relation);
+
 // Fails if the partitioning is invalid or has more than kMaxDevices parts.
 Result<CommRelation> BuildCommRelation(const CsrGraph& graph, const Partitioning& partitioning);
 

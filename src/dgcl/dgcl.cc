@@ -14,6 +14,8 @@ struct DgclContext::State {
   const CsrGraph* graph = nullptr;  // set by BuildCommInfo; caller-owned
   Partitioning partitioning;
   CommRelation relation;
+  CommClasses classes;
+  ClassPlan class_plan;
   CommPlan plan;
   CompiledPlan compiled;
   std::optional<AllgatherEngine> engine;
@@ -42,10 +44,15 @@ Status DgclContext::BuildCommInfo(const CsrGraph& graph) {
   MultilevelPartitioner partitioner(s.options.partition);
   DGCL_ASSIGN_OR_RETURN(s.partitioning, PartitionForTopology(graph, s.topology, partitioner));
   DGCL_ASSIGN_OR_RETURN(s.relation, BuildCommRelation(graph, s.partitioning));
+  s.classes = BuildCommClasses(s.relation);
   SpstPlanner planner(s.options.spst);
-  DGCL_ASSIGN_OR_RETURN(s.plan, planner.Plan(s.relation, s.topology, s.options.bytes_per_unit));
+  DGCL_ASSIGN_OR_RETURN(
+      s.class_plan, planner.PlanClasses(s.classes, s.topology, s.options.bytes_per_unit));
+  s.plan = ExpandClassPlan(s.class_plan, s.classes);
   DGCL_RETURN_IF_ERROR(ValidatePlan(s.plan, s.relation, s.topology));
-  s.compiled = CompilePlan(s.plan, s.topology);
+  // Compile straight from the class trees: byte-identical tables to
+  // compiling the expanded plan, without touching the per-vertex trees.
+  s.compiled = CompilePlan(s.class_plan, s.classes, s.topology);
   AssignBackwardSubstages(s.compiled);
   DGCL_ASSIGN_OR_RETURN(AllgatherEngine engine,
                         AllgatherEngine::Create(s.relation, s.compiled, s.topology));
@@ -109,6 +116,8 @@ uint32_t DgclContext::num_devices() const { return state_->topology.num_devices(
 const Topology& DgclContext::topology() const { return state_->topology; }
 const Partitioning& DgclContext::partitioning() const { return state_->partitioning; }
 const CommRelation& DgclContext::relation() const { return state_->relation; }
+const CommClasses& DgclContext::comm_classes() const { return state_->classes; }
+const ClassPlan& DgclContext::class_plan() const { return state_->class_plan; }
 const CommPlan& DgclContext::plan() const { return state_->plan; }
 const CompiledPlan& DgclContext::compiled_plan() const { return state_->compiled; }
 

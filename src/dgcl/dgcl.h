@@ -9,8 +9,11 @@
 //
 // Init sets up the communication environment for the given topology.
 // BuildCommInfo partitions the graph (hierarchically when the topology spans
-// machines), builds the communication relation, runs the SPST planner and
-// compiles the plan into send/receive tables for the runtime. GraphAllgather
+// machines), builds the communication relation, groups it into destination-
+// set equivalence classes, runs the batched SPST planner over the classes
+// (chunk size: DgclOptions::spst.max_class_units) and compiles the class
+// trees into the same per-vertex send/receive tables the runtime always
+// consumed. GraphAllgather
 // is the synchronous embedding exchange used before every layer's graph op;
 // GraphAllgatherBackward routes gradients to vertex owners in reverse.
 //
@@ -36,6 +39,8 @@
 namespace dgcl {
 
 struct DgclOptions {
+  // Planner knobs, including max_class_units (the class-batching chunk
+  // bound; 0 recovers per-vertex planning for ablations).
   SpstOptions spst;
   MultilevelOptions partition;
   double bytes_per_unit = 1024.0;  // embedding bytes used for planning
@@ -76,6 +81,8 @@ class DgclContext {
   const Topology& topology() const;
   const Partitioning& partitioning() const;   // valid after BuildCommInfo
   const CommRelation& relation() const;       // valid after BuildCommInfo
+  const CommClasses& comm_classes() const;    // valid after BuildCommInfo
+  const ClassPlan& class_plan() const;        // valid after BuildCommInfo
   const CommPlan& plan() const;               // valid after BuildCommInfo
   const CompiledPlan& compiled_plan() const;  // valid after BuildCommInfo
 

@@ -4,25 +4,26 @@
 
 namespace dgcl {
 
-Result<CommPlan> PeerToPeerPlanner::Plan(const CommRelation& relation, const Topology& topo,
-                                         double bytes_per_unit) {
+Result<ClassPlan> PeerToPeerPlanner::PlanClasses(const CommClasses& classes,
+                                                 const Topology& topo, double bytes_per_unit) {
   (void)bytes_per_unit;
-  if (relation.num_devices != topo.num_devices()) {
+  if (classes.num_devices != topo.num_devices()) {
     return Status::InvalidArgument("relation/topology device count mismatch");
   }
-  CommPlan plan;
-  plan.num_devices = relation.num_devices;
-  for (VertexId v = 0; v < relation.dest_mask.size(); ++v) {
-    DeviceMask mask = relation.dest_mask[v];
-    if (mask == 0) {
-      continue;
-    }
-    CommTree tree;
-    tree.vertex = v;
+  ClassPlan plan;
+  plan.num_devices = classes.num_devices;
+  plan.trees.reserve(classes.classes.size());
+  for (uint32_t c = 0; c < classes.classes.size(); ++c) {
+    const CommClass& cls = classes.classes[c];
+    ClassTree tree;
+    tree.class_id = c;
+    tree.first = 0;
+    tree.count = static_cast<uint32_t>(cls.vertices.size());
+    DeviceMask mask = cls.mask;
     while (mask != 0) {
       uint32_t d = static_cast<uint32_t>(std::countr_zero(mask));
       mask &= mask - 1;
-      LinkId link = topo.LinkBetween(relation.source[v], d);
+      LinkId link = topo.LinkBetween(cls.source, d);
       if (link == kInvalidId) {
         return Status::FailedPrecondition("no direct link for peer-to-peer transfer");
       }
@@ -33,26 +34,26 @@ Result<CommPlan> PeerToPeerPlanner::Plan(const CommRelation& relation, const Top
   return plan;
 }
 
-Result<CommPlan> RingPlanner::Plan(const CommRelation& relation, const Topology& topo,
-                                   double bytes_per_unit) {
+Result<ClassPlan> RingPlanner::PlanClasses(const CommClasses& classes, const Topology& topo,
+                                           double bytes_per_unit) {
   (void)bytes_per_unit;
-  if (relation.num_devices != topo.num_devices()) {
+  if (classes.num_devices != topo.num_devices()) {
     return Status::InvalidArgument("relation/topology device count mismatch");
   }
-  CommPlan plan;
-  plan.num_devices = relation.num_devices;
-  const uint32_t n = relation.num_devices;
-  for (VertexId v = 0; v < relation.dest_mask.size(); ++v) {
-    DeviceMask mask = relation.dest_mask[v];
-    if (mask == 0) {
-      continue;
-    }
-    CommTree tree;
-    tree.vertex = v;
+  ClassPlan plan;
+  plan.num_devices = classes.num_devices;
+  const uint32_t n = classes.num_devices;
+  plan.trees.reserve(classes.classes.size());
+  for (uint32_t c = 0; c < classes.classes.size(); ++c) {
+    const CommClass& cls = classes.classes[c];
+    ClassTree tree;
+    tree.class_id = c;
+    tree.first = 0;
+    tree.count = static_cast<uint32_t>(cls.vertices.size());
     // Walk the ring src -> src+1 -> ... until all destinations are passed.
-    uint32_t current = relation.source[v];
+    uint32_t current = cls.source;
     uint32_t stage = 0;
-    DeviceMask remaining = mask;
+    DeviceMask remaining = cls.mask;
     while (remaining != 0) {
       uint32_t next = (current + 1) % n;
       LinkId link = topo.LinkBetween(current, next);

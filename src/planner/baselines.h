@@ -7,6 +7,10 @@
 //    destination is covered (the NCCL-style regular pattern; an ablation
 //    showing why regular collectives fit GNN traffic poorly).
 //
+// Both are oblivious to load, so they plan one tree per equivalence class
+// with no chunking; the expanded per-vertex trees are identical to what
+// per-vertex planning produced.
+//
 // Swap and Replication are not link-level planners (they restructure the
 // computation instead); they are modeled in src/sim/.
 
@@ -19,15 +23,15 @@ namespace dgcl {
 
 class PeerToPeerPlanner final : public Planner {
  public:
-  Result<CommPlan> Plan(const CommRelation& relation, const Topology& topo,
-                        double bytes_per_unit) override;
+  Result<ClassPlan> PlanClasses(const CommClasses& classes, const Topology& topo,
+                                double bytes_per_unit) override;
   std::string name() const override { return "peer-to-peer"; }
 };
 
 class RingPlanner final : public Planner {
  public:
-  Result<CommPlan> Plan(const CommRelation& relation, const Topology& topo,
-                        double bytes_per_unit) override;
+  Result<ClassPlan> PlanClasses(const CommClasses& classes, const Topology& topo,
+                                double bytes_per_unit) override;
   std::string name() const override { return "ring"; }
 };
 

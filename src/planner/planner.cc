@@ -1,0 +1,12 @@
+#include "planner/planner.h"
+
+namespace dgcl {
+
+Result<CommPlan> Planner::Plan(const CommRelation& relation, const Topology& topo,
+                               double bytes_per_unit) {
+  CommClasses classes = BuildCommClasses(relation);
+  DGCL_ASSIGN_OR_RETURN(ClassPlan class_plan, PlanClasses(classes, topo, bytes_per_unit));
+  return ExpandClassPlan(class_plan, classes);
+}
+
+}  // namespace dgcl

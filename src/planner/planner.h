@@ -1,4 +1,12 @@
-// Planner interface: communication relation + topology -> communication plan.
+// Planner interface: communication classes + topology -> communication plan.
+//
+// Planners operate on destination-set equivalence classes (CommClasses), not
+// raw vertices: every vertex of a class has the same source and destination
+// set, so one tree serves the whole class and the cost model is charged the
+// class weight in one shot. Per-vertex semantics are recovered by expanding
+// the class plan (ExpandClassPlan) or compiling it directly
+// (CompilePlan(ClassPlan, ...)); both produce byte-identical runtime tables
+// to per-vertex planning with the same trees.
 
 #ifndef DGCL_PLANNER_PLANNER_H_
 #define DGCL_PLANNER_PLANNER_H_
@@ -19,8 +27,13 @@ class Planner {
   // `bytes_per_unit` is the embedding size in bytes; per §5.1 the optimal
   // plan is independent of it, but cost-model-driven planners still need a
   // consistent unit.
-  virtual Result<CommPlan> Plan(const CommRelation& relation, const Topology& topo,
-                                double bytes_per_unit) = 0;
+  virtual Result<ClassPlan> PlanClasses(const CommClasses& classes, const Topology& topo,
+                                        double bytes_per_unit) = 0;
+
+  // Convenience wrapper: groups the relation into classes, plans, and
+  // expands the class trees back into the per-vertex plan.
+  Result<CommPlan> Plan(const CommRelation& relation, const Topology& topo,
+                        double bytes_per_unit);
 
   virtual std::string name() const = 0;
 };

@@ -13,18 +13,20 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// One shortest-path search over the (device, depth) layered graph.
+// One shortest-path search over the (device, depth) layered graph, routing
+// `units` vertex embeddings at once (a whole class chunk).
 //
 // Sources: devices already in the tree, at their recorded depths, distance 0.
 // Targets: any device whose bit is set in `remaining`, at any depth.
-// An edge out of depth k is weighted with the cost-model blow-up of using
-// that link at stage k. Devices already in the tree cannot be re-entered.
+// An edge out of depth k is weighted with the cost-model blow-up of adding
+// the chunk's units on that link at stage k. Devices already in the tree
+// cannot be re-entered.
 //
 // On success appends the path's edges to `tree_edges`, records new depths in
-// `depth_in_tree`, commits traffic to `model` and returns the reached device;
-// returns kInvalidId when no target is reachable within `max_depth`.
+// `depth_in_tree`, commits the units to `model` and returns the reached
+// device; returns kInvalidId when no target is reachable within `max_depth`.
 uint32_t GrowTreeOneStep(const Topology& topo, CostModel& model, double hop_epsilon,
-                         uint32_t max_depth, DeviceMask remaining,
+                         uint32_t max_depth, DeviceMask remaining, uint64_t units,
                          std::vector<uint32_t>& depth_in_tree,
                          std::vector<TreeEdge>& tree_edges) {
   const uint32_t num_devices = topo.num_devices();
@@ -45,6 +47,10 @@ uint32_t GrowTreeOneStep(const Topology& topo, CostModel& model, double hop_epsi
       queue.push({0.0, node});
     }
   }
+
+  // Epsilon scales with the units so chunks of different sizes tie-break
+  // consistently (one unit at units = 1 reproduces the per-vertex weights).
+  const double edge_epsilon = hop_epsilon * static_cast<double>(units);
 
   uint32_t target_node = kInvalidId;
   while (!queue.empty()) {
@@ -68,7 +74,7 @@ uint32_t GrowTreeOneStep(const Topology& topo, CostModel& model, double hop_epsi
         continue;  // a tree is a tree: never enter a device twice
       }
       const uint32_t next = node_of(link.dst, depth + 1);
-      const double weight = model.IncrementalCost(link_id, depth) + hop_epsilon;
+      const double weight = model.IncrementalCost(link_id, depth, units) + edge_epsilon;
       if (dist[node] + weight < dist[next]) {
         dist[next] = dist[node] + weight;
         parent_node[next] = node;
@@ -123,25 +129,73 @@ uint32_t GrowTreeOneStep(const Topology& topo, CostModel& model, double hop_epsi
     DGCL_CHECK_EQ(depth_in_tree[device], kInvalidId);
     depth_in_tree[device] = depth;
     tree_edges.push_back(TreeEdge{link_id, depth - 1});
-    model.AddTransfer(link_id, depth - 1);
+    model.AddTransfer(link_id, depth - 1, units);
   }
   return walk.back().first;
 }
 
+// A planner work item: `count` vertices of one class, planned as one tree.
+struct Chunk {
+  uint32_t class_id = 0;
+  uint32_t first = 0;
+  uint32_t count = 0;
+};
+
+// Splits every class into chunks of at most `max_units` vertices (evenly, so
+// a class of 300 at bound 256 becomes 150 + 150, not 256 + 44). max_units = 0
+// degenerates to one single-vertex chunk per vertex, enumerated in ascending
+// global vertex id — exactly the seed per-vertex work list.
+std::vector<Chunk> BuildChunks(const CommClasses& classes, uint32_t max_units) {
+  std::vector<Chunk> chunks;
+  if (max_units == 0) {
+    std::vector<std::pair<VertexId, Chunk>> per_vertex;
+    for (uint32_t c = 0; c < classes.classes.size(); ++c) {
+      const CommClass& cls = classes.classes[c];
+      for (uint32_t i = 0; i < cls.vertices.size(); ++i) {
+        per_vertex.emplace_back(cls.vertices[i], Chunk{c, i, 1});
+      }
+    }
+    std::sort(per_vertex.begin(), per_vertex.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    chunks.reserve(per_vertex.size());
+    for (auto& [vertex, chunk] : per_vertex) {
+      (void)vertex;
+      chunks.push_back(chunk);
+    }
+    return chunks;
+  }
+  for (uint32_t c = 0; c < classes.classes.size(); ++c) {
+    const uint64_t weight = classes.classes[c].weight;
+    if (weight == 0) {
+      continue;
+    }
+    const uint64_t num_chunks = (weight + max_units - 1) / max_units;
+    const uint64_t base = weight / num_chunks;
+    const uint64_t remainder = weight % num_chunks;
+    uint32_t first = 0;
+    for (uint64_t k = 0; k < num_chunks; ++k) {
+      const uint32_t count = static_cast<uint32_t>(base + (k < remainder ? 1 : 0));
+      chunks.push_back(Chunk{c, first, count});
+      first += count;
+    }
+  }
+  return chunks;
+}
+
 }  // namespace
 
-Result<CommPlan> SpstPlanner::Plan(const CommRelation& relation, const Topology& topo,
-                                   double bytes_per_unit) {
-  if (relation.num_devices != topo.num_devices()) {
+Result<ClassPlan> SpstPlanner::PlanClasses(const CommClasses& classes, const Topology& topo,
+                                           double bytes_per_unit) {
+  if (classes.num_devices != topo.num_devices()) {
     return Status::InvalidArgument("relation/topology device count mismatch");
   }
-  CommPlan plan;
-  plan.num_devices = relation.num_devices;
-  if (relation.num_devices <= 1) {
+  ClassPlan plan;
+  plan.num_devices = classes.num_devices;
+  if (classes.num_devices <= 1) {
     return plan;
   }
 
-  const uint32_t full_depth = relation.num_devices - 1;
+  const uint32_t full_depth = classes.num_devices - 1;
   uint32_t capped_depth = options_.max_tree_depth == 0
                               ? full_depth
                               : std::min(options_.max_tree_depth, full_depth);
@@ -157,27 +211,36 @@ Result<CommPlan> SpstPlanner::Plan(const CommRelation& relation, const Topology&
       max_bandwidth > 0.0 ? options_.hop_epsilon_fraction * bytes_per_unit / max_bandwidth
                           : 0.0;
 
-  std::vector<VertexId> order = relation.VerticesWithDestinations();
+  uint32_t max_units = options_.max_class_units;
+  if (max_units > 0 && options_.min_chunks > 0) {
+    const uint64_t adaptive = classes.TotalWeight() / options_.min_chunks;
+    max_units = static_cast<uint32_t>(
+        std::clamp<uint64_t>(adaptive, 1, options_.max_class_units));
+  }
+  std::vector<Chunk> order = BuildChunks(classes, max_units);
   if (options_.shuffle) {
     Rng rng(options_.shuffle_seed);
     rng.Shuffle(order);
   }
   plan.trees.reserve(order.size());
 
-  std::vector<uint32_t> depth_in_tree(relation.num_devices, kInvalidId);
-  for (VertexId u : order) {
-    CommTree tree;
-    tree.vertex = u;
+  std::vector<uint32_t> depth_in_tree(classes.num_devices, kInvalidId);
+  for (const Chunk& chunk : order) {
+    const CommClass& cls = classes.classes[chunk.class_id];
+    ClassTree tree;
+    tree.class_id = chunk.class_id;
+    tree.first = chunk.first;
+    tree.count = chunk.count;
     std::fill(depth_in_tree.begin(), depth_in_tree.end(), kInvalidId);
-    depth_in_tree[relation.source[u]] = 0;
-    DeviceMask remaining = relation.dest_mask[u];
+    depth_in_tree[cls.source] = 0;
+    DeviceMask remaining = cls.mask;
     while (remaining != 0) {
-      uint32_t reached = GrowTreeOneStep(topo, model, hop_epsilon,
-                                         capped_depth, remaining, depth_in_tree, tree.edges);
+      uint32_t reached = GrowTreeOneStep(topo, model, hop_epsilon, capped_depth, remaining,
+                                         chunk.count, depth_in_tree, tree.edges);
       if (reached == kInvalidId && capped_depth < full_depth) {
         // Depth cap too tight for this tree shape; retry with the full bound.
-        reached = GrowTreeOneStep(topo, model, hop_epsilon, full_depth,
-                                  remaining, depth_in_tree, tree.edges);
+        reached = GrowTreeOneStep(topo, model, hop_epsilon, full_depth, remaining,
+                                  chunk.count, depth_in_tree, tree.edges);
       }
       if (reached == kInvalidId) {
         return Status::Internal("destination unreachable in communication topology");

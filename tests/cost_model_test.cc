@@ -96,6 +96,58 @@ TEST(CostModelTest, IncrementalIsZeroForUnderloadedLink) {
   EXPECT_GT(model.IncrementalCost(topo.LinkBetween(0, 5), 0, 10), 0.0);
 }
 
+TEST(CostModelTest, WeightedAddTransferEqualsRepeatedUnitAdds) {
+  // The batched planner commits a whole class chunk in one AddTransfer; that
+  // must be indistinguishable from committing its vertices one at a time.
+  Topology topo = BuildPaperTopology(8);
+  Rng rng(31);
+  CostModel weighted(topo, 7, 2048.0);
+  CostModel repeated(topo, 7, 2048.0);
+  for (int i = 0; i < 200; ++i) {
+    LinkId link = static_cast<LinkId>(rng.UniformInt(topo.num_links()));
+    uint32_t stage = static_cast<uint32_t>(rng.UniformInt(7));
+    uint64_t units = 1 + rng.UniformInt(100);
+    weighted.AddTransfer(link, stage, units);
+    for (uint64_t u = 0; u < units; ++u) {
+      repeated.AddTransfer(link, stage);
+    }
+    EXPECT_NEAR(weighted.TotalSeconds(), repeated.TotalSeconds(), 1e-12);
+  }
+  for (uint32_t stage = 0; stage < 7; ++stage) {
+    EXPECT_NEAR(weighted.StageSeconds(stage), repeated.StageSeconds(stage), 1e-12);
+    for (ConnId conn = 0; conn < topo.num_connections(); ++conn) {
+      EXPECT_EQ(weighted.HopLoad(stage, conn), repeated.HopLoad(stage, conn));
+    }
+  }
+}
+
+TEST(CostModelTest, WeightedIncrementalCostEqualsRepeatedDelta) {
+  // IncrementalCost(link, stage, k) must equal the total-seconds delta of k
+  // consecutive unit transfers (the loads are integral, so the sum over unit
+  // deltas telescopes to the weighted delta).
+  Topology topo = BuildPaperTopology(8);
+  Rng rng(32);
+  CostModel model(topo, 7, 1024.0);
+  // Pre-load a random traffic pattern so bottlenecks exist.
+  for (int i = 0; i < 100; ++i) {
+    model.AddTransfer(static_cast<LinkId>(rng.UniformInt(topo.num_links())),
+                      static_cast<uint32_t>(rng.UniformInt(7)), 1 + rng.UniformInt(40));
+  }
+  for (int i = 0; i < 100; ++i) {
+    LinkId link = static_cast<LinkId>(rng.UniformInt(topo.num_links()));
+    uint32_t stage = static_cast<uint32_t>(rng.UniformInt(7));
+    uint64_t units = 1 + rng.UniformInt(64);
+    const double weighted = model.IncrementalCost(link, stage, units);
+    CostModel probe = model;  // copy; run the unit transfers on the clone
+    double repeated = 0.0;
+    for (uint64_t u = 0; u < units; ++u) {
+      repeated += probe.IncrementalCost(link, stage);
+      probe.AddTransfer(link, stage);
+    }
+    EXPECT_NEAR(weighted, repeated, 1e-12);
+  }
+}
+
 TEST(CostModelTest, CostIsLinearInBytesPerUnit) {
   // §5.1: the optimal plan is feature-dimension independent because the cost
   // scales linearly with the embedding size.

@@ -152,5 +152,72 @@ TEST(RelationTest, VerticesWithDestinationsAreExactlyBoundary) {
   }
 }
 
+TEST(CommClassesTest, Figure1Grouping) {
+  CsrGraph g = Figure1Graph();
+  auto rel = BuildCommRelation(g, Figure1Partitioning());
+  ASSERT_TRUE(rel.ok());
+  CommClasses classes = BuildCommClasses(*rel);
+  EXPECT_EQ(classes.num_devices, 4u);
+  // Every class groups vertices with identical (source, dest_mask); weights
+  // equal the member counts and the total covers all boundary vertices.
+  for (const CommClass& cls : classes.classes) {
+    ASSERT_FALSE(cls.vertices.empty());
+    EXPECT_EQ(cls.weight, cls.vertices.size());
+    EXPECT_NE(cls.mask, 0u);
+    for (VertexId v : cls.vertices) {
+      EXPECT_EQ(rel->source[v], cls.source);
+      EXPECT_EQ(rel->dest_mask[v], cls.mask);
+    }
+  }
+  EXPECT_EQ(classes.TotalWeight(), rel->VerticesWithDestinations().size());
+}
+
+TEST(CommClassesTest, DeterministicOrderAndCompleteness) {
+  Rng rng(8);
+  CsrGraph g = GenerateErdosRenyi(400, 1600, rng);
+  HashPartitioner hash;
+  auto rel = BuildCommRelation(g, *hash.Partition(g, 6));
+  ASSERT_TRUE(rel.ok());
+  CommClasses classes = BuildCommClasses(*rel);
+  // Strictly ascending (source, mask) order; ascending member ids.
+  for (size_t i = 1; i < classes.classes.size(); ++i) {
+    const CommClass& a = classes.classes[i - 1];
+    const CommClass& b = classes.classes[i];
+    EXPECT_TRUE(a.source < b.source || (a.source == b.source && a.mask < b.mask));
+  }
+  std::vector<char> seen(g.num_vertices(), 0);
+  for (const CommClass& cls : classes.classes) {
+    for (size_t i = 1; i < cls.vertices.size(); ++i) {
+      EXPECT_LT(cls.vertices[i - 1], cls.vertices[i]);
+    }
+    for (VertexId v : cls.vertices) {
+      EXPECT_EQ(seen[v], 0);  // each vertex in exactly one class
+      seen[v] = 1;
+    }
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(seen[v] != 0, rel->dest_mask[v] != 0);
+  }
+  // Rebuilding yields the identical view.
+  CommClasses again = BuildCommClasses(*rel);
+  ASSERT_EQ(again.classes.size(), classes.classes.size());
+  for (size_t i = 0; i < classes.classes.size(); ++i) {
+    EXPECT_EQ(again.classes[i].source, classes.classes[i].source);
+    EXPECT_EQ(again.classes[i].mask, classes.classes[i].mask);
+    EXPECT_EQ(again.classes[i].vertices, classes.classes[i].vertices);
+  }
+}
+
+TEST(CommClassesTest, SingleDeviceHasNoClasses) {
+  Rng rng(9);
+  CsrGraph g = GenerateErdosRenyi(50, 100, rng);
+  HashPartitioner hash;
+  auto rel = BuildCommRelation(g, *hash.Partition(g, 1));
+  ASSERT_TRUE(rel.ok());
+  CommClasses classes = BuildCommClasses(*rel);
+  EXPECT_TRUE(classes.classes.empty());
+  EXPECT_EQ(classes.TotalWeight(), 0u);
+}
+
 }  // namespace
 }  // namespace dgcl
