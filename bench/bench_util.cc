@@ -131,9 +131,15 @@ std::optional<std::string> ConsumeJsonFlag(int* argc, char** argv) {
 }
 
 Status WriteJsonRecords(const std::string& path, const std::vector<JsonRecord>& records) {
-  std::ofstream out(path);
+  // Write-then-rename so readers tracking the file across bench re-runs
+  // (perf dashboards, reproduce.sh consumers) never observe a truncated
+  // array: the target either holds its previous contents or the complete new
+  // ones. rename(2) is atomic within a filesystem, and the temp file lives
+  // next to the target so the rename never crosses one.
+  const std::string tmp_path = path + ".tmp";
+  std::ofstream out(tmp_path, std::ios::trunc);
   if (!out) {
-    return Status::Internal("cannot open " + path + " for writing");
+    return Status::Internal("cannot open " + tmp_path + " for writing");
   }
   out << "[\n";
   for (size_t r = 0; r < records.size(); ++r) {
@@ -150,7 +156,12 @@ Status WriteJsonRecords(const std::string& path, const std::vector<JsonRecord>& 
   out << "]\n";
   out.close();
   if (!out) {
-    return Status::Internal("error writing " + path);
+    std::remove(tmp_path.c_str());
+    return Status::Internal("error writing " + tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("cannot rename " + tmp_path + " to " + path);
   }
   return Status::Ok();
 }

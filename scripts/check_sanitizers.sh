@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Builds the repo twice — under ThreadSanitizer and AddressSanitizer — and
+# runs the concurrency-sensitive test binaries under each: the thread pool,
+# the speculative parallel planner (determinism + property suites), the
+# allgather engine and the coordination layer. Separate build trees
+# (build-tsan/, build-asan/) so the main build stays untouched.
+#
+# Usage: scripts/check_sanitizers.sh [thread|address]   (default: both)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TESTS_REGEX='thread_pool_test|plan_determinism_test|planner_property_test|spst_test|allgather_engine_test|coordination_test'
+
+run_one() {
+  local kind="$1"
+  local dir="build-${kind/thread/tsan}"
+  dir="${dir/address/asan}"
+  echo "=== ${kind} sanitizer: configuring ${dir} ==="
+  cmake -B "$dir" -S . -DDGCL_SANITIZE="$kind" >/dev/null
+  cmake --build "$dir" -j "$(nproc)" --target \
+    thread_pool_test plan_determinism_test planner_property_test spst_test \
+    allgather_engine_test coordination_test
+  echo "=== ${kind} sanitizer: running tests ==="
+  ctest --test-dir "$dir" -R "$TESTS_REGEX" --output-on-failure
+  echo "=== ${kind} sanitizer: OK ==="
+}
+
+case "${1:-both}" in
+  thread) run_one thread ;;
+  address) run_one address ;;
+  both)
+    run_one thread
+    run_one address
+    ;;
+  *)
+    echo "usage: $0 [thread|address]" >&2
+    exit 2
+    ;;
+esac

@@ -11,7 +11,10 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/*; do
   case "$(basename "$b")" in
     bench_table8_spst_runtime) "$b" --json BENCH_table8.json ;;
+    bench_plan_parallel) "$b" --json BENCH_plan_parallel.json ;;
     *) "$b" ;;
   esac
 done 2>&1 | tee bench_output.txt
-echo "done: see test_output.txt, bench_output.txt and BENCH_table8.json"
+echo "done: see test_output.txt, bench_output.txt, BENCH_table8.json and"
+echo "BENCH_plan_parallel.json. To vet the parallel planner under TSan/ASan,"
+echo "run scripts/check_sanitizers.sh (separate build trees, not rerun here)."

@@ -58,6 +58,12 @@ struct ClassPlan {
   uint32_t num_devices = 0;
   std::vector<ClassTree> trees;
 
+  // t(S) under the planner's cost model, as accounted while planning.
+  // Replaying the trees through a fresh CostModel (ReplayClassPlanCost)
+  // reproduces this bit-for-bit — a planner accounting invariant the
+  // property tests rely on. 0 when the plan is empty.
+  double planned_cost_seconds = 0.0;
+
   uint32_t NumStages() const;
 };
 

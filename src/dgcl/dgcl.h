@@ -40,7 +40,10 @@ namespace dgcl {
 
 struct DgclOptions {
   // Planner knobs, including max_class_units (the class-batching chunk
-  // bound; 0 recovers per-vertex planning for ablations).
+  // bound; 0 recovers per-vertex planning for ablations) and num_threads
+  // (speculative parallel planning on the shared thread pool; the plan is
+  // bit-identical for every thread count, so flipping it never changes
+  // what BuildCommInfo arms the runtime with).
   SpstOptions spst;
   MultilevelOptions partition;
   double bytes_per_unit = 1024.0;  // embedding bytes used for planning

@@ -1,73 +1,108 @@
 #include "planner/baselines.h"
 
 #include <bit>
+#include <limits>
+#include <mutex>
+
+#include "common/thread_pool.h"
+#include "planner/cost_model.h"
 
 namespace dgcl {
+namespace {
 
-Result<ClassPlan> PeerToPeerPlanner::PlanClasses(const CommClasses& classes,
-                                                 const Topology& topo, double bytes_per_unit) {
-  (void)bytes_per_unit;
+// Both baselines are oblivious to load, so class trees are independent and
+// planning is trivially parallel: ParallelFor fills slot c of the pre-sized
+// tree vector from class c alone, which is deterministic for every thread
+// count. Errors are collected first-index-wins so the reported failure is
+// also independent of scheduling.
+template <typename PlanOneClass>
+Result<ClassPlan> PlanClassesParallel(const CommClasses& classes, const Topology& topo,
+                                      double bytes_per_unit, uint32_t num_threads,
+                                      const PlanOneClass& plan_one) {
   if (classes.num_devices != topo.num_devices()) {
     return Status::InvalidArgument("relation/topology device count mismatch");
   }
   ClassPlan plan;
   plan.num_devices = classes.num_devices;
-  plan.trees.reserve(classes.classes.size());
-  for (uint32_t c = 0; c < classes.classes.size(); ++c) {
-    const CommClass& cls = classes.classes[c];
-    ClassTree tree;
-    tree.class_id = c;
+  plan.trees.resize(classes.classes.size());
+
+  std::mutex failure_mutex;
+  uint64_t failure_index = std::numeric_limits<uint64_t>::max();
+  Status failure = Status::Ok();
+  auto plan_class = [&](uint64_t c) {
+    ClassTree& tree = plan.trees[c];
+    tree.class_id = static_cast<uint32_t>(c);
     tree.first = 0;
-    tree.count = static_cast<uint32_t>(cls.vertices.size());
-    DeviceMask mask = cls.mask;
-    while (mask != 0) {
-      uint32_t d = static_cast<uint32_t>(std::countr_zero(mask));
-      mask &= mask - 1;
-      LinkId link = topo.LinkBetween(cls.source, d);
-      if (link == kInvalidId) {
-        return Status::FailedPrecondition("no direct link for peer-to-peer transfer");
+    tree.count = static_cast<uint32_t>(classes.classes[c].vertices.size());
+    Status s = plan_one(classes.classes[c], tree);
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lock(failure_mutex);
+      if (c < failure_index) {
+        failure_index = c;
+        failure = std::move(s);
       }
-      tree.edges.push_back(TreeEdge{link, 0});
     }
-    plan.trees.push_back(std::move(tree));
+  };
+
+  const uint32_t threads = ThreadPool::ResolveThreadCount(num_threads);
+  if (threads <= 1) {
+    for (uint64_t c = 0; c < plan.trees.size(); ++c) {
+      plan_class(c);
+    }
+  } else {
+    ThreadPool::Shared().ParallelFor(plan.trees.size(), plan_class);
   }
+  if (!failure.ok()) {
+    return failure;
+  }
+  plan.planned_cost_seconds = ReplayClassPlanCost(plan, topo, bytes_per_unit);
   return plan;
+}
+
+}  // namespace
+
+Result<ClassPlan> PeerToPeerPlanner::PlanClasses(const CommClasses& classes,
+                                                 const Topology& topo, double bytes_per_unit) {
+  return PlanClassesParallel(
+      classes, topo, bytes_per_unit, num_threads_,
+      [&topo](const CommClass& cls, ClassTree& tree) {
+        DeviceMask mask = cls.mask;
+        while (mask != 0) {
+          uint32_t d = static_cast<uint32_t>(std::countr_zero(mask));
+          mask &= mask - 1;
+          LinkId link = topo.LinkBetween(cls.source, d);
+          if (link == kInvalidId) {
+            return Status::FailedPrecondition("no direct link for peer-to-peer transfer");
+          }
+          tree.edges.push_back(TreeEdge{link, 0});
+        }
+        return Status::Ok();
+      });
 }
 
 Result<ClassPlan> RingPlanner::PlanClasses(const CommClasses& classes, const Topology& topo,
                                            double bytes_per_unit) {
-  (void)bytes_per_unit;
-  if (classes.num_devices != topo.num_devices()) {
-    return Status::InvalidArgument("relation/topology device count mismatch");
-  }
-  ClassPlan plan;
-  plan.num_devices = classes.num_devices;
   const uint32_t n = classes.num_devices;
-  plan.trees.reserve(classes.classes.size());
-  for (uint32_t c = 0; c < classes.classes.size(); ++c) {
-    const CommClass& cls = classes.classes[c];
-    ClassTree tree;
-    tree.class_id = c;
-    tree.first = 0;
-    tree.count = static_cast<uint32_t>(cls.vertices.size());
-    // Walk the ring src -> src+1 -> ... until all destinations are passed.
-    uint32_t current = cls.source;
-    uint32_t stage = 0;
-    DeviceMask remaining = cls.mask;
-    while (remaining != 0) {
-      uint32_t next = (current + 1) % n;
-      LinkId link = topo.LinkBetween(current, next);
-      if (link == kInvalidId) {
-        return Status::FailedPrecondition("ring hop without a link");
-      }
-      tree.edges.push_back(TreeEdge{link, stage});
-      remaining &= ~(DeviceMask{1} << next);
-      current = next;
-      ++stage;
-    }
-    plan.trees.push_back(std::move(tree));
-  }
-  return plan;
+  return PlanClassesParallel(
+      classes, topo, bytes_per_unit, num_threads_,
+      [&topo, n](const CommClass& cls, ClassTree& tree) {
+        // Walk the ring src -> src+1 -> ... until all destinations are passed.
+        uint32_t current = cls.source;
+        uint32_t stage = 0;
+        DeviceMask remaining = cls.mask;
+        while (remaining != 0) {
+          uint32_t next = (current + 1) % n;
+          LinkId link = topo.LinkBetween(current, next);
+          if (link == kInvalidId) {
+            return Status::FailedPrecondition("ring hop without a link");
+          }
+          tree.edges.push_back(TreeEdge{link, stage});
+          remaining &= ~(DeviceMask{1} << next);
+          current = next;
+          ++stage;
+        }
+        return Status::Ok();
+      });
 }
 
 }  // namespace dgcl

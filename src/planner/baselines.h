@@ -9,7 +9,9 @@
 //
 // Both are oblivious to load, so they plan one tree per equivalence class
 // with no chunking; the expanded per-vertex trees are identical to what
-// per-vertex planning produced.
+// per-vertex planning produced. Classes are independent, so both planners
+// fan the work out over the shared thread pool (num_threads != 1) with
+// slot-indexed writes — the plan is bit-identical for every thread count.
 //
 // Swap and Replication are not link-level planners (they restructure the
 // computation instead); they are modeled in src/sim/.
@@ -23,16 +25,27 @@ namespace dgcl {
 
 class PeerToPeerPlanner final : public Planner {
  public:
+  // 1 = serial (default), 0 = hardware concurrency, else that many workers.
+  explicit PeerToPeerPlanner(uint32_t num_threads = 1) : num_threads_(num_threads) {}
+
   Result<ClassPlan> PlanClasses(const CommClasses& classes, const Topology& topo,
                                 double bytes_per_unit) override;
   std::string name() const override { return "peer-to-peer"; }
+
+ private:
+  uint32_t num_threads_;
 };
 
 class RingPlanner final : public Planner {
  public:
+  explicit RingPlanner(uint32_t num_threads = 1) : num_threads_(num_threads) {}
+
   Result<ClassPlan> PlanClasses(const CommClasses& classes, const Topology& topo,
                                 double bytes_per_unit) override;
   std::string name() const override { return "ring"; }
+
+ private:
+  uint32_t num_threads_;
 };
 
 }  // namespace dgcl

@@ -21,6 +21,7 @@ double CostModel::HopSeconds(uint32_t stage, ConnId conn, uint64_t extra_units) 
 
 void CostModel::AddTransfer(LinkId link, uint32_t stage, uint64_t units) {
   DGCL_CHECK_LT(stage, max_stages_);
+  ++epoch_;
   double new_stage_max = stage_seconds_[stage];
   for (ConnId hop : topo_->link(link).hops) {
     loads_[stage][hop] += units;
@@ -47,6 +48,19 @@ double CostModel::ConnBusySeconds(ConnId conn) const {
     }
   }
   return busy;
+}
+
+double ReplayClassPlanCost(const ClassPlan& plan, const Topology& topo, double bytes_per_unit) {
+  if (plan.num_devices <= 1) {
+    return 0.0;
+  }
+  CostModel model(topo, plan.num_devices - 1, bytes_per_unit);
+  for (const ClassTree& tree : plan.trees) {
+    for (const TreeEdge& e : tree.edges) {
+      model.AddTransfer(e.link, e.stage, tree.count);
+    }
+  }
+  return model.TotalSeconds();
 }
 
 double EvaluatePlanCost(const CommPlan& plan, const Topology& topo, double bytes_per_unit) {

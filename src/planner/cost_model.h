@@ -48,6 +48,13 @@ class CostModel {
   uint32_t max_stages() const { return max_stages_; }
   double bytes_per_unit() const { return bytes_per_unit_; }
 
+  // Commit counter: incremented by every AddTransfer. Two models that
+  // evolved from the same state share an epoch iff they saw the same number
+  // of commits, which is how the parallel planner detects snapshot drift
+  // (a speculative plan computed at epoch e is exact iff the shared model is
+  // still at epoch e when the plan's turn to commit comes).
+  uint64_t epoch() const { return epoch_; }
+
   // Traffic (vertex units) on a connection at a stage.
   uint64_t HopLoad(uint32_t stage, ConnId conn) const { return loads_[stage][conn]; }
 
@@ -66,7 +73,14 @@ class CostModel {
   std::vector<std::vector<uint64_t>> loads_;  // [stage][conn], vertex units
   std::vector<double> stage_seconds_;         // max over conns per stage
   double total_seconds_ = 0.0;
+  uint64_t epoch_ = 0;
 };
+
+// Replays a class plan's trees (in order) through a fresh cost model and
+// returns the resulting t(S). For plans produced by SpstPlanner this is
+// bit-identical to the planner's internal accounting (the planner commits
+// the same AddTransfer sequence), which the property tests assert.
+double ReplayClassPlanCost(const ClassPlan& plan, const Topology& topo, double bytes_per_unit);
 
 // Evaluates a whole plan under the cost model: the t(S) of the paper.
 double EvaluatePlanCost(const CommPlan& plan, const Topology& topo, double bytes_per_unit);

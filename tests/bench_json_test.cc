@@ -1,0 +1,74 @@
+// WriteJsonRecords must be atomic: the target path either keeps its previous
+// contents or holds the complete new array — never a truncated write — and no
+// temp file may be left behind.
+
+#include "bench_util.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dgcl {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool Exists(const std::string& path) { return std::ifstream(path).good(); }
+
+std::vector<bench::JsonRecord> SampleRecords(const std::string& tag) {
+  bench::JsonRecord rec;
+  rec.AddString("name", tag);
+  rec.AddInt("count", 3);
+  rec.AddNumber("value", 1.5);
+  return {rec};
+}
+
+TEST(BenchJsonTest, WritesWellFormedArrayAndCleansUpTemp) {
+  const std::string path = ::testing::TempDir() + "bench_json_test.json";
+  std::remove(path.c_str());
+  ASSERT_TRUE(bench::WriteJsonRecords(path, SampleRecords("first")).ok());
+  const std::string body = ReadFile(path);
+  EXPECT_EQ(body, "[\n  {\"name\": \"first\", \"count\": 3, \"value\": 1.5}\n]\n");
+  EXPECT_FALSE(Exists(path + ".tmp")) << "temp file left behind";
+  std::remove(path.c_str());
+}
+
+TEST(BenchJsonTest, OverwriteReplacesContentsCompletely) {
+  const std::string path = ::testing::TempDir() + "bench_json_overwrite.json";
+  ASSERT_TRUE(bench::WriteJsonRecords(path, SampleRecords("old")).ok());
+  ASSERT_TRUE(bench::WriteJsonRecords(path, SampleRecords("new")).ok());
+  const std::string body = ReadFile(path);
+  EXPECT_NE(body.find("\"new\""), std::string::npos);
+  EXPECT_EQ(body.find("\"old\""), std::string::npos);
+  EXPECT_FALSE(Exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(BenchJsonTest, FailureLeavesExistingFileUntouched) {
+  // The temp file lives in the (nonexistent) target directory, so the write
+  // fails before anything could clobber a previous artifact.
+  const std::string dir = ::testing::TempDir() + "bench_json_no_such_dir";
+  const std::string path = dir + "/records.json";
+  Status s = bench::WriteJsonRecords(path, SampleRecords("x"));
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(Exists(path));
+  EXPECT_FALSE(Exists(path + ".tmp"));
+}
+
+TEST(BenchJsonTest, EmptyRecordListYieldsEmptyArray) {
+  const std::string path = ::testing::TempDir() + "bench_json_empty.json";
+  ASSERT_TRUE(bench::WriteJsonRecords(path, {}).ok());
+  EXPECT_EQ(ReadFile(path), "[\n]\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dgcl

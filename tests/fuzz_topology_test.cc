@@ -7,52 +7,11 @@
 #include "planner/baselines.h"
 #include "planner/cost_model.h"
 #include "planner/spst.h"
+#include "random_topology.h"
 #include "runtime/allgather_engine.h"
 
 namespace dgcl {
 namespace {
-
-// A random topology: a directed ring guarantees strong connectivity; random
-// extra direct links with random media create shortcuts and contention.
-// (void return so gtest ASSERTs can be used inside.)
-void BuildRandomTopology(uint32_t devices, Rng& rng, Topology& topo) {
-  for (uint32_t d = 0; d < devices; ++d) {
-    topo.AddDevice({"d" + std::to_string(d), 0, d % 2, d / 2});
-  }
-  auto random_type = [&rng]() {
-    constexpr LinkType kTypes[] = {LinkType::kNvLink2, LinkType::kNvLink1, LinkType::kPcie,
-                                   LinkType::kQpi, LinkType::kInfiniBand, LinkType::kEthernet};
-    return kTypes[rng.UniformInt(6)];
-  };
-  // Shared contention domains: a handful of "buses" some links pass through.
-  std::vector<ConnId> buses;
-  for (int b = 0; b < 3; ++b) {
-    buses.push_back(topo.AddConnection({"bus" + std::to_string(b), random_type(), 0.0}));
-  }
-  auto add_link = [&](uint32_t i, uint32_t j) {
-    if (topo.LinkBetween(i, j) != kInvalidId) {
-      return;
-    }
-    ConnId direct = topo.AddConnection(
-        {"c" + std::to_string(i) + "_" + std::to_string(j), random_type(), 0.0});
-    std::vector<ConnId> hops = {direct};
-    if (rng.UniformDouble() < 0.4) {
-      hops.push_back(buses[rng.UniformInt(buses.size())]);  // multi-hop link
-    }
-    ASSERT_TRUE(topo.AddLink(i, j, std::move(hops)).ok());
-  };
-  for (uint32_t d = 0; d < devices; ++d) {
-    add_link(d, (d + 1) % devices);
-  }
-  const uint32_t extra = devices * 2;
-  for (uint32_t e = 0; e < extra; ++e) {
-    uint32_t i = static_cast<uint32_t>(rng.UniformInt(devices));
-    uint32_t j = static_cast<uint32_t>(rng.UniformInt(devices));
-    if (i != j) {
-      add_link(i, j);
-    }
-  }
-}
 
 class FuzzSweep : public ::testing::TestWithParam<uint64_t> {};
 
