@@ -12,7 +12,7 @@
 namespace dgcl {
 namespace {
 
-void RunDataset(DatasetId id) {
+void RunDataset(DatasetId id, bool audit) {
   auto bundle = bench::MakeSimulator(id, 8, GnnModel::kGcn);
   if (!bundle.ok()) {
     return;
@@ -53,16 +53,32 @@ void RunDataset(DatasetId id) {
   std::printf("%s", table.Render("(" + bench::BenchDataset(id).name + ")").c_str());
   std::printf("fitted line: actual = %.3f * estimated + %.3f ms; max divergence %.1f%%\n\n",
               a, b, max_divergence * 100);
+  if (audit) {
+    auto report = sim.AuditAllgather(bench::BenchDataset(id).feature_dim);
+    if (report.ok()) {
+      std::printf("%s\n", report->ToString("per-stage cost audit (" +
+                                           bench::BenchDataset(id).name + ")")
+                              .c_str());
+    }
+  }
 }
 
 }  // namespace
 }  // namespace dgcl
 
-int main() {
+int main(int argc, char** argv) {
+  auto trace_path = dgcl::bench::ConsumeTraceFlag(&argc, argv);
   dgcl::bench::PrintHeader(
       "Figure 10: cost-model estimate vs simulated graphAllgather time, 8 GPUs");
-  dgcl::RunDataset(dgcl::DatasetId::kWebGoogle);
-  dgcl::RunDataset(dgcl::DatasetId::kReddit);
+  dgcl::RunDataset(dgcl::DatasetId::kWebGoogle, true);
+  dgcl::RunDataset(dgcl::DatasetId::kReddit, true);
   std::printf("Paper shape: linear relation, divergence from the fitted line below ~5%%.\n");
+  if (trace_path.has_value()) {
+    dgcl::Status status = dgcl::bench::FinishTrace(*trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
   return 0;
 }

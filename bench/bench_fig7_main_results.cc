@@ -9,7 +9,7 @@
 namespace dgcl {
 namespace {
 
-void RunDataset(DatasetId id) {
+void RunDataset(DatasetId id, bool audit) {
   TablePrinter table({"Method", "GCN epoch (comm)", "CommNet epoch (comm)", "GIN epoch (comm)"});
   const GnnModel models[] = {GnnModel::kGcn, GnnModel::kCommNet, GnnModel::kGin};
   for (Method method :
@@ -35,21 +35,45 @@ void RunDataset(DatasetId id) {
   }
   std::printf("%s\n",
               table.Render("(" + bench::BenchDataset(id).name + ", 8 GPUs, ms)").c_str());
+  if (audit) {
+    // Fig-10-style accuracy check rides along with the tracing run: per-stage
+    // cost-model predictions joined against the network simulator.
+    auto bundle = bench::MakeSimulator(id, 8, GnnModel::kGcn);
+    if (bundle.ok()) {
+      auto report = (*bundle)->sim().AuditAllgather(bench::BenchDataset(id).feature_dim);
+      if (report.ok()) {
+        std::printf("%s\n", report->ToString("cost audit (" + bench::BenchDataset(id).name +
+                                             ", GCN allgather)")
+                                .c_str());
+      } else {
+        std::printf("cost audit (%s): %s\n\n", bench::BenchDataset(id).name.c_str(),
+                    report.status().ToString().c_str());
+      }
+    }
+  }
 }
 
 }  // namespace
 }  // namespace dgcl
 
-int main() {
+int main(int argc, char** argv) {
+  auto trace_path = dgcl::bench::ConsumeTraceFlag(&argc, argv);
   dgcl::bench::PrintHeader(
       "Figure 7: per-epoch time (communication time) per method, 3 models x 4 datasets, 8 GPUs");
   for (dgcl::DatasetId id : {dgcl::DatasetId::kReddit, dgcl::DatasetId::kComOrkut,
                              dgcl::DatasetId::kWebGoogle, dgcl::DatasetId::kWikiTalk}) {
-    dgcl::RunDataset(id);
+    dgcl::RunDataset(id, trace_path.has_value());
   }
   std::printf(
       "Paper shape: DGCL has the shortest epoch everywhere; P2P comm is ~4.45x DGCL's\n"
       "on average; Swap is worst on the three larger graphs; Replication OOMs on\n"
       "Com-Orkut and Wiki-Talk and loses badly on dense Reddit.\n");
+  if (trace_path.has_value()) {
+    dgcl::Status status = dgcl::bench::FinishTrace(*trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
   return 0;
 }

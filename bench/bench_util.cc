@@ -5,6 +5,9 @@
 #include <fstream>
 #include <map>
 
+#include "telemetry/chrome_trace.h"
+#include "telemetry/trace.h"
+
 namespace dgcl {
 namespace bench {
 
@@ -128,6 +131,30 @@ std::optional<std::string> ConsumeJsonFlag(int* argc, char** argv) {
     }
   }
   return std::nullopt;
+}
+
+std::optional<std::string> ConsumeTraceFlag(int* argc, char** argv) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < *argc) {
+      std::string path = argv[i + 1];
+      for (int j = i; j + 2 < *argc; ++j) {
+        argv[j] = argv[j + 2];
+      }
+      *argc -= 2;
+      telemetry::Telemetry::Get().SetEnabled(true);
+      return path;
+    }
+  }
+  return std::nullopt;
+}
+
+Status FinishTrace(const std::string& path) {
+  telemetry::Telemetry::Get().SetEnabled(false);
+  telemetry::Trace trace = telemetry::Telemetry::Get().Collect();
+  DGCL_RETURN_IF_ERROR(telemetry::WriteChromeTrace(trace, path));
+  std::printf("%s", telemetry::RenderTraceSummary(trace, "trace summary").c_str());
+  std::printf("trace written to %s (%zu events)\n", path.c_str(), trace.events.size());
+  return Status::Ok();
 }
 
 Status WriteJsonRecords(const std::string& path, const std::vector<JsonRecord>& records) {

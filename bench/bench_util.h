@@ -76,6 +76,22 @@ std::optional<std::string> ConsumeJsonFlag(int* argc, char** argv);
 // Writes the records as a JSON array; parent directory must exist.
 Status WriteJsonRecords(const std::string& path, const std::vector<JsonRecord>& records);
 
+// ---- Tracing ---------------------------------------------------------------
+//
+// Every bench accepts `--trace <path>`: telemetry recording is switched on
+// for the run and, on exit, the collected trace is written as Chrome-trace
+// JSON (loadable in Perfetto / chrome://tracing) with a compact per-event
+// summary printed to stdout. `tools/dgcl_trace` post-processes these files.
+
+// Strips a "--trace <path>" pair from argv and, when present, enables
+// process-wide telemetry recording before returning the path.
+std::optional<std::string> ConsumeTraceFlag(int* argc, char** argv);
+
+// Collects the process-wide trace, writes it to `path` as Chrome-trace JSON
+// and prints the summary table. No-op trace (zero events) still writes a
+// valid file so downstream tooling never sees a missing artifact.
+Status FinishTrace(const std::string& path);
+
 }  // namespace bench
 }  // namespace dgcl
 

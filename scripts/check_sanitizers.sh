@@ -2,14 +2,16 @@
 # Builds the repo twice — under ThreadSanitizer and AddressSanitizer — and
 # runs the concurrency-sensitive test binaries under each: the thread pool,
 # the speculative parallel planner (determinism + property suites), the
-# allgather engine and the coordination layer. Separate build trees
-# (build-tsan/, build-asan/) so the main build stays untouched.
+# allgather engine, the coordination layer, the simulator/trainer (both fan
+# work out on the shared pool) and the lock-free telemetry recorder.
+# Separate build trees (build-tsan/, build-asan/) so the main build stays
+# untouched.
 #
 # Usage: scripts/check_sanitizers.sh [thread|address]   (default: both)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TESTS_REGEX='thread_pool_test|plan_determinism_test|planner_property_test|spst_test|allgather_engine_test|coordination_test'
+TESTS_REGEX='thread_pool_test|plan_determinism_test|planner_property_test|spst_test|allgather_engine_test|coordination_test|network_sim_test|epoch_sim_test|trainer_test|telemetry_test'
 
 run_one() {
   local kind="$1"
@@ -19,7 +21,8 @@ run_one() {
   cmake -B "$dir" -S . -DDGCL_SANITIZE="$kind" >/dev/null
   cmake --build "$dir" -j "$(nproc)" --target \
     thread_pool_test plan_determinism_test planner_property_test spst_test \
-    allgather_engine_test coordination_test
+    allgather_engine_test coordination_test network_sim_test epoch_sim_test \
+    trainer_test telemetry_test
   echo "=== ${kind} sanitizer: running tests ==="
   ctest --test-dir "$dir" -R "$TESTS_REGEX" --output-on-failure
   echo "=== ${kind} sanitizer: OK ==="

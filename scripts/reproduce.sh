@@ -12,9 +12,16 @@ for b in build/bench/*; do
   case "$(basename "$b")" in
     bench_table8_spst_runtime) "$b" --json BENCH_table8.json ;;
     bench_plan_parallel) "$b" --json BENCH_plan_parallel.json ;;
+    bench_fig7_main_results) "$b" --trace TRACE_fig7.json ;;
     *) "$b" ;;
   esac
 done 2>&1 | tee bench_output.txt
-echo "done: see test_output.txt, bench_output.txt, BENCH_table8.json and"
-echo "BENCH_plan_parallel.json. To vet the parallel planner under TSan/ASan,"
-echo "run scripts/check_sanitizers.sh (separate build trees, not rerun here)."
+# The headline bench records a full telemetry trace (plus per-dataset cost
+# audits, printed into bench_output.txt above); summarize it with the CLI so
+# the round-trip importer gets exercised on every reproduction run.
+build/tools/dgcl_trace summarize TRACE_fig7.json
+echo "done: see test_output.txt, bench_output.txt, BENCH_table8.json,"
+echo "BENCH_plan_parallel.json and TRACE_fig7.json (Chrome-trace; load it at"
+echo "ui.perfetto.dev or summarize with build/tools/dgcl_trace). To vet the"
+echo "parallel planner under TSan/ASan, run scripts/check_sanitizers.sh"
+echo "(separate build trees, not rerun here)."

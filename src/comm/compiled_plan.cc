@@ -7,12 +7,53 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace dgcl {
 namespace {
 
 // (stage, link) -> vertex ids crossing there; shared by both compile paths.
 using TransferGroups = std::map<std::pair<uint32_t, LinkId>, std::vector<VertexId>>;
+
+constexpr size_t kCompileSerialThreshold = size_t{1} << 12;
+
+// Builds TransferGroups over [0, n) tree indices: serial below the
+// threshold, otherwise sharded into contiguous ranges on the shared pool
+// with shard-local maps merged in shard order. GroupsToPlan sorts every
+// group's vertices afterwards, so the merge order cannot affect the output
+// — the parallel path is bit-identical to the serial scan.
+template <typename AppendTree>
+TransferGroups BuildTransferGroups(size_t n, const AppendTree& append_tree) {
+  TransferGroups groups;
+  ThreadPool& pool = ThreadPool::Shared();
+  if (n < kCompileSerialThreshold || pool.num_threads() <= 1) {
+    for (size_t t = 0; t < n; ++t) {
+      append_tree(groups, t);
+    }
+    return groups;
+  }
+  const size_t num_shards = std::min<size_t>(pool.num_threads() + 1, n);
+  std::vector<TransferGroups> shard_groups(num_shards);
+  pool.ParallelFor(num_shards, [&](uint64_t shard) {
+    TransferGroups& local = shard_groups[shard];
+    const size_t begin = n * shard / num_shards;
+    const size_t end = n * (shard + 1) / num_shards;
+    for (size_t t = begin; t < end; ++t) {
+      append_tree(local, t);
+    }
+  });
+  for (TransferGroups& shard : shard_groups) {
+    for (auto& [key, vertices] : shard) {
+      auto& merged = groups[key];
+      if (merged.empty()) {
+        merged = std::move(vertices);
+      } else {
+        merged.insert(merged.end(), vertices.begin(), vertices.end());
+      }
+    }
+  }
+  return groups;
+}
 
 CompiledPlan GroupsToPlan(TransferGroups& groups, uint32_t num_devices, uint32_t num_stages,
                           const Topology& topo) {
@@ -43,29 +84,31 @@ CompiledPlan GroupsToPlan(TransferGroups& groups, uint32_t num_devices, uint32_t
 }  // namespace
 
 CompiledPlan CompilePlan(const CommPlan& plan, const Topology& topo) {
-  TransferGroups groups;
-  for (const CommTree& tree : plan.trees) {
-    for (const TreeEdge& e : tree.edges) {
-      groups[{e.stage, e.link}].push_back(tree.vertex);
-    }
-  }
+  TransferGroups groups =
+      BuildTransferGroups(plan.trees.size(), [&](TransferGroups& out, size_t t) {
+        const CommTree& tree = plan.trees[t];
+        for (const TreeEdge& e : tree.edges) {
+          out[{e.stage, e.link}].push_back(tree.vertex);
+        }
+      });
   return GroupsToPlan(groups, plan.num_devices, plan.NumStages(), topo);
 }
 
 CompiledPlan CompilePlan(const ClassPlan& plan, const CommClasses& classes,
                          const Topology& topo) {
-  TransferGroups groups;
-  for (const ClassTree& tree : plan.trees) {
-    DGCL_CHECK_LT(tree.class_id, classes.classes.size());
-    const CommClass& cls = classes.classes[tree.class_id];
-    DGCL_CHECK(tree.first + tree.count <= cls.vertices.size());
-    const auto chunk_begin = cls.vertices.begin() + tree.first;
-    const auto chunk_end = chunk_begin + tree.count;
-    for (const TreeEdge& e : tree.edges) {
-      auto& vertices = groups[{e.stage, e.link}];
-      vertices.insert(vertices.end(), chunk_begin, chunk_end);
-    }
-  }
+  TransferGroups groups =
+      BuildTransferGroups(plan.trees.size(), [&](TransferGroups& out, size_t t) {
+        const ClassTree& tree = plan.trees[t];
+        DGCL_CHECK_LT(tree.class_id, classes.classes.size());
+        const CommClass& cls = classes.classes[tree.class_id];
+        DGCL_CHECK(tree.first + tree.count <= cls.vertices.size());
+        const auto chunk_begin = cls.vertices.begin() + tree.first;
+        const auto chunk_end = chunk_begin + tree.count;
+        for (const TreeEdge& e : tree.edges) {
+          auto& vertices = out[{e.stage, e.link}];
+          vertices.insert(vertices.end(), chunk_begin, chunk_end);
+        }
+      });
   return GroupsToPlan(groups, plan.num_devices, plan.NumStages(), topo);
 }
 

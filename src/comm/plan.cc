@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace dgcl {
 
@@ -46,21 +47,35 @@ uint32_t ClassPlan::NumStages() const {
 CommPlan ExpandClassPlan(const ClassPlan& plan, const CommClasses& classes) {
   CommPlan out;
   out.num_devices = plan.num_devices;
-  uint64_t total = 0;
-  for (const ClassTree& tree : plan.trees) {
-    total += tree.count;
+  // Prefix-sum the per-tree expansion offsets so every class tree owns a
+  // disjoint slot range of the output — the expansion then fans out on the
+  // shared pool with slot-indexed writes (deterministic regardless of claim
+  // order), and the final sort by vertex fixes the global order either way.
+  std::vector<uint64_t> offsets(plan.trees.size() + 1, 0);
+  for (size_t t = 0; t < plan.trees.size(); ++t) {
+    DGCL_CHECK_LT(plan.trees[t].class_id, classes.classes.size());
+    const CommClass& cls = classes.classes[plan.trees[t].class_id];
+    DGCL_CHECK(plan.trees[t].first + plan.trees[t].count <= cls.vertices.size());
+    offsets[t + 1] = offsets[t] + plan.trees[t].count;
   }
-  out.trees.reserve(total);
-  for (const ClassTree& tree : plan.trees) {
-    DGCL_CHECK_LT(tree.class_id, classes.classes.size());
+  out.trees.resize(offsets.back());
+  auto expand_tree = [&](uint64_t t) {
+    const ClassTree& tree = plan.trees[t];
     const CommClass& cls = classes.classes[tree.class_id];
-    DGCL_CHECK(tree.first + tree.count <= cls.vertices.size());
     for (uint32_t i = 0; i < tree.count; ++i) {
-      CommTree per_vertex;
+      CommTree& per_vertex = out.trees[offsets[t] + i];
       per_vertex.vertex = cls.vertices[tree.first + i];
       per_vertex.edges = tree.edges;
-      out.trees.push_back(std::move(per_vertex));
     }
+  };
+  constexpr uint64_t kSerialThreshold = uint64_t{1} << 14;
+  ThreadPool& pool = ThreadPool::Shared();
+  if (offsets.back() < kSerialThreshold || pool.num_threads() <= 1) {
+    for (uint64_t t = 0; t < plan.trees.size(); ++t) {
+      expand_tree(t);
+    }
+  } else {
+    pool.ParallelFor(plan.trees.size(), expand_tree);
   }
   std::sort(out.trees.begin(), out.trees.end(),
             [](const CommTree& a, const CommTree& b) { return a.vertex < b.vertex; });

@@ -4,6 +4,8 @@
 #include <map>
 #include <utility>
 
+#include "common/thread_pool.h"
+
 namespace dgcl {
 
 Result<CommRelation> BuildCommRelation(const CsrGraph& graph, const Partitioning& partitioning) {
@@ -73,11 +75,44 @@ CommClasses BuildCommClasses(const CommRelation& relation) {
   CommClasses out;
   out.num_devices = relation.num_devices;
   // std::map keys give the deterministic (source, mask) ascending order;
-  // vertices arrive ascending because v is scanned in id order.
-  std::map<std::pair<uint32_t, DeviceMask>, std::vector<VertexId>> groups;
-  for (VertexId v = 0; v < relation.dest_mask.size(); ++v) {
-    if (relation.dest_mask[v] != 0) {
-      groups[{relation.source[v], relation.dest_mask[v]}].push_back(v);
+  // vertices arrive ascending because v is scanned in id order. Above the
+  // serial threshold the scan shards into contiguous vertex ranges on the
+  // shared pool: each shard's local map holds ascending vertices, and
+  // merging the shards in range order preserves the global ascending order
+  // — the result is bit-identical to the serial scan.
+  using Groups = std::map<std::pair<uint32_t, DeviceMask>, std::vector<VertexId>>;
+  Groups groups;
+  const size_t n = relation.dest_mask.size();
+  constexpr size_t kSerialThreshold = size_t{1} << 14;
+  ThreadPool& pool = ThreadPool::Shared();
+  if (n < kSerialThreshold || pool.num_threads() <= 1) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (relation.dest_mask[v] != 0) {
+        groups[{relation.source[v], relation.dest_mask[v]}].push_back(v);
+      }
+    }
+  } else {
+    const size_t num_shards = std::min<size_t>(pool.num_threads() + 1, n);
+    std::vector<Groups> shard_groups(num_shards);
+    pool.ParallelFor(num_shards, [&](uint64_t shard) {
+      const VertexId begin = static_cast<VertexId>(n * shard / num_shards);
+      const VertexId end = static_cast<VertexId>(n * (shard + 1) / num_shards);
+      Groups& local = shard_groups[shard];
+      for (VertexId v = begin; v < end; ++v) {
+        if (relation.dest_mask[v] != 0) {
+          local[{relation.source[v], relation.dest_mask[v]}].push_back(v);
+        }
+      }
+    });
+    for (Groups& shard : shard_groups) {
+      for (auto& [key, vertices] : shard) {
+        auto& merged = groups[key];
+        if (merged.empty()) {
+          merged = std::move(vertices);
+        } else {
+          merged.insert(merged.end(), vertices.begin(), vertices.end());
+        }
+      }
     }
   }
   out.classes.reserve(groups.size());

@@ -5,6 +5,7 @@
 #include "comm/plan.h"
 #include "partition/hierarchical.h"
 #include "partition/multilevel.h"
+#include "telemetry/trace.h"
 
 namespace dgcl {
 
@@ -41,19 +42,37 @@ Result<DgclContext> DgclContext::Init(Topology topology, DgclOptions options) {
 
 Status DgclContext::BuildCommInfo(const CsrGraph& graph) {
   State& s = *state_;
+  DGCL_TSPAN2("dgcl", "build_comm_info", "vertices", graph.num_vertices(), "devices",
+              s.topology.num_devices());
   MultilevelPartitioner partitioner(s.options.partition);
-  DGCL_ASSIGN_OR_RETURN(s.partitioning, PartitionForTopology(graph, s.topology, partitioner));
-  DGCL_ASSIGN_OR_RETURN(s.relation, BuildCommRelation(graph, s.partitioning));
-  s.classes = BuildCommClasses(s.relation);
+  {
+    DGCL_TSPAN("dgcl", "phase.partition");
+    DGCL_ASSIGN_OR_RETURN(s.partitioning, PartitionForTopology(graph, s.topology, partitioner));
+  }
+  {
+    DGCL_TSPAN("dgcl", "phase.relation");
+    DGCL_ASSIGN_OR_RETURN(s.relation, BuildCommRelation(graph, s.partitioning));
+    s.classes = BuildCommClasses(s.relation);
+  }
   SpstPlanner planner(s.options.spst);
-  DGCL_ASSIGN_OR_RETURN(
-      s.class_plan, planner.PlanClasses(s.classes, s.topology, s.options.bytes_per_unit));
-  s.plan = ExpandClassPlan(s.class_plan, s.classes);
-  DGCL_RETURN_IF_ERROR(ValidatePlan(s.plan, s.relation, s.topology));
-  // Compile straight from the class trees: byte-identical tables to
-  // compiling the expanded plan, without touching the per-vertex trees.
-  s.compiled = CompilePlan(s.class_plan, s.classes, s.topology);
-  AssignBackwardSubstages(s.compiled);
+  {
+    DGCL_TSPAN("dgcl", "phase.plan");
+    DGCL_ASSIGN_OR_RETURN(
+        s.class_plan, planner.PlanClasses(s.classes, s.topology, s.options.bytes_per_unit));
+  }
+  {
+    DGCL_TSPAN("dgcl", "phase.expand");
+    s.plan = ExpandClassPlan(s.class_plan, s.classes);
+    DGCL_RETURN_IF_ERROR(ValidatePlan(s.plan, s.relation, s.topology));
+  }
+  {
+    DGCL_TSPAN("dgcl", "phase.compile");
+    // Compile straight from the class trees: byte-identical tables to
+    // compiling the expanded plan, without touching the per-vertex trees.
+    s.compiled = CompilePlan(s.class_plan, s.classes, s.topology);
+    AssignBackwardSubstages(s.compiled);
+  }
+  DGCL_TSPAN("dgcl", "phase.arm_engine");
   DGCL_ASSIGN_OR_RETURN(AllgatherEngine engine,
                         AllgatherEngine::Create(s.relation, s.compiled, s.topology));
   s.engine.emplace(std::move(engine));

@@ -5,6 +5,7 @@
 #include "common/ids.h"
 #include "common/logging.h"
 #include "runtime/allreduce.h"
+#include "telemetry/trace.h"
 
 namespace dgcl {
 namespace {
@@ -76,10 +77,17 @@ Result<DistributedTrainer> DistributedTrainer::Create(
 
 Result<EpochResult> DistributedTrainer::Pass(bool train, EmbeddingMatrix* all_logits) {
   const uint32_t devices = relation_->num_devices;
+  DGCL_TSPAN2("trainer", train ? "epoch.train" : "epoch.eval", "devices", devices, "layers",
+              options_.num_layers);
   std::vector<EmbeddingMatrix> acts = local_features_;
 
   for (uint32_t l = 0; l < options_.num_layers; ++l) {
-    DGCL_ASSIGN_OR_RETURN(std::vector<EmbeddingMatrix> slots, engine_->Forward(acts));
+    std::vector<EmbeddingMatrix> slots;
+    {
+      DGCL_TSPAN1("trainer", "layer.allgather", "layer", l);
+      DGCL_ASSIGN_OR_RETURN(slots, engine_->Forward(acts));
+    }
+    DGCL_TSPAN1("trainer", "layer.compute", "layer", l);
     for (uint32_t d = 0; d < devices; ++d) {
       EmbeddingMatrix trimmed = TrimRows(slots[d], local_graphs_[d].num_slots);
       acts[d] = layers_[d][l]->Forward(local_graphs_[d], trimmed);
@@ -140,9 +148,13 @@ Result<EpochResult> DistributedTrainer::Pass(bool train, EmbeddingMatrix* all_lo
   // Backward through the GNN layers, routing remote gradients home.
   for (uint32_t l = options_.num_layers; l-- > 0;) {
     std::vector<EmbeddingMatrix> dslots(devices);
-    for (uint32_t d = 0; d < devices; ++d) {
-      dslots[d] = layers_[d][l]->Backward(local_graphs_[d], dacts[d]);
+    {
+      DGCL_TSPAN1("trainer", "layer.bwd.compute", "layer", l);
+      for (uint32_t d = 0; d < devices; ++d) {
+        dslots[d] = layers_[d][l]->Backward(local_graphs_[d], dacts[d]);
+      }
     }
+    DGCL_TSPAN1("trainer", "layer.bwd.allgather", "layer", l);
     DGCL_ASSIGN_OR_RETURN(dacts, engine_->Backward(dslots));
   }
 
@@ -150,6 +162,7 @@ Result<EpochResult> DistributedTrainer::Pass(bool train, EmbeddingMatrix* all_lo
   // Each device's parameter gradient is a *partial sum* over its local
   // vertices of the globally-normalized loss, so the reduce is a sum, not a
   // mean — summing reproduces the single-device gradient exactly.
+  DGCL_TSPAN("trainer", "grad.sync");
   auto sync = [&](std::vector<EmbeddingMatrix*> replicas) -> Status {
     if (options_.use_ring_allreduce) {
       DGCL_ASSIGN_OR_RETURN(AllReduceStats stats, RingAllReduceSum(std::move(replicas)));

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/thread_pool.h"
+#include "telemetry/trace.h"
+
 namespace dgcl {
 
 Result<Partitioning> HierarchicalPartition(const CsrGraph& graph,
@@ -50,23 +53,33 @@ Result<Partitioning> HierarchicalPartition(const CsrGraph& graph,
   out.num_parts = static_cast<uint32_t>(total_parts);
   out.assignment.assign(graph.num_vertices(), 0);
 
-  // Level 2: split each group's induced subgraph across its devices.
-  for (size_t g = 0; g < part_groups.size(); ++g) {
-    std::vector<VertexId> members;
-    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-      if (top.assignment[v] == g) {
-        members.push_back(v);
-      }
+  // Level 2: split each group's induced subgraph across its devices. The
+  // groups are independent and write disjoint assignment slots, so they fan
+  // out on the shared pool (the inner partitioner must tolerate concurrent
+  // Partition calls — see the Partitioner interface contract).
+  const size_t num_groups = part_groups.size();
+  std::vector<std::vector<VertexId>> members(num_groups);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    members[top.assignment[v]].push_back(v);
+  }
+  std::vector<Status> group_status(num_groups, Status::Ok());
+  ThreadPool::Shared().ParallelFor(num_groups, [&](uint64_t g) {
+    if (members[g].empty()) {
+      return;
     }
-    if (members.empty()) {
-      continue;
+    DGCL_TSPAN2("partition", "hier.group", "group", g, "vertices", members[g].size());
+    CsrGraph sub = graph.InducedSubgraph(members[g]);
+    Result<Partitioning> local = inner.Partition(sub, static_cast<uint32_t>(group_size));
+    if (!local.ok()) {
+      group_status[g] = local.status();
+      return;
     }
-    CsrGraph sub = graph.InducedSubgraph(members);
-    DGCL_ASSIGN_OR_RETURN(Partitioning local,
-                          inner.Partition(sub, static_cast<uint32_t>(group_size)));
-    for (size_t i = 0; i < members.size(); ++i) {
-      out.assignment[members[i]] = part_groups[g][local.assignment[i]];
+    for (size_t i = 0; i < members[g].size(); ++i) {
+      out.assignment[members[g][i]] = part_groups[g][local->assignment[i]];
     }
+  });
+  for (const Status& status : group_status) {
+    DGCL_RETURN_IF_ERROR(status);
   }
   return out;
 }
@@ -85,6 +98,8 @@ std::vector<std::vector<uint32_t>> GroupDevicesByMachine(const Topology& topo) {
 
 Result<Partitioning> PartitionForTopology(const CsrGraph& graph, const Topology& topo,
                                           Partitioner& inner) {
+  DGCL_TSPAN2("partition", "partition_for_topology", "vertices", graph.num_vertices(),
+              "devices", topo.num_devices());
   auto groups = GroupDevicesByMachine(topo);
   if (groups.size() <= 1) {
     return inner.Partition(graph, topo.num_devices());

@@ -32,6 +32,11 @@ class Partitioner {
 
   // Partitions `graph` into `num_parts` parts. Implementations must return a
   // covering assignment (every vertex gets a part in range).
+  //
+  // Contract: Partition must be safe to call concurrently from multiple
+  // threads on the same instance (the hierarchical partitioner fans the
+  // per-machine level-2 passes out on the shared pool). Keep per-call state
+  // local — configuration read in the constructor, RNGs seeded per call.
   virtual Result<Partitioning> Partition(const CsrGraph& graph, uint32_t num_parts) = 0;
 
   virtual std::string name() const = 0;

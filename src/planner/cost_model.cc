@@ -63,6 +63,26 @@ double ReplayClassPlanCost(const ClassPlan& plan, const Topology& topo, double b
   return model.TotalSeconds();
 }
 
+std::vector<double> ReplayClassPlanStageSeconds(const ClassPlan& plan, const Topology& topo,
+                                                double bytes_per_unit) {
+  if (plan.num_devices <= 1) {
+    return {};
+  }
+  CostModel model(topo, plan.num_devices - 1, bytes_per_unit);
+  uint32_t max_stage_used = 0;
+  for (const ClassTree& tree : plan.trees) {
+    for (const TreeEdge& e : tree.edges) {
+      model.AddTransfer(e.link, e.stage, tree.count);
+      max_stage_used = std::max(max_stage_used, e.stage);
+    }
+  }
+  std::vector<double> stage_seconds(plan.trees.empty() ? 0 : max_stage_used + 1, 0.0);
+  for (uint32_t k = 0; k < stage_seconds.size(); ++k) {
+    stage_seconds[k] = model.StageSeconds(k);
+  }
+  return stage_seconds;
+}
+
 double EvaluatePlanCost(const CommPlan& plan, const Topology& topo, double bytes_per_unit) {
   const uint32_t stages = std::max(plan.NumStages(), 1u);
   CostModel model(topo, stages, bytes_per_unit);

@@ -82,6 +82,12 @@ class CostModel {
 // the same AddTransfer sequence), which the property tests assert.
 double ReplayClassPlanCost(const ClassPlan& plan, const Topology& topo, double bytes_per_unit);
 
+// Same replay, but returns the per-stage breakdown (stage_seconds_ of the
+// replayed model). Element k is the model's predicted wall time of stage k;
+// the CostAudit pass joins this against observed per-stage times (Fig 10).
+std::vector<double> ReplayClassPlanStageSeconds(const ClassPlan& plan, const Topology& topo,
+                                                double bytes_per_unit);
+
 // Evaluates a whole plan under the cost model: the t(S) of the paper.
 double EvaluatePlanCost(const CommPlan& plan, const Topology& topo, double bytes_per_unit);
 

@@ -10,6 +10,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "telemetry/trace.h"
 
 namespace dgcl {
 namespace {
@@ -315,6 +316,8 @@ Result<ClassPlan> SpstPlanner::PlanClasses(const CommClasses& classes, const Top
   }
   plan.trees.reserve(order.size());
   stats_.chunks = order.size();
+  DGCL_TSPAN2("planner", "plan_classes", "chunks", order.size(), "threads",
+              ThreadPool::ResolveThreadCount(options_.num_threads));
 
   CostModel model(topo, ctx.full_depth, bytes_per_unit);
   std::vector<uint32_t> depth_in_tree(classes.num_devices, kInvalidId);
@@ -332,22 +335,44 @@ Result<ClassPlan> SpstPlanner::PlanClasses(const CommClasses& classes, const Top
     return plan;
   }
 
+  // Serial warm-up prefix: the first chunks of an empty model raise the
+  // stage-0 bottleneck on nearly every commit, so speculative replays of
+  // them are almost guaranteed to fail validation. Committing a short
+  // prefix serially (identical to the serial planner, so the plan is
+  // unchanged) lets workers snapshot a model whose bottlenecks have
+  // stabilized. See DESIGN.md §"Parallel planning".
+  const size_t n = order.size();
+  size_t warmup = 0;
+  if (options_.warmup_fraction > 0.0) {
+    warmup = static_cast<size_t>(options_.warmup_fraction * static_cast<double>(n));
+    warmup = std::min(std::max<size_t>(warmup, 1), n);
+  }
+  {
+    DGCL_TSPAN1("planner", "warmup.prefix", "chunks", warmup);
+    for (size_t i = 0; i < warmup; ++i) {
+      ClassTree tree;
+      DGCL_RETURN_IF_ERROR(PlanChunkTree(ctx, order[i], model, depth_in_tree, tree, nullptr));
+      plan.trees.push_back(std::move(tree));
+    }
+  }
+  stats_.warmup_commits = warmup;
+  stats_.exact_commits += warmup;
+
   // Parallel path. Workers race ahead planning chunks against snapshots of
   // the shared model; this thread is the committer and walks the chunks in
   // serial order, folding each result in only once it is provably the tree
   // the serial planner would have produced at that point (see DESIGN.md,
   // "Parallel planning"). Invariant: after folding in chunk i, `model` is
   // bit-identical to the serial planner's model after its chunk i.
-  const size_t n = order.size();
   std::vector<SpecSlot> slots(n);
   std::vector<char> ready(n, 0);
   std::mutex ready_mutex;
   std::condition_variable ready_cv;
   std::mutex model_mutex;  // guards writes to `model` vs. worker snapshots
-  std::atomic<uint64_t> next_chunk{0};
+  std::atomic<uint64_t> next_chunk{warmup};
   std::atomic<bool> cancel{false};
   const uint32_t num_workers =
-      static_cast<uint32_t>(std::min<uint64_t>(threads, n));
+      static_cast<uint32_t>(std::min<uint64_t>(threads, n - warmup));
   std::atomic<uint32_t> live_workers{num_workers};
   std::mutex workers_mutex;
   std::condition_variable workers_cv;
@@ -362,7 +387,7 @@ Result<ClassPlan> SpstPlanner::PlanClasses(const CommClasses& classes, const Top
   const uint64_t window = options_.speculation_window != 0
                               ? options_.speculation_window
                               : static_cast<uint64_t>(num_workers) * 2;
-  std::atomic<uint64_t> committed_count{0};
+  std::atomic<uint64_t> committed_count{warmup};
   std::mutex window_mutex;
   std::condition_variable window_cv;
 
@@ -390,7 +415,10 @@ Result<ClassPlan> SpstPlanner::PlanClasses(const CommClasses& classes, const Top
         local = model;  // snapshot (committer is the only writer)
       }
       slot.epoch = local.epoch();
-      slot.status = PlanChunkTree(ctx, order[i], local, scratch_depth, slot.tree, &slot.log);
+      {
+        DGCL_TSPAN1("planner", "chunk.plan", "chunk", i);
+        slot.status = PlanChunkTree(ctx, order[i], local, scratch_depth, slot.tree, &slot.log);
+      }
       {
         std::lock_guard<std::mutex> lock(ready_mutex);
         slots[i] = std::move(slot);
@@ -410,7 +438,7 @@ Result<ClassPlan> SpstPlanner::PlanClasses(const CommClasses& classes, const Top
 
   CostModel scratch(topo, ctx.full_depth, bytes_per_unit);
   Status failure = Status::Ok();
-  for (size_t i = 0; i < n; ++i) {
+  for (size_t i = warmup; i < n; ++i) {
     SpecSlot slot;
     {
       std::unique_lock<std::mutex> lock(ready_mutex);
@@ -434,6 +462,7 @@ Result<ClassPlan> SpstPlanner::PlanClasses(const CommClasses& classes, const Top
     } else if (model.epoch() - slot.epoch <= options_.max_snapshot_staleness) {
       // Drifted: replay the recorded interactions against the live state.
       // Reading `model` without the lock is safe — only this thread writes.
+      DGCL_TSPAN1("planner", "chunk.replay", "chunk", i);
       scratch = model;
       if (ReplayChunk(scratch, slot.log, units)) {
         std::lock_guard<std::mutex> lock(model_mutex);
@@ -444,6 +473,7 @@ Result<ClassPlan> SpstPlanner::PlanClasses(const CommClasses& classes, const Top
     }
     if (!committed) {
       // Too stale or diverged: plan this chunk for real at its serial slot.
+      DGCL_TSPAN1("planner", "chunk.replan", "chunk", i);
       std::lock_guard<std::mutex> lock(model_mutex);
       slot.status = PlanChunkTree(ctx, order[i], model, depth_in_tree, slot.tree, nullptr);
       ++stats_.replans;
@@ -476,6 +506,10 @@ Result<ClassPlan> SpstPlanner::PlanClasses(const CommClasses& classes, const Top
     return failure;
   }
   plan.planned_cost_seconds = model.TotalSeconds();
+  DGCL_TCOUNT("planner", "spst.exact_commits", stats_.exact_commits);
+  DGCL_TCOUNT("planner", "spst.replay_commits", stats_.replay_commits);
+  DGCL_TCOUNT("planner", "spst.replans", stats_.replans);
+  DGCL_TCOUNT("planner", "spst.warmup_commits", stats_.warmup_commits);
   return plan;
 }
 

@@ -85,6 +85,16 @@ struct SpstOptions {
   // (2 × workers). Scheduling only — never affects the plan.
   uint64_t speculation_window = 0;
 
+  // Serial warm-up prefix for parallel planning: this fraction of the
+  // chunks (at least one chunk, only when there are enough chunks for the
+  // parallel path at all) is planned and committed serially before workers
+  // start speculating. Early chunks raise the stage-0 bottleneck from zero
+  // on nearly every commit, so speculating on them is wasted work — their
+  // replays almost always fail (see DESIGN.md §"Parallel planning"). The
+  // warm-up prefix runs exactly the serial algorithm, so the plan stays
+  // bit-identical for every value. 0 disables the warm-up.
+  double warmup_fraction = 0.05;
+
   // Pool to run speculation workers on; nullptr = ThreadPool::Shared().
   // The pool only needs to exist for the duration of PlanClasses.
   ThreadPool* pool = nullptr;
@@ -97,11 +107,16 @@ struct SpstOptions {
 // queried value, proving the speculative tree is what the serial planner
 // would have built. replanned: drifted past max_snapshot_staleness or replay
 // found a diverged value, so the chunk was planned again at its commit slot.
+// Invariant: exact_commits + replay_commits + replans == chunks.
+// warmup_commits counts the serial warm-up prefix (see
+// SpstOptions::warmup_fraction) and is an informational subset of
+// exact_commits.
 struct SpstPlanStats {
   uint64_t chunks = 0;
   uint64_t exact_commits = 0;
   uint64_t replay_commits = 0;
   uint64_t replans = 0;
+  uint64_t warmup_commits = 0;
 };
 
 class SpstPlanner final : public Planner {

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "telemetry/trace.h"
 
 namespace dgcl {
 
@@ -45,6 +46,22 @@ namespace {
 // same way on CPU).
 void PackRow(float* dst, const float* src, uint32_t dim) {
   std::memcpy(dst, src, static_cast<size_t>(dim) * sizeof(float));
+}
+
+// Span category for a transfer: the link type of its bottleneck hop
+// (LinkTypeName returns interned strings, as the recorder requires).
+const char* LinkCategory(const Topology& topo, LinkId link) {
+  const Link& l = topo.link(link);
+  if (l.hops.empty()) {
+    return "local";
+  }
+  ConnId slowest = l.hops[0];
+  for (ConnId hop : l.hops) {
+    if (topo.connection(hop).bandwidth_gbps < topo.connection(slowest).bandwidth_gbps) {
+      slowest = hop;
+    }
+  }
+  return LinkTypeName(topo.connection(slowest).type);
 }
 
 }  // namespace
@@ -143,12 +160,25 @@ void AllgatherEngine::RunDevice(uint32_t device, uint32_t dim, bool backward,
       state.stage_barrier->arrive_and_wait();
     }
     const uint32_t stage = backward ? num_stages - 1 - step : step;
+    uint64_t stage_bytes = 0;
+    if (telemetry::Telemetry::Enabled()) {
+      for (uint32_t op_id : sends[stage]) {
+        stage_bytes += plan_.ops[op_id].vertices.size() * static_cast<size_t>(dim) * sizeof(float);
+      }
+    }
+    // Spans the whole stage on this device, waits included — the max over
+    // devices is the stage's wall time (what CostAudit joins against the
+    // cost model's per-stage prediction).
+    DGCL_TSPAN2("runtime", backward ? "bwd.stage" : "fwd.stage", "stage", stage, "bytes",
+                stage_bytes);
     for (uint32_t op_id : sends[stage]) {
       const TransferOp& op = plan_.ops[op_id];
       const uint32_t receiver = backward ? op.src : op.dst;
       if (!backward && coordination_ == CoordinationMode::kDecentralized) {
         wait_ready(receiver, stage);
       }
+      DGCL_TSPAN2(LinkCategory(*topo_, op.link), backward ? "bwd.send" : "fwd.send", "stage",
+                  stage, "bytes", op.vertices.size() * static_cast<size_t>(dim) * sizeof(float));
       std::vector<float>& staging = state.op_buffers[op_id];
       for (size_t i = 0; i < op.vertices.size(); ++i) {
         const uint32_t slot = SlotOf(device, op.vertices[i]);
@@ -215,6 +245,7 @@ Result<std::vector<EmbeddingMatrix>> AllgatherEngine::Forward(
   if (coordination_ == CoordinationMode::kCentralized) {
     state.stage_barrier.emplace(relation_->num_devices);
   }
+  DGCL_TSPAN2("runtime", "fwd.pass", "devices", relation_->num_devices, "dim", dim);
   std::vector<std::thread> threads;
   threads.reserve(relation_->num_devices);
   for (uint32_t d = 0; d < relation_->num_devices; ++d) {
@@ -263,6 +294,7 @@ Result<std::vector<EmbeddingMatrix>> AllgatherEngine::Backward(
   if (coordination_ == CoordinationMode::kCentralized) {
     state.stage_barrier.emplace(relation_->num_devices);
   }
+  DGCL_TSPAN2("runtime", "bwd.pass", "devices", relation_->num_devices, "dim", dim);
   std::vector<std::thread> threads;
   threads.reserve(relation_->num_devices);
   for (uint32_t d = 0; d < relation_->num_devices; ++d) {

@@ -11,6 +11,8 @@
 #include "planner/cost_model.h"
 #include "planner/spst.h"
 #include "sim/swap_model.h"
+#include "common/thread_pool.h"
+#include "telemetry/trace.h"
 
 namespace dgcl {
 
@@ -121,7 +123,23 @@ Result<double> EpochSimulator::SimulateAllgatherSeconds(Planner& planner, uint32
   return result.total_seconds;
 }
 
+Result<telemetry::CostAuditReport> EpochSimulator::AuditAllgather(uint32_t dim) const {
+  const double bytes_per_unit = static_cast<double>(dim) * 4.0 * options_.inverse_scale;
+  CommClasses classes = BuildCommClasses(relation_);
+  SpstPlanner planner;
+  DGCL_ASSIGN_OR_RETURN(ClassPlan class_plan,
+                        planner.PlanClasses(classes, *topo_, bytes_per_unit));
+  const std::vector<double> predicted =
+      ReplayClassPlanStageSeconds(class_plan, *topo_, bytes_per_unit);
+  CompiledPlan compiled = CompilePlan(class_plan, classes, *topo_);
+  NetworkSimOptions net = options_.net;
+  net.bytes_per_unit = bytes_per_unit;
+  const NetworkSimResult result = SimulateTransfer(compiled, *topo_, net);
+  return telemetry::AuditStageCosts(predicted, result.stage_seconds);
+}
+
 Result<EpochReport> EpochSimulator::SimulatePlanned(Method method) const {
+  DGCL_TSPAN1("sim", "epoch.planned", "method", static_cast<uint64_t>(method));
   SpstPlanner spst;
   PeerToPeerPlanner p2p;
   Planner& planner = method == Method::kPeerToPeer ? static_cast<Planner&>(p2p)
@@ -276,11 +294,22 @@ Result<EpochReport> EpochSimulator::SimulateDgclR() const {
   const CsrGraph& graph = dataset_->graph;
   const uint32_t layers = options_.num_layers;
   EpochReport report;
-  uint64_t total_stored = 0;
-  double max_comm = 0.0;
-  double max_compute = 0.0;
 
-  for (const auto& group : machine_groups) {
+  // The machines are planned and simulated independently — fan them out on
+  // the shared pool with one result slot per machine, then fold the slots in
+  // machine order (so the first OOM reported matches the serial walk).
+  struct MachineResult {
+    Status status = Status::Ok();
+    std::string oom_detail;  // non-empty = this machine OOMs
+    uint64_t stored = 0;
+    double comm_seconds = 0.0;
+    double compute_seconds = 0.0;
+  };
+  std::vector<MachineResult> results(machine_groups.size());
+  ThreadPool::Shared().ParallelFor(machine_groups.size(), [&](uint64_t g) {
+    DGCL_TSPAN1("sim", "dgclr.machine", "machine", g);
+    const auto& group = machine_groups[g];
+    MachineResult& res = results[g];
     // The machine's vertices: everything its devices own.
     std::vector<VertexId> machine_vertices;
     for (uint32_t d : group) {
@@ -290,33 +319,43 @@ Result<EpochReport> EpochSimulator::SimulateDgclR() const {
     std::sort(machine_vertices.begin(), machine_vertices.end());
     // Replicate the K-hop closure so no cross-machine traffic is needed.
     std::vector<VertexId> expanded = ExpandKHop(graph, machine_vertices, layers);
-    total_stored += expanded.size();
+    res.stored = expanded.size();
     CsrGraph sub = graph.InducedSubgraph(expanded);
 
     // Non-overlapping partitioning of the expanded set across this
     // machine's GPUs, then DGCL planning on the machine topology.
     MultilevelPartitioner partitioner;
-    DGCL_ASSIGN_OR_RETURN(Partitioning local_parts,
-                          partitioner.Partition(sub, machine_topo.num_devices()));
-    DGCL_ASSIGN_OR_RETURN(CommRelation local_rel, BuildCommRelation(sub, local_parts));
+    Result<Partitioning> local_parts = partitioner.Partition(sub, machine_topo.num_devices());
+    if (!local_parts.ok()) {
+      res.status = local_parts.status();
+      return;
+    }
+    Result<CommRelation> local_rel = BuildCommRelation(sub, *local_parts);
+    if (!local_rel.ok()) {
+      res.status = local_rel.status();
+      return;
+    }
 
-    for (uint32_t d = 0; d < local_rel.num_devices; ++d) {
-      const auto& local = local_rel.local_vertices[d];
-      max_compute = std::max(max_compute,
-                             DeviceComputeSeconds(local.size(), IncidentEdges(sub, local)));
-      const uint64_t stored = local.size() + local_rel.remote_vertices[d].size();
+    for (uint32_t d = 0; d < local_rel->num_devices; ++d) {
+      const auto& local = local_rel->local_vertices[d];
+      res.compute_seconds = std::max(
+          res.compute_seconds, DeviceComputeSeconds(local.size(), IncidentEdges(sub, local)));
+      const uint64_t stored = local.size() + local_rel->remote_vertices[d].size();
       if (Status s = CheckMemory(stored, IncidentEdges(sub, local)); !s.ok()) {
-        report.oom = true;
-        report.oom_detail = s.message();
-        return report;
+        res.oom_detail = s.message();
+        return;
       }
     }
 
     SpstPlanner spst;
     const double feature_bytes =
         static_cast<double>(dataset_->feature_dim) * 4.0 * options_.inverse_scale;
-    DGCL_ASSIGN_OR_RETURN(CommPlan plan, spst.Plan(local_rel, machine_topo, feature_bytes));
-    CompiledPlan forward_plan = CompilePlan(plan, machine_topo);
+    Result<CommPlan> plan = spst.Plan(*local_rel, machine_topo, feature_bytes);
+    if (!plan.ok()) {
+      res.status = plan.status();
+      return;
+    }
+    CompiledPlan forward_plan = CompilePlan(*plan, machine_topo);
     CompiledPlan backward_plan = forward_plan;
     AssignBackwardSubstages(backward_plan);
     auto transfer_seconds = [&](uint32_t dim, PassDirection direction) {
@@ -326,12 +365,26 @@ Result<EpochReport> EpochSimulator::SimulateDgclR() const {
           direction == PassDirection::kForward ? forward_plan : backward_plan;
       return SimulateTransfer(cp, machine_topo, net, direction).total_seconds;
     };
-    double comm_seconds = transfer_seconds(dataset_->feature_dim, PassDirection::kForward);
+    res.comm_seconds = transfer_seconds(dataset_->feature_dim, PassDirection::kForward);
     for (uint32_t layer = 1; layer < layers; ++layer) {
-      comm_seconds += transfer_seconds(dataset_->hidden_dim, PassDirection::kForward);
-      comm_seconds += transfer_seconds(dataset_->hidden_dim, PassDirection::kBackward);
+      res.comm_seconds += transfer_seconds(dataset_->hidden_dim, PassDirection::kForward);
+      res.comm_seconds += transfer_seconds(dataset_->hidden_dim, PassDirection::kBackward);
     }
-    max_comm = std::max(max_comm, comm_seconds);
+  });
+
+  uint64_t total_stored = 0;
+  double max_comm = 0.0;
+  double max_compute = 0.0;
+  for (const MachineResult& res : results) {
+    DGCL_RETURN_IF_ERROR(res.status);
+    total_stored += res.stored;
+    max_compute = std::max(max_compute, res.compute_seconds);
+    if (!res.oom_detail.empty()) {
+      report.oom = true;
+      report.oom_detail = res.oom_detail;
+      return report;
+    }
+    max_comm = std::max(max_comm, res.comm_seconds);
   }
 
   report.comm_ms = max_comm * 1e3;
@@ -343,6 +396,7 @@ Result<EpochReport> EpochSimulator::SimulateDgclR() const {
 }
 
 Result<EpochReport> EpochSimulator::Simulate(Method method) const {
+  DGCL_TSPAN1("sim", "epoch.simulate", "method", static_cast<uint64_t>(method));
   switch (method) {
     case Method::kDgcl:
     case Method::kPeerToPeer:

@@ -29,6 +29,7 @@
 #include "sim/compute_model.h"
 #include "sim/memory_model.h"
 #include "sim/network_sim.h"
+#include "telemetry/cost_audit.h"
 #include "topology/topology.h"
 
 namespace dgcl {
@@ -90,6 +91,12 @@ class EpochSimulator {
                                           NetworkSimResult* net_result = nullptr,
                                           PassDirection direction = PassDirection::kForward,
                                           bool non_atomic = true) const;
+
+  // Fig-10-style per-stage accuracy audit of the SPST cost model: plans one
+  // forward allgather at embedding dimension `dim`, prices every stage with
+  // the cost model (ReplayClassPlanStageSeconds) and joins that against the
+  // network simulator's per-stage times.
+  Result<telemetry::CostAuditReport> AuditAllgather(uint32_t dim) const;
 
   const CommRelation& relation() const { return relation_; }
   const Partitioning& partitioning() const { return partitioning_; }

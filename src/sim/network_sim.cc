@@ -6,6 +6,7 @@
 #include <map>
 
 #include "common/logging.h"
+#include "telemetry/trace.h"
 
 namespace dgcl {
 namespace {
@@ -159,6 +160,9 @@ double NetworkSimResult::TypeBusySeconds(const Topology& topo, LinkType type) co
 
 NetworkSimResult SimulateTransfer(const CompiledPlan& plan, const Topology& topo,
                                   const NetworkSimOptions& options, PassDirection direction) {
+  DGCL_TSPAN2("sim", direction == PassDirection::kBackward ? "sim.bwd.transfer"
+                                                           : "sim.fwd.transfer",
+              "ops", plan.ops.size(), "stages", plan.num_stages);
   NetworkSimResult result;
   result.conn_busy_seconds.assign(topo.num_connections(), 0.0);
   result.stage_seconds.assign(plan.num_stages, 0.0);
@@ -201,6 +205,21 @@ NetworkSimResult SimulateTransfer(const CompiledPlan& plan, const Topology& topo
                         options.per_op_latency_s * substage_rounds;
     result.stage_seconds[stage] += stage_time;
     result.total_seconds += stage_time;
+  }
+  if (telemetry::Telemetry::Enabled()) {
+    // Simulated occupancy, exported as counter series: per-stage wall time
+    // and per-hop busy time tagged by the hop's link type.
+    const bool bwd = direction == PassDirection::kBackward;
+    for (uint32_t k = 0; k < result.stage_seconds.size(); ++k) {
+      telemetry::Counter("sim", bwd ? "sim.bwd.stage_seconds" : "sim.fwd.stage_seconds",
+                         result.stage_seconds[k], "stage", k);
+    }
+    for (ConnId c = 0; c < result.conn_busy_seconds.size(); ++c) {
+      if (result.conn_busy_seconds[c] > 0.0) {
+        telemetry::Counter(LinkTypeName(topo.connection(c).type), "sim.conn_busy_seconds",
+                           result.conn_busy_seconds[c], "conn", c);
+      }
+    }
   }
   return result;
 }

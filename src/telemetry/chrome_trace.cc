@@ -1,0 +1,543 @@
+#include "telemetry/chrome_trace.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "common/table_printer.h"
+
+namespace dgcl {
+namespace telemetry {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------------
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void AppendMicros(std::string& out, uint64_t ns) {
+  // Microseconds with nanosecond decimals, kept integral-exact by printing
+  // from the integer value instead of a double division.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+void AppendDouble(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);  // exact double round-trip
+  out += buf;
+}
+
+}  // namespace
+
+std::string TraceToChromeJson(const Trace& trace) {
+  std::string out;
+  out.reserve(trace.events.size() * 160 + 64);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : trace.events) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"ph\":\"";
+    switch (ev.kind) {
+      case TraceEventKind::kSpan:
+        out += "X";
+        break;
+      case TraceEventKind::kCounter:
+        out += "C";
+        break;
+      case TraceEventKind::kInstant:
+        out += "i";
+        break;
+    }
+    out += "\",\"name\":";
+    AppendJsonString(out, ev.name);
+    out += ",\"cat\":";
+    AppendJsonString(out, ev.category.empty() ? "dgcl" : ev.category);
+    out += ",\"ts\":";
+    AppendMicros(out, ev.start_ns);
+    if (ev.kind == TraceEventKind::kSpan) {
+      out += ",\"dur\":";
+      AppendMicros(out, ev.dur_ns);
+    }
+    if (ev.kind == TraceEventKind::kInstant) {
+      out += ",\"s\":\"t\"";
+    }
+    out += ",\"pid\":0,\"tid\":";
+    out += std::to_string(ev.tid);
+    // Reserved args start_ns/dur_ns/value carry the exact integers across the
+    // µs round-trip; the importer strips them back out of the user args.
+    out += ",\"args\":{\"start_ns\":";
+    out += std::to_string(ev.start_ns);
+    if (ev.kind == TraceEventKind::kSpan) {
+      out += ",\"dur_ns\":";
+      out += std::to_string(ev.dur_ns);
+    }
+    if (ev.kind == TraceEventKind::kCounter) {
+      out += ",\"value\":";
+      AppendDouble(out, ev.value);
+    }
+    for (size_t i = 0; i < ev.arg_key.size(); ++i) {
+      if (ev.arg_key[i].empty()) continue;
+      out += ",";
+      AppendJsonString(out, ev.arg_key[i]);
+      out += ":";
+      out += std::to_string(ev.arg_val[i]);
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Import: minimal JSON parser (objects, arrays, strings, numbers, literals)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject } type = Type::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  uint64_t number_u64 = 0;  // exact when is_integer
+  bool is_integer = false;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    DGCL_RETURN_IF_ERROR(ParseValue(v));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("chrome-trace JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Error(std::string("expected '") + c + "'");
+    }
+    return Status::Ok();
+  }
+
+  Status ParseValue(JsonValue& out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out.type = JsonValue::Type::kString;
+      return ParseString(out.string);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out.type = JsonValue::Type::kBool;
+      out.bool_value = true;
+      pos_ += 4;
+      return Status::Ok();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out.type = JsonValue::Type::kBool;
+      out.bool_value = false;
+      pos_ += 5;
+      return Status::Ok();
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out.type = JsonValue::Type::kNull;
+      pos_ += 4;
+      return Status::Ok();
+    }
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    DGCL_RETURN_IF_ERROR(Expect('{'));
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipWs();
+      std::string key;
+      DGCL_RETURN_IF_ERROR(ParseString(key));
+      DGCL_RETURN_IF_ERROR(Expect(':'));
+      JsonValue value;
+      DGCL_RETURN_IF_ERROR(ParseValue(value));
+      out.object.emplace_back(std::move(key), std::move(value));
+      if (Consume('}')) return Status::Ok();
+      DGCL_RETURN_IF_ERROR(Expect(','));
+    }
+  }
+
+  Status ParseArray(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    DGCL_RETURN_IF_ERROR(Expect('['));
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      JsonValue value;
+      DGCL_RETURN_IF_ERROR(ParseValue(value));
+      out.array.push_back(std::move(value));
+      if (Consume(']')) return Status::Ok();
+      DGCL_RETURN_IF_ERROR(Expect(','));
+    }
+  }
+
+  Status ParseString(std::string& out) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return Error("expected string");
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad \\u escape");
+            }
+          }
+          // ASCII only (the exporter never emits more); others map to '?'.
+          out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue& out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Error("expected number");
+    const std::string token = text_.substr(start, pos_ - start);
+    out.type = JsonValue::Type::kNumber;
+    out.number = std::strtod(token.c_str(), nullptr);
+    out.is_integer = integral && token[0] != '-';
+    if (out.is_integer) {
+      out.number_u64 = std::strtoull(token.c_str(), nullptr, 10);
+    }
+    return Status::Ok();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+uint64_t NumberAsU64(const JsonValue& v) {
+  if (v.is_integer) return v.number_u64;
+  return v.number <= 0 ? 0 : static_cast<uint64_t>(v.number + 0.5);
+}
+
+// ts/dur are microseconds with up to three decimals; convert back to integer
+// nanoseconds (used only when the exact *_ns args are absent).
+uint64_t MicrosFieldToNs(const JsonValue& v) {
+  if (v.is_integer) return v.number_u64 * 1000;
+  const double ns = v.number * 1000.0;
+  return ns <= 0 ? 0 : static_cast<uint64_t>(ns + 0.5);
+}
+
+}  // namespace
+
+Result<Trace> ChromeJsonToTrace(const std::string& json) {
+  JsonParser parser(json);
+  DGCL_ASSIGN_OR_RETURN(JsonValue root, parser.Parse());
+
+  const JsonValue* events = nullptr;
+  if (root.type == JsonValue::Type::kArray) {
+    events = &root;
+  } else if (root.type == JsonValue::Type::kObject) {
+    events = root.Find("traceEvents");
+    if (events == nullptr || events->type != JsonValue::Type::kArray) {
+      return Status::InvalidArgument("chrome-trace JSON has no traceEvents array");
+    }
+  } else {
+    return Status::InvalidArgument("chrome-trace JSON root must be an object or array");
+  }
+
+  Trace trace;
+  trace.events.reserve(events->array.size());
+  for (const JsonValue& e : events->array) {
+    if (e.type != JsonValue::Type::kObject) {
+      return Status::InvalidArgument("traceEvents entry is not an object");
+    }
+    const JsonValue* ph = e.Find("ph");
+    if (ph == nullptr || ph->type != JsonValue::Type::kString) continue;  // metadata rows etc.
+    TraceEvent ev;
+    if (ph->string == "X") {
+      ev.kind = TraceEventKind::kSpan;
+    } else if (ph->string == "C") {
+      ev.kind = TraceEventKind::kCounter;
+    } else if (ph->string == "i" || ph->string == "I") {
+      ev.kind = TraceEventKind::kInstant;
+    } else {
+      continue;  // unsupported phase (B/E pairs, metadata, flows)
+    }
+    if (const JsonValue* name = e.Find("name"); name != nullptr) ev.name = name->string;
+    if (const JsonValue* cat = e.Find("cat"); cat != nullptr) ev.category = cat->string;
+    if (const JsonValue* tid = e.Find("tid");
+        tid != nullptr && tid->type == JsonValue::Type::kNumber) {
+      ev.tid = static_cast<uint32_t>(NumberAsU64(*tid));
+    }
+    if (const JsonValue* ts = e.Find("ts"); ts != nullptr && ts->type == JsonValue::Type::kNumber) {
+      ev.start_ns = MicrosFieldToNs(*ts);
+    }
+    if (const JsonValue* dur = e.Find("dur");
+        dur != nullptr && dur->type == JsonValue::Type::kNumber) {
+      ev.dur_ns = MicrosFieldToNs(*dur);
+    }
+    if (const JsonValue* args = e.Find("args");
+        args != nullptr && args->type == JsonValue::Type::kObject) {
+      size_t user_arg = 0;
+      for (const auto& [key, value] : args->object) {
+        if (value.type != JsonValue::Type::kNumber) continue;
+        if (key == "start_ns") {
+          ev.start_ns = NumberAsU64(value);
+        } else if (key == "dur_ns") {
+          ev.dur_ns = NumberAsU64(value);
+        } else if (key == "value") {
+          ev.value = value.number;
+        } else if (user_arg < ev.arg_key.size()) {
+          ev.arg_key[user_arg] = key;
+          ev.arg_val[user_arg] = NumberAsU64(value);
+          ++user_arg;
+        }
+      }
+    }
+    trace.events.push_back(std::move(ev));
+  }
+  std::sort(trace.events.begin(), trace.events.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.tid < b.tid;
+  });
+  return trace;
+}
+
+Status WriteChromeTrace(const Trace& trace, const std::string& path) {
+  // Write-then-rename keeps partially written traces from being mistaken for
+  // complete ones (same discipline as WriteJsonRecords in bench_util).
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open trace file for writing: " + tmp);
+    }
+    out << TraceToChromeJson(trace);
+    if (!out) {
+      return Status::Internal("short write to trace file: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("cannot rename trace file into place: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<Trace> ReadChromeTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open trace file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ChromeJsonToTrace(buffer.str());
+}
+
+Trace MergeTraces(const std::vector<Trace>& traces) {
+  Trace merged;
+  for (const Trace& t : traces) {
+    merged.events.insert(merged.events.end(), t.events.begin(), t.events.end());
+    merged.dropped_events += t.dropped_events;
+  }
+  std::sort(merged.events.begin(), merged.events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.tid < b.tid;
+            });
+  return merged;
+}
+
+std::vector<TraceSummaryRow> SummarizeTrace(const Trace& trace) {
+  std::map<std::pair<std::string, std::string>, TraceSummaryRow> rows;
+  for (const TraceEvent& ev : trace.events) {
+    TraceSummaryRow& row = rows[{ev.category, ev.name}];
+    if (row.count == 0) {
+      row.category = ev.category;
+      row.name = ev.name;
+      row.kind = ev.kind;
+    }
+    ++row.count;
+    if (ev.kind == TraceEventKind::kSpan) {
+      row.total_dur_ns += ev.dur_ns;
+      row.max_dur_ns = std::max(row.max_dur_ns, ev.dur_ns);
+    } else if (ev.kind == TraceEventKind::kCounter) {
+      row.value_sum += ev.value;
+      row.value_max = std::max(row.value_max, ev.value);
+    }
+  }
+  std::vector<TraceSummaryRow> out;
+  out.reserve(rows.size());
+  for (auto& [key, row] : rows) {
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(), [](const TraceSummaryRow& a, const TraceSummaryRow& b) {
+    if (a.category != b.category) return a.category < b.category;
+    if (a.total_dur_ns != b.total_dur_ns) return a.total_dur_ns > b.total_dur_ns;
+    if (a.value_sum != b.value_sum) return a.value_sum > b.value_sum;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+std::string RenderTraceSummary(const Trace& trace, const std::string& title) {
+  TablePrinter table({"Category", "Name", "Kind", "Count", "Total ms", "Max ms", "Sum", "Max"});
+  for (const TraceSummaryRow& row : SummarizeTrace(trace)) {
+    const bool span = row.kind == TraceEventKind::kSpan;
+    table.AddRow({row.category, row.name,
+                  span ? "span" : (row.kind == TraceEventKind::kCounter ? "counter" : "instant"),
+                  TablePrinter::FmtInt(static_cast<long long>(row.count)),
+                  span ? TablePrinter::Fmt(row.total_dur_ns / 1e6, 3) : "-",
+                  span ? TablePrinter::Fmt(row.max_dur_ns / 1e6, 3) : "-",
+                  span ? "-" : TablePrinter::Fmt(row.value_sum, 3),
+                  span ? "-" : TablePrinter::Fmt(row.value_max, 3)});
+  }
+  std::string rendered =
+      table.Render(title.empty() ? "Trace summary (" + std::to_string(trace.events.size()) +
+                                       " events)"
+                                 : title);
+  if (trace.dropped_events > 0) {
+    rendered += "  [" + std::to_string(trace.dropped_events) +
+                " events dropped to ring wraparound]\n";
+  }
+  return rendered;
+}
+
+}  // namespace telemetry
+}  // namespace dgcl

@@ -1,0 +1,65 @@
+// Chrome-trace (Perfetto legacy JSON) export/import and text summaries.
+//
+// The export follows the Trace Event Format used by chrome://tracing and
+// ui.perfetto.dev: a top-level {"traceEvents": [...]} object whose entries
+// are complete events ("ph":"X", microsecond "ts"/"dur") for spans and
+// counter events ("ph":"C"). Span args carry the recorded integer tags plus
+// the originating steady-clock nanoseconds so a reimport reconstructs the
+// Trace exactly (timestamps survive the µs round-trip bit-exactly because
+// "ts" is printed with three decimals = integer nanoseconds).
+//
+// The importer is a minimal recursive-descent JSON parser scoped to what the
+// exporter (or a hand-written test fixture) emits — objects, arrays,
+// strings with \-escapes, and numbers. It exists so dgcl_trace can merge and
+// summarize trace files without a JSON dependency.
+
+#ifndef DGCL_TELEMETRY_CHROME_TRACE_H_
+#define DGCL_TELEMETRY_CHROME_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/trace.h"
+
+namespace dgcl {
+namespace telemetry {
+
+// Serializes the trace as Chrome-trace JSON.
+std::string TraceToChromeJson(const Trace& trace);
+
+// Parses Chrome-trace JSON produced by TraceToChromeJson (or any subset of
+// the format limited to "X"/"C"/"i" phases). Events are re-sorted by
+// (start_ns, tid).
+Result<Trace> ChromeJsonToTrace(const std::string& json);
+
+// File variants.
+Status WriteChromeTrace(const Trace& trace, const std::string& path);
+Result<Trace> ReadChromeTrace(const std::string& path);
+
+// Concatenates traces (re-sorted, dropped counts summed).
+Trace MergeTraces(const std::vector<Trace>& traces);
+
+// Aggregated statistics for one (category, name) span or counter series.
+struct TraceSummaryRow {
+  std::string category;
+  std::string name;
+  TraceEventKind kind = TraceEventKind::kSpan;
+  uint64_t count = 0;
+  uint64_t total_dur_ns = 0;  // spans
+  uint64_t max_dur_ns = 0;    // spans
+  double value_sum = 0.0;     // counters
+  double value_max = 0.0;     // counters
+};
+
+// Per-(category, name) aggregation, sorted by category then descending total
+// duration (spans) / descending value sum (counters).
+std::vector<TraceSummaryRow> SummarizeTrace(const Trace& trace);
+
+// Renders SummarizeTrace as a fixed-width table ("" title = default).
+std::string RenderTraceSummary(const Trace& trace, const std::string& title = "");
+
+}  // namespace telemetry
+}  // namespace dgcl
+
+#endif  // DGCL_TELEMETRY_CHROME_TRACE_H_

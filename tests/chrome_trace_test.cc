@@ -1,0 +1,146 @@
+#include "telemetry/chrome_trace.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/trace.h"
+
+namespace dgcl {
+namespace telemetry {
+namespace {
+
+TraceEvent MakeSpan(const std::string& name, uint32_t tid, uint64_t start_ns, uint64_t dur_ns) {
+  TraceEvent e;
+  e.name = name;
+  e.category = "cat";
+  e.kind = TraceEventKind::kSpan;
+  e.tid = tid;
+  e.start_ns = start_ns;
+  e.dur_ns = dur_ns;
+  return e;
+}
+
+Trace SampleTrace() {
+  Trace trace;
+  TraceEvent span = MakeSpan("fwd.stage", 1, 1000, 750);
+  span.arg_key[0] = "stage";
+  span.arg_val[0] = 0;
+  span.arg_key[1] = "bytes";
+  span.arg_val[1] = 123456789;
+  trace.events.push_back(span);
+
+  // Sub-microsecond timestamps exercise the fractional "ts" digits.
+  trace.events.push_back(MakeSpan("tiny", 2, 1001, 3));
+
+  TraceEvent counter;
+  counter.name = "sim.conn_busy_seconds";
+  counter.category = "nvlink";
+  counter.kind = TraceEventKind::kCounter;
+  counter.tid = 1;
+  counter.start_ns = 2000;
+  counter.value = 0.1234567890123456789;  // not representable; %.17g must round-trip
+  counter.arg_key[0] = "conn";
+  counter.arg_val[0] = 3;
+  trace.events.push_back(counter);
+
+  TraceEvent instant;
+  instant.name = "mark \"quoted\"\n";  // escaping
+  instant.category = "cat";
+  instant.kind = TraceEventKind::kInstant;
+  instant.tid = 3;
+  instant.start_ns = 3000;
+  trace.events.push_back(instant);
+
+  trace.dropped_events = 0;
+  return trace;
+}
+
+TEST(ChromeTraceTest, JsonRoundTripIsExact) {
+  const Trace trace = SampleTrace();
+  const std::string json = TraceToChromeJson(trace);
+  Result<Trace> back = ChromeJsonToTrace(json);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->events.size(), trace.events.size());
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    EXPECT_EQ(back->events[i], trace.events[i]) << "event " << i;
+  }
+}
+
+TEST(ChromeTraceTest, JsonHasChromeTraceShape) {
+  const std::string json = TraceToChromeJson(SampleTrace());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // 1000 ns start -> "1.000" µs, 750 ns dur -> "0.750" µs: integer-exact.
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":0.750"), std::string::npos);
+  // The quoted name must be escaped.
+  EXPECT_NE(json.find("mark \\\"quoted\\\"\\n"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, FileRoundTrip) {
+  const Trace trace = SampleTrace();
+  const std::string path = ::testing::TempDir() + "/chrome_trace_test.json";
+  ASSERT_TRUE(WriteChromeTrace(trace, path).ok());
+  Result<Trace> back = ReadChromeTrace(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->events, trace.events);
+  std::remove(path.c_str());
+}
+
+TEST(ChromeTraceTest, MergeSortsAndSumsDrops) {
+  Trace a;
+  a.events.push_back(MakeSpan("late", 1, 500, 10));
+  a.dropped_events = 2;
+  Trace b;
+  b.events.push_back(MakeSpan("early", 2, 100, 10));
+  b.dropped_events = 3;
+  const Trace merged = MergeTraces({a, b});
+  ASSERT_EQ(merged.events.size(), 2u);
+  EXPECT_EQ(merged.events[0].name, "early");
+  EXPECT_EQ(merged.events[1].name, "late");
+  EXPECT_EQ(merged.dropped_events, 5u);
+}
+
+TEST(ChromeTraceTest, SummaryAggregatesPerCategoryName) {
+  Trace trace;
+  trace.events.push_back(MakeSpan("s", 1, 0, 100));
+  trace.events.push_back(MakeSpan("s", 2, 10, 300));
+  const auto rows = SummarizeTrace(trace);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].name, "s");
+  EXPECT_EQ(rows[0].count, 2u);
+  EXPECT_EQ(rows[0].total_dur_ns, 400u);
+  EXPECT_EQ(rows[0].max_dur_ns, 300u);
+  const std::string table = RenderTraceSummary(trace, "t");
+  EXPECT_NE(table.find("s"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, ImporterRejectsGarbage) {
+  EXPECT_FALSE(ChromeJsonToTrace("not json").ok());
+  EXPECT_FALSE(ChromeJsonToTrace("{\"traceEvents\": [{]}").ok());
+}
+
+TEST(ChromeTraceTest, ImporterSkipsForeignPhases) {
+  // Metadata events ("M") from other tools must be ignored, not errors.
+  const std::string json =
+      "{\"traceEvents\": ["
+      "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1},"
+      "{\"name\": \"s\", \"cat\": \"c\", \"ph\": \"X\", \"tid\": 1, \"ts\": 1.000, "
+      "\"dur\": 2.000}"
+      "]}";
+  Result<Trace> trace = ChromeJsonToTrace(json);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  ASSERT_EQ(trace->events.size(), 1u);
+  EXPECT_EQ(trace->events[0].name, "s");
+  // Without the reserved start_ns/dur_ns args, µs fields convert back to ns.
+  EXPECT_EQ(trace->events[0].start_ns, 1000u);
+  EXPECT_EQ(trace->events[0].dur_ns, 2000u);
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace dgcl

@@ -126,6 +126,39 @@ TEST(PlanDeterminismTest, ByteIdenticalAcrossThreadCountsAndRuns) {
   }
 }
 
+TEST(PlanDeterminismTest, WarmupFractionNeverChangesThePlan) {
+  Workload w = Workload::Make(8, 160, /*seed=*/77);
+  const double bytes = 256.0;
+  auto reference = PlanWithThreads(w, 1, bytes);
+  ASSERT_TRUE(reference.ok());
+  const std::string ref_bytes = ClassPlanBytes(*reference);
+  for (double fraction : {0.0, 0.05, 0.5, 1.0}) {
+    SpstOptions opts;
+    opts.num_threads = 4;
+    opts.max_class_units = 4;
+    opts.min_chunks = 0;
+    opts.warmup_fraction = fraction;
+    SpstPlanner planner(opts);
+    auto plan = planner.PlanClasses(w.classes, w.topo, bytes);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    EXPECT_EQ(ClassPlanBytes(*plan), ref_bytes) << "warmup_fraction=" << fraction;
+    const SpstPlanStats& stats = planner.last_stats();
+    EXPECT_EQ(stats.exact_commits + stats.replay_commits + stats.replans, stats.chunks);
+    EXPECT_LE(stats.warmup_commits, stats.exact_commits);
+    if (fraction == 0.0) {
+      EXPECT_EQ(stats.warmup_commits, 0u);
+    } else {
+      EXPECT_GE(stats.warmup_commits, 1u);
+    }
+    if (fraction == 1.0) {
+      // Full warm-up degenerates to the serial algorithm.
+      EXPECT_EQ(stats.warmup_commits, stats.chunks);
+      EXPECT_EQ(stats.replans, 0u);
+      EXPECT_EQ(stats.replay_commits, 0u);
+    }
+  }
+}
+
 TEST(PlanDeterminismTest, DedicatedPoolMatchesSharedPool) {
   Workload w = Workload::Make(8, 120, /*seed=*/78);
   const double bytes = 128.0;

@@ -1,0 +1,124 @@
+// dgcl_trace — post-processing for Chrome-trace files written by the benches
+// (`--trace <path>`) or by telemetry::WriteChromeTrace.
+//
+// Usage:
+//   dgcl_trace summarize <trace.json>...        per-(category,name) table
+//   dgcl_trace merge -o <out.json> <in.json>... merge traces into one file
+//   dgcl_trace convert <in.json> <out.json>     re-emit in canonical form
+//
+// All subcommands round-trip through the importer, so they double as a
+// validation pass: a file that summarizes cleanly will load in Perfetto.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "telemetry/chrome_trace.h"
+#include "telemetry/cost_audit.h"
+
+using namespace dgcl;
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "usage: dgcl_trace summarize <trace.json>...\n"
+      "       dgcl_trace merge -o <out.json> <in.json>...\n"
+      "       dgcl_trace convert <in.json> <out.json>\n");
+}
+
+int Summarize(const std::vector<std::string>& paths) {
+  std::vector<telemetry::Trace> traces;
+  for (const std::string& path : paths) {
+    Result<telemetry::Trace> trace = telemetry::ReadChromeTrace(path);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), trace.status().ToString().c_str());
+      return 1;
+    }
+    traces.push_back(std::move(trace).value());
+  }
+  const telemetry::Trace merged = telemetry::MergeTraces(traces);
+  std::string title = paths.size() == 1 ? paths[0] : std::to_string(paths.size()) + " traces";
+  std::printf("%s", telemetry::RenderTraceSummary(merged, title).c_str());
+  std::printf("%zu events total\n", merged.events.size());
+
+  // When the trace carries per-stage allgather spans, also report observed
+  // stage wall times (the CostAudit's observation side).
+  const std::vector<double> fwd =
+      telemetry::ObservedStageSecondsFromTrace(merged, "fwd.stage", "stage");
+  for (size_t k = 0; k < fwd.size(); ++k) {
+    std::printf("observed fwd stage %zu: %.6f ms\n", k, fwd[k] * 1e3);
+  }
+  return 0;
+}
+
+int Merge(const std::string& out_path, const std::vector<std::string>& paths) {
+  std::vector<telemetry::Trace> traces;
+  for (const std::string& path : paths) {
+    Result<telemetry::Trace> trace = telemetry::ReadChromeTrace(path);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), trace.status().ToString().c_str());
+      return 1;
+    }
+    traces.push_back(std::move(trace).value());
+  }
+  const telemetry::Trace merged = telemetry::MergeTraces(traces);
+  Status status = telemetry::WriteChromeTrace(merged, out_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu events from %zu traces)\n", out_path.c_str(),
+              merged.events.size(), paths.size());
+  return 0;
+}
+
+int Convert(const std::string& in_path, const std::string& out_path) {
+  Result<telemetry::Trace> trace = telemetry::ReadChromeTrace(in_path);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "%s: %s\n", in_path.c_str(), trace.status().ToString().c_str());
+    return 1;
+  }
+  Status status = telemetry::WriteChromeTrace(*trace, out_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu events)\n", out_path.c_str(), trace->events.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "summarize" && argc >= 3) {
+    return Summarize(std::vector<std::string>(argv + 2, argv + argc));
+  }
+  if (cmd == "merge") {
+    std::string out_path;
+    std::vector<std::string> inputs;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+        out_path = argv[++i];
+      } else {
+        inputs.emplace_back(argv[i]);
+      }
+    }
+    if (out_path.empty() || inputs.empty()) {
+      PrintUsage();
+      return 2;
+    }
+    return Merge(out_path, inputs);
+  }
+  if (cmd == "convert" && argc == 4) {
+    return Convert(argv[2], argv[3]);
+  }
+  PrintUsage();
+  return 2;
+}
