@@ -25,11 +25,6 @@ void Run() {
   CommRelation rel = std::move(BuildCommRelation(graph, *metis.Partition(graph, 8))).value();
   SpstPlanner spst;
   CompiledPlan plan = CompilePlan(*spst.Plan(rel, topo, 64), topo);
-  auto engine = AllgatherEngine::Create(rel, plan, topo);
-  if (!engine.ok()) {
-    std::printf("engine setup failed\n");
-    return;
-  }
   std::vector<EmbeddingMatrix> local;
   for (uint32_t d = 0; d < rel.num_devices; ++d) {
     local.push_back(EmbeddingMatrix::Zero(
@@ -41,7 +36,13 @@ void Run() {
   TablePrinter table({"Coordination", "graphAllgather wall time (ms, median-ish mean)"});
   for (CoordinationMode mode :
        {CoordinationMode::kDecentralized, CoordinationMode::kCentralized}) {
-    engine->set_coordination_mode(mode);
+    EngineOptions options;
+    options.coordination = mode;
+    auto engine = AllgatherEngine::Create(rel, plan, topo, options);
+    if (!engine.ok()) {
+      std::printf("engine setup failed\n");
+      return;
+    }
     for (int i = 0; i < kWarmup; ++i) {
       (void)engine->Forward(local);
     }

@@ -49,6 +49,25 @@ void RunDataset(DatasetId id, bool audit) {
         std::printf("cost audit (%s): %s\n\n", bench::BenchDataset(id).name.c_str(),
                     report.status().ToString().c_str());
       }
+      // Wall-clock calibration: the same predictions joined against a real
+      // engine run (bandwidth-emulated transports, per-stage spans from the
+      // recorded trace). time_scale stretches emulated time far above the
+      // fixed per-stage scheduler overhead (thread wakeups + flag spins cost
+      // ~ms on a shared CPU box, vs ~50us of predicted wire time); observed
+      // times are scaled back before the join, so the printed ratio isolates
+      // coordination overhead rather than being swamped by it.
+      auto engine_report = (*bundle)->sim().AuditAllgatherFromEngine(
+          bench::BenchDataset(id).feature_dim, /*time_scale=*/500.0);
+      if (engine_report.ok()) {
+        std::printf("%s\n", engine_report
+                                ->ToString("engine-trace cost audit (" +
+                                           bench::BenchDataset(id).name +
+                                           ", GCN allgather, emulated wire)")
+                                .c_str());
+      } else {
+        std::printf("engine-trace cost audit (%s): %s\n\n", bench::BenchDataset(id).name.c_str(),
+                    engine_report.status().ToString().c_str());
+      }
     }
   }
 }

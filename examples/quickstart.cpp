@@ -39,18 +39,20 @@ int main() {
     std::printf("buildCommInfo failed: %s\n", s.ToString().c_str());
     return 1;
   }
-  const CommRelation& rel = ctx->relation();
+  // Everything the pipeline produced is bundled on artifacts().
+  const PlanArtifacts& artifacts = ctx->artifacts();
+  const CommRelation& rel = artifacts.relation;
   std::printf("communication relation: %llu vertex transfers across %u devices\n",
               static_cast<unsigned long long>(rel.TotalTransfers()), rel.num_devices);
   std::printf("SPST plan: %u stages, %zu transfer ops, %llu bytes of send/recv tables\n",
-              ctx->compiled_plan().num_stages, ctx->compiled_plan().ops.size(),
-              static_cast<unsigned long long>(ctx->compiled_plan().TableBytes()));
+              artifacts.compiled.num_stages, artifacts.compiled.ops.size(),
+              static_cast<unsigned long long>(artifacts.compiled.TableBytes()));
 
   // How much better is the plan than naive peer-to-peer, under the cost model?
   PeerToPeerPlanner p2p;
   auto p2p_plan = p2p.Plan(rel, ctx->topology(), 1024);
   if (p2p_plan.ok()) {
-    const double spst_ms = EvaluatePlanCost(ctx->plan(), ctx->topology(), 1024) * 1e3;
+    const double spst_ms = EvaluatePlanCost(artifacts.plan, ctx->topology(), 1024) * 1e3;
     const double p2p_ms = EvaluatePlanCost(*p2p_plan, ctx->topology(), 1024) * 1e3;
     std::printf("planned allgather cost: SPST %.3f ms vs peer-to-peer %.3f ms (%.1fx)\n",
                 spst_ms, p2p_ms, p2p_ms / spst_ms);

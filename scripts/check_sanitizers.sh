@@ -2,8 +2,11 @@
 # Builds the repo twice — under ThreadSanitizer and AddressSanitizer — and
 # runs the concurrency-sensitive test binaries under each: the thread pool,
 # the speculative parallel planner (determinism + property suites), the
-# allgather engine, the coordination layer, the simulator/trainer (both fan
-# work out on the shared pool) and the lock-free telemetry recorder.
+# allgather engine, the transport/coordination layer (connection retry and
+# fault-injection state shared across device threads), the straggler and
+# dead-peer timeout paths, the simulator/trainer (both fan work out on the
+# shared pool), the engine-trace cost audit and the lock-free telemetry
+# recorder.
 # Separate build trees (build-tsan/, build-asan/) so the main build stays
 # untouched.
 #
@@ -11,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TESTS_REGEX='thread_pool_test|plan_determinism_test|planner_property_test|spst_test|allgather_engine_test|coordination_test|network_sim_test|epoch_sim_test|trainer_test|telemetry_test'
+TESTS_REGEX='thread_pool_test|plan_determinism_test|planner_property_test|spst_test|transport_test|allgather_engine_test|coordination_test|straggler_test|network_sim_test|epoch_sim_test|cost_audit_test|trainer_test|telemetry_test'
 
 run_one() {
   local kind="$1"
@@ -21,8 +24,8 @@ run_one() {
   cmake -B "$dir" -S . -DDGCL_SANITIZE="$kind" >/dev/null
   cmake --build "$dir" -j "$(nproc)" --target \
     thread_pool_test plan_determinism_test planner_property_test spst_test \
-    allgather_engine_test coordination_test network_sim_test epoch_sim_test \
-    trainer_test telemetry_test
+    transport_test allgather_engine_test coordination_test straggler_test \
+    network_sim_test epoch_sim_test cost_audit_test trainer_test telemetry_test
   echo "=== ${kind} sanitizer: running tests ==="
   ctest --test-dir "$dir" -R "$TESTS_REGEX" --output-on-failure
   echo "=== ${kind} sanitizer: OK ==="

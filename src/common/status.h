@@ -25,6 +25,8 @@ enum class StatusCode : uint8_t {
   kResourceExhausted,  // e.g. simulated device out of memory
   kInternal,
   kUnimplemented,
+  kDeadlineExceeded,  // a bounded wait (peer flag, send retry) ran out of time
+  kUnavailable,       // a peer or transport is down / a pass was aborted
 };
 
 // Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
@@ -53,6 +55,12 @@ class Status {
   static Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,8 +1,10 @@
 #include "dgcl/dgcl.h"
 
+#include <cmath>
 #include <optional>
 
 #include "comm/plan.h"
+#include "common/logging.h"
 #include "partition/hierarchical.h"
 #include "partition/multilevel.h"
 #include "telemetry/trace.h"
@@ -13,12 +15,7 @@ struct DgclContext::State {
   Topology topology;
   DgclOptions options;
   const CsrGraph* graph = nullptr;  // set by BuildCommInfo; caller-owned
-  Partitioning partitioning;
-  CommRelation relation;
-  CommClasses classes;
-  ClassPlan class_plan;
-  CommPlan plan;
-  CompiledPlan compiled;
+  PlanArtifacts artifacts;
   std::optional<AllgatherEngine> engine;
 };
 
@@ -26,55 +23,72 @@ DgclContext::DgclContext(DgclContext&&) noexcept = default;
 DgclContext& DgclContext::operator=(DgclContext&&) noexcept = default;
 DgclContext::~DgclContext() = default;
 
+Status DgclOptions::Validate() const {
+  if (!(bytes_per_unit > 0.0) || !std::isfinite(bytes_per_unit)) {
+    return Status::InvalidArgument("bytes_per_unit must be positive and finite");
+  }
+  return engine.Validate();
+}
+
 Result<DgclContext> DgclContext::Init(Topology topology, DgclOptions options) {
+  DGCL_RETURN_IF_ERROR(options.Validate());
   if (topology.num_devices() == 0) {
     return Status::InvalidArgument("topology has no devices");
   }
   if (topology.num_devices() > 1 && !topology.IsFullyConnected()) {
     return Status::InvalidArgument("topology must define a link for every device pair");
   }
+  // Topology-dependent option checks, so a bad config fails at Init rather
+  // than deep inside BuildCommInfo.
+  DGCL_RETURN_IF_ERROR(ValidateTransportOverrides(topology, options.engine.transport_overrides));
+  if (options.engine.faults.dead_device != kInvalidId &&
+      options.engine.faults.dead_device >= topology.num_devices()) {
+    return Status::InvalidArgument("dead_device out of range");
+  }
   DgclContext ctx;
   ctx.state_ = std::make_unique<State>();
   ctx.state_->topology = std::move(topology);
-  ctx.state_->options = options;
+  ctx.state_->options = std::move(options);
   return ctx;
 }
 
 Status DgclContext::BuildCommInfo(const CsrGraph& graph) {
   State& s = *state_;
+  PlanArtifacts& a = s.artifacts;
   DGCL_TSPAN2("dgcl", "build_comm_info", "vertices", graph.num_vertices(), "devices",
               s.topology.num_devices());
   MultilevelPartitioner partitioner(s.options.partition);
   {
     DGCL_TSPAN("dgcl", "phase.partition");
-    DGCL_ASSIGN_OR_RETURN(s.partitioning, PartitionForTopology(graph, s.topology, partitioner));
+    DGCL_ASSIGN_OR_RETURN(a.partitioning, PartitionForTopology(graph, s.topology, partitioner));
   }
   {
     DGCL_TSPAN("dgcl", "phase.relation");
-    DGCL_ASSIGN_OR_RETURN(s.relation, BuildCommRelation(graph, s.partitioning));
-    s.classes = BuildCommClasses(s.relation);
+    DGCL_ASSIGN_OR_RETURN(a.relation, BuildCommRelation(graph, a.partitioning));
+    a.classes = BuildCommClasses(a.relation);
   }
   SpstPlanner planner(s.options.spst);
   {
     DGCL_TSPAN("dgcl", "phase.plan");
-    DGCL_ASSIGN_OR_RETURN(
-        s.class_plan, planner.PlanClasses(s.classes, s.topology, s.options.bytes_per_unit));
+    DGCL_ASSIGN_OR_RETURN(a.class_plan,
+                          planner.PlanClasses(a.classes, s.topology, s.options.bytes_per_unit));
   }
   {
     DGCL_TSPAN("dgcl", "phase.expand");
-    s.plan = ExpandClassPlan(s.class_plan, s.classes);
-    DGCL_RETURN_IF_ERROR(ValidatePlan(s.plan, s.relation, s.topology));
+    a.plan = ExpandClassPlan(a.class_plan, a.classes);
+    DGCL_RETURN_IF_ERROR(ValidatePlan(a.plan, a.relation, s.topology));
   }
   {
     DGCL_TSPAN("dgcl", "phase.compile");
     // Compile straight from the class trees: byte-identical tables to
     // compiling the expanded plan, without touching the per-vertex trees.
-    s.compiled = CompilePlan(s.class_plan, s.classes, s.topology);
-    AssignBackwardSubstages(s.compiled);
+    a.compiled = CompilePlan(a.class_plan, a.classes, s.topology);
+    AssignBackwardSubstages(a.compiled);
   }
   DGCL_TSPAN("dgcl", "phase.arm_engine");
-  DGCL_ASSIGN_OR_RETURN(AllgatherEngine engine,
-                        AllgatherEngine::Create(s.relation, s.compiled, s.topology));
+  DGCL_ASSIGN_OR_RETURN(AllgatherEngine engine, AllgatherEngine::Create(a.relation, a.compiled,
+                                                                        s.topology,
+                                                                        s.options.engine));
   s.engine.emplace(std::move(engine));
   s.graph = &graph;
   return Status::Ok();
@@ -86,13 +100,14 @@ Result<std::vector<EmbeddingMatrix>> DgclContext::DispatchFeatures(
   if (!s.engine.has_value()) {
     return Status::FailedPrecondition("BuildCommInfo not called");
   }
-  if (features.rows != s.relation.source.size()) {
+  const CommRelation& relation = s.artifacts.relation;
+  if (features.rows != relation.source.size()) {
     return Status::InvalidArgument("feature rows must match graph vertices");
   }
   std::vector<EmbeddingMatrix> out;
-  out.reserve(s.relation.num_devices);
-  for (uint32_t d = 0; d < s.relation.num_devices; ++d) {
-    const auto& locals = s.relation.local_vertices[d];
+  out.reserve(relation.num_devices);
+  for (uint32_t d = 0; d < relation.num_devices; ++d) {
+    const auto& locals = relation.local_vertices[d];
     EmbeddingMatrix m =
         EmbeddingMatrix::Zero(static_cast<uint32_t>(locals.size()), features.dim);
     for (uint32_t i = 0; i < locals.size(); ++i) {
@@ -124,20 +139,25 @@ Result<LocalGraph> DgclContext::BuildDeviceGraph(uint32_t device) const {
   if (s.graph == nullptr) {
     return Status::FailedPrecondition("BuildCommInfo not called");
   }
-  if (device >= s.relation.num_devices) {
+  if (device >= s.artifacts.relation.num_devices) {
     return Status::OutOfRange("device id out of range");
   }
-  return BuildLocalGraph(*s.graph, s.relation, device);
+  return BuildLocalGraph(*s.graph, s.artifacts.relation, device);
 }
 
 bool DgclContext::comm_info_ready() const { return state_->engine.has_value(); }
 uint32_t DgclContext::num_devices() const { return state_->topology.num_devices(); }
 const Topology& DgclContext::topology() const { return state_->topology; }
-const Partitioning& DgclContext::partitioning() const { return state_->partitioning; }
-const CommRelation& DgclContext::relation() const { return state_->relation; }
-const CommClasses& DgclContext::comm_classes() const { return state_->classes; }
-const ClassPlan& DgclContext::class_plan() const { return state_->class_plan; }
-const CommPlan& DgclContext::plan() const { return state_->plan; }
-const CompiledPlan& DgclContext::compiled_plan() const { return state_->compiled; }
+const DgclOptions& DgclContext::options() const { return state_->options; }
+
+const PlanArtifacts& DgclContext::artifacts() const {
+  DGCL_CHECK(comm_info_ready()) << "artifacts() before BuildCommInfo";
+  return state_->artifacts;
+}
+
+const AllgatherEngine& DgclContext::engine() const {
+  DGCL_CHECK(comm_info_ready()) << "engine() before BuildCommInfo";
+  return *state_->engine;
+}
 
 }  // namespace dgcl

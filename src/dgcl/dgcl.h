@@ -47,6 +47,28 @@ struct DgclOptions {
   SpstOptions spst;
   MultilevelOptions partition;
   double bytes_per_unit = 1024.0;  // embedding bytes used for planning
+
+  // Runtime knobs handed to AllgatherEngine::Create by BuildCommInfo:
+  // coordination mode, transport retry/timeout policy, fault injection and
+  // per-pair transport overrides (ablations). None of them change what a
+  // pass delivers.
+  EngineOptions engine;
+
+  // Checked by Init; topology-dependent parts (override ids, dead_device
+  // range) are checked there too, so a bad config fails before any planning.
+  Status Validate() const;
+};
+
+// Everything BuildCommInfo produces, in pipeline order. Returned by
+// DgclContext::artifacts() behind a single lifecycle check instead of seven
+// individually-checked accessors.
+struct PlanArtifacts {
+  Partitioning partitioning;  // device assignment per vertex
+  CommRelation relation;      // who needs which vertices
+  CommClasses classes;        // destination-set equivalence classes
+  ClassPlan class_plan;       // batched SPST trees over classes
+  CommPlan plan;              // per-vertex expansion (validation/ablations)
+  CompiledPlan compiled;      // staged transfer ops the runtime executes
 };
 
 class DgclContext {
@@ -82,12 +104,30 @@ class DgclContext {
   bool comm_info_ready() const;
   uint32_t num_devices() const;
   const Topology& topology() const;
-  const Partitioning& partitioning() const;   // valid after BuildCommInfo
-  const CommRelation& relation() const;       // valid after BuildCommInfo
-  const CommClasses& comm_classes() const;    // valid after BuildCommInfo
-  const ClassPlan& class_plan() const;        // valid after BuildCommInfo
-  const CommPlan& plan() const;               // valid after BuildCommInfo
-  const CompiledPlan& compiled_plan() const;  // valid after BuildCommInfo
+  const DgclOptions& options() const;
+
+  // The full planning pipeline output. Aborts (DGCL_CHECK) unless
+  // comm_info_ready() — the one lifecycle check for all plan state.
+  const PlanArtifacts& artifacts() const;
+
+  // The armed runtime (connection table, pass options). Same lifecycle as
+  // artifacts().
+  const AllgatherEngine& engine() const;
+
+  // Deprecated per-field accessors, kept as shims for one PR: read the
+  // fields off artifacts() instead.
+  [[deprecated("use artifacts().partitioning")]]
+  const Partitioning& partitioning() const { return artifacts().partitioning; }
+  [[deprecated("use artifacts().relation")]]
+  const CommRelation& relation() const { return artifacts().relation; }
+  [[deprecated("use artifacts().classes")]]
+  const CommClasses& comm_classes() const { return artifacts().classes; }
+  [[deprecated("use artifacts().class_plan")]]
+  const ClassPlan& class_plan() const { return artifacts().class_plan; }
+  [[deprecated("use artifacts().plan")]]
+  const CommPlan& plan() const { return artifacts().plan; }
+  [[deprecated("use artifacts().compiled")]]
+  const CompiledPlan& compiled_plan() const { return artifacts().compiled; }
 
  private:
   DgclContext() = default;

@@ -2,44 +2,26 @@
 
 #include <algorithm>
 #include <atomic>
-#include <barrier>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <memory>
-#include <optional>
 #include <thread>
 
 #include "common/logging.h"
 #include "telemetry/trace.h"
 
 namespace dgcl {
-
-// Shared flag/buffer state for one pass (forward or backward).
-struct PassState {
-  // ready_stage[d]: d has finished consuming all receives of stages < value.
-  std::unique_ptr<std::atomic<uint32_t>[]> ready_stage;
-  // One staging buffer + done flag per op. Buffers are written by exactly one
-  // sender and read by exactly one receiver after `done` is raised.
-  std::vector<std::vector<float>> op_buffers;
-  std::unique_ptr<std::atomic<bool>[]> op_done;
-  // Centralized coordination only: the master's stage gate.
-  std::optional<std::barrier<>> stage_barrier;
-
-  PassState(uint32_t num_devices, const CompiledPlan& plan, uint32_t dim) {
-    ready_stage = std::make_unique<std::atomic<uint32_t>[]>(num_devices);
-    for (uint32_t d = 0; d < num_devices; ++d) {
-      ready_stage[d].store(0, std::memory_order_relaxed);
-    }
-    op_buffers.resize(plan.ops.size());
-    op_done = std::make_unique<std::atomic<bool>[]>(plan.ops.size());
-    for (uint32_t i = 0; i < plan.ops.size(); ++i) {
-      op_buffers[i].resize(plan.ops[i].vertices.size() * static_cast<size_t>(dim));
-      op_done[i].store(false, std::memory_order_relaxed);
-    }
-  }
-};
-
 namespace {
+
+// The status a device reports when it bails out of its waits because some
+// *other* device failed first. Filtered out of the pass verdict unless it is
+// all there is.
+Status AbortedStatus() { return Status::Unavailable("pass aborted by peer failure"); }
+
+bool IsAborted(const Status& s) {
+  return s.code() == StatusCode::kUnavailable && s.message() == "pass aborted by peer failure";
+}
 
 // Copies embedding rows in 16-byte chunks where possible (§6.2 data packing:
 // one CUDA thread fetches 16 bytes per instruction; memcpy vectorizes the
@@ -64,15 +46,121 @@ const char* LinkCategory(const Topology& topo, LinkId link) {
   return LinkTypeName(topo.connection(slowest).type);
 }
 
+// A std::barrier with a deadline and an abort path: the centralized §6.1
+// master gate must fail a collective whose peer died, not park forever.
+class TimedBarrier {
+ public:
+  explicit TimedBarrier(uint32_t parties) : parties_(parties) {}
+
+  // OK when every party arrived; kDeadlineExceeded when `timeout_micros` (> 0)
+  // elapsed first (the barrier is poisoned so everyone else unblocks);
+  // the aborted sentinel when another thread failed the pass.
+  Status ArriveAndWait(uint64_t timeout_micros) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (aborted_) {
+      return AbortedStatus();
+    }
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return Status::Ok();
+    }
+    const uint64_t generation = generation_;
+    auto released = [&] { return generation_ != generation || aborted_; };
+    if (timeout_micros == 0) {
+      cv_.wait(lock, released);
+    } else if (!cv_.wait_for(lock, std::chrono::microseconds(timeout_micros), released)) {
+      aborted_ = true;
+      cv_.notify_all();
+      return Status::DeadlineExceeded("centralized barrier timed out: a peer never arrived");
+    }
+    if (generation_ != generation) {
+      return Status::Ok();
+    }
+    return AbortedStatus();
+  }
+
+  void Abort() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  const uint32_t parties_;
+  uint32_t arrived_ = 0;
+  uint64_t generation_ = 0;
+  bool aborted_ = false;
+};
+
 }  // namespace
 
+// Shared flag/buffer state for one pass (forward or backward). Staging
+// buffers live in the engine's ConnectionTable; this holds the coordination
+// state only.
+struct PassState {
+  // ready_stage[d]: d has finished consuming all receives of stages < value.
+  std::unique_ptr<std::atomic<uint32_t>[]> ready_stage;
+  // One done flag per op. The op's staging buffer (connection-owned) is
+  // written by exactly one sender and read by exactly one receiver after
+  // `done` is raised.
+  std::unique_ptr<std::atomic<bool>[]> op_done;
+  // Raised by the first failing device; every other device bails out of its
+  // waits with the aborted sentinel instead of running to its own deadline.
+  std::atomic<bool> abort{false};
+  // Centralized coordination only: the master's stage gate.
+  std::unique_ptr<TimedBarrier> stage_barrier;
+  // One per device, written by that device's thread, read after join.
+  std::vector<Status> device_status;
+
+  PassState(uint32_t num_devices, const CompiledPlan& plan, const EngineOptions& options) {
+    ready_stage = std::make_unique<std::atomic<uint32_t>[]>(num_devices);
+    for (uint32_t d = 0; d < num_devices; ++d) {
+      ready_stage[d].store(0, std::memory_order_relaxed);
+    }
+    op_done = std::make_unique<std::atomic<bool>[]>(plan.ops.size());
+    for (uint32_t i = 0; i < plan.ops.size(); ++i) {
+      op_done[i].store(false, std::memory_order_relaxed);
+    }
+    if (options.coordination == CoordinationMode::kCentralized) {
+      stage_barrier = std::make_unique<TimedBarrier>(num_devices);
+    }
+    device_status.resize(num_devices);
+  }
+
+  void Fail() {
+    abort.store(true, std::memory_order_release);
+    if (stage_barrier != nullptr) {
+      stage_barrier->Abort();
+    }
+  }
+};
+
+Status EngineOptions::Validate() const {
+  DGCL_RETURN_IF_ERROR(transport.Validate());
+  DGCL_RETURN_IF_ERROR(faults.Validate());
+  if (straggler_device != kInvalidId && straggler_micros > 10'000'000) {
+    return Status::InvalidArgument("straggler delay above 10 s per stage is surely a typo");
+  }
+  return Status::Ok();
+}
+
 Result<AllgatherEngine> AllgatherEngine::Create(const CommRelation& relation, CompiledPlan plan,
-                                                const Topology& topo) {
+                                                const Topology& topo, EngineOptions options) {
+  DGCL_RETURN_IF_ERROR(options.Validate());
   DGCL_RETURN_IF_ERROR(ValidateCompiledPlan(plan, relation, topo));
   AllgatherEngine engine;
   engine.relation_ = &relation;
   engine.topo_ = &topo;
   engine.plan_ = std::move(plan);
+  engine.options_ = std::move(options);
+  DGCL_ASSIGN_OR_RETURN(
+      engine.connections_,
+      ConnectionTable::Build(topo, engine.plan_, engine.options_.transport,
+                             engine.options_.faults, engine.options_.transport_overrides));
 
   // Slot layout per device: locals, then required remotes, then any vertices
   // held only for forwarding.
@@ -110,20 +198,39 @@ uint32_t AllgatherEngine::NumContractSlots(uint32_t device) const {
                                relation_->remote_vertices[device].size());
 }
 
-void AllgatherEngine::RunDevice(uint32_t device, uint32_t dim, bool backward,
-                                std::vector<EmbeddingMatrix>& buffers, PassState& state) const {
+Status AllgatherEngine::RunDevice(uint32_t device, uint32_t dim, bool backward,
+                                  std::vector<EmbeddingMatrix>& buffers, PassState& state) const {
   const uint32_t num_stages = plan_.num_stages;
   EmbeddingMatrix& mine = buffers[device];
+  const uint64_t timeout_micros = options_.transport.wait_timeout_micros;
 
-  auto wait_ready = [&state](uint32_t peer, uint32_t stage) {
-    while (state.ready_stage[peer].load(std::memory_order_acquire) < stage) {
+  if (device == options_.faults.dead_device) {
+    // The killed peer: never publishes readiness, never sends, never
+    // consumes. Its peers' deadline-bounded waits turn this into a timeout
+    // Status for the whole collective.
+    return Status::Unavailable("device " + std::to_string(device) + " is dead (injected fault)");
+  }
+
+  // Deadline-bounded flag spins. The deadline is re-armed per wait; the
+  // abort flag short-circuits every spin once any device has failed.
+  auto spin_until = [&state, timeout_micros](auto&& ready, const char* what, uint32_t peer,
+                                             uint32_t stage) -> Status {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(timeout_micros == 0 ? 0 : timeout_micros);
+    uint64_t spins = 0;
+    while (!ready()) {
+      if (state.abort.load(std::memory_order_relaxed)) {
+        return AbortedStatus();
+      }
+      if (timeout_micros != 0 && (++spins & 0x3ff) == 0 &&
+          std::chrono::steady_clock::now() >= deadline) {
+        return Status::DeadlineExceeded(std::string(what) + " wait timed out on peer " +
+                                        std::to_string(peer) + " at stage " +
+                                        std::to_string(stage));
+      }
       std::this_thread::yield();
     }
-  };
-  auto wait_done = [&state](uint32_t op_id) {
-    while (!state.op_done[op_id].load(std::memory_order_acquire)) {
-      std::this_thread::yield();
-    }
+    return Status::Ok();
   };
 
   // Ops this device sends/receives, grouped by stage. In the backward pass
@@ -151,13 +258,21 @@ void AllgatherEngine::RunDevice(uint32_t device, uint32_t dim, bool backward,
   }
 
   for (uint32_t step = 0; step < num_stages; ++step) {
-    if (device == straggler_device_ && straggler_micros_ > 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(straggler_micros_));
+    if (device == options_.straggler_device && options_.straggler_micros > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(options_.straggler_micros));
     }
-    if (coordination_ == CoordinationMode::kCentralized && state.stage_barrier.has_value()) {
+    if (state.stage_barrier != nullptr) {
       // Centralized §6.1 alternative: report to the master and block until
       // every device is released into this stage.
-      state.stage_barrier->arrive_and_wait();
+      Status status;
+      {
+        DGCL_TSPAN2("runtime", "wait.barrier", "peer", device, "stage", step);
+        status = state.stage_barrier->ArriveAndWait(timeout_micros);
+      }
+      if (!status.ok()) {
+        state.Fail();
+        return status;
+      }
     }
     const uint32_t stage = backward ? num_stages - 1 - step : step;
     uint64_t stage_bytes = 0;
@@ -174,12 +289,31 @@ void AllgatherEngine::RunDevice(uint32_t device, uint32_t dim, bool backward,
     for (uint32_t op_id : sends[stage]) {
       const TransferOp& op = plan_.ops[op_id];
       const uint32_t receiver = backward ? op.src : op.dst;
-      if (!backward && coordination_ == CoordinationMode::kDecentralized) {
-        wait_ready(receiver, stage);
+      Connection& conn = connections_.ForOp(op_id);
+      if (!backward && options_.coordination == CoordinationMode::kDecentralized) {
+        Status status;
+        {
+          DGCL_TSPAN3(conn.name(), "fwd.wait.ready", "peer", receiver, "stage", stage, "op",
+                      op_id);
+          status = spin_until(
+              [&state, receiver, stage] {
+                return state.ready_stage[receiver].load(std::memory_order_acquire) >= stage;
+              },
+              "ready-flag", receiver, stage);
+        }
+        if (!status.ok()) {
+          state.Fail();
+          return status;
+        }
+      }
+      const uint64_t bytes = op.vertices.size() * static_cast<size_t>(dim) * sizeof(float);
+      if (Status status = conn.Transmit(bytes); !status.ok()) {
+        state.Fail();
+        return status;
       }
       DGCL_TSPAN2(LinkCategory(*topo_, op.link), backward ? "bwd.send" : "fwd.send", "stage",
-                  stage, "bytes", op.vertices.size() * static_cast<size_t>(dim) * sizeof(float));
-      std::vector<float>& staging = state.op_buffers[op_id];
+                  stage, "bytes", bytes);
+      std::vector<float>& staging = connections_.OpStaging(op_id);
       for (size_t i = 0; i < op.vertices.size(); ++i) {
         const uint32_t slot = SlotOf(device, op.vertices[i]);
         DGCL_CHECK_NE(slot, kInvalidId);
@@ -189,8 +323,21 @@ void AllgatherEngine::RunDevice(uint32_t device, uint32_t dim, bool backward,
     }
     for (uint32_t op_id : recvs[stage]) {
       const TransferOp& op = plan_.ops[op_id];
-      wait_done(op_id);
-      const std::vector<float>& staging = state.op_buffers[op_id];
+      const uint32_t sender = backward ? op.dst : op.src;
+      const Connection& conn = connections_.ForOp(op_id);
+      Status status;
+      {
+        DGCL_TSPAN3(conn.name(), backward ? "bwd.wait.done" : "fwd.wait.done", "peer", sender,
+                    "stage", stage, "op", op_id);
+        status = spin_until(
+            [&state, op_id] { return state.op_done[op_id].load(std::memory_order_acquire); },
+            "done-flag", sender, stage);
+      }
+      if (!status.ok()) {
+        state.Fail();
+        return status;
+      }
+      const std::vector<float>& staging = connections_.OpStaging(op_id);
       for (size_t i = 0; i < op.vertices.size(); ++i) {
         const uint32_t slot = SlotOf(device, op.vertices[i]);
         DGCL_CHECK_NE(slot, kInvalidId);
@@ -208,6 +355,52 @@ void AllgatherEngine::RunDevice(uint32_t device, uint32_t dim, bool backward,
     }
     state.ready_stage[device].store(step + 1, std::memory_order_release);
   }
+  return Status::Ok();
+}
+
+Result<std::vector<EmbeddingMatrix>> AllgatherEngine::RunPass(
+    std::vector<EmbeddingMatrix> buffers, uint32_t dim, bool backward) const {
+  // Connection staging buffers are shared engine state; passes serialize.
+  std::lock_guard<std::mutex> pass_lock(*pass_mutex_);
+  connections_.PrepareBuffers(dim);
+  PassState state(relation_->num_devices, plan_, options_);
+  DGCL_TSPAN2("runtime", backward ? "bwd.pass" : "fwd.pass", "devices", relation_->num_devices,
+              "dim", dim);
+  std::vector<std::thread> threads;
+  threads.reserve(relation_->num_devices);
+  for (uint32_t d = 0; d < relation_->num_devices; ++d) {
+    threads.emplace_back([this, d, dim, backward, &buffers, &state]() {
+      state.device_status[d] = RunDevice(d, dim, backward, buffers, state);
+      // A failed device aborts everyone else's waits — except the injected
+      // dead peer, which must vanish *silently* so that its peers' deadlines
+      // (not an abort broadcast) are what fail the collective.
+      if (!state.device_status[d].ok() && d != options_.faults.dead_device) {
+        state.Fail();
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  // Pass verdict: prefer a timeout (the injected-death signature), then any
+  // root-cause error, and only report the aborted sentinel when it is all
+  // there is.
+  Status verdict;
+  for (const Status& s : state.device_status) {
+    if (s.ok()) {
+      continue;
+    }
+    if (s.code() == StatusCode::kDeadlineExceeded) {
+      return s;
+    }
+    if (verdict.ok() || (IsAborted(verdict) && !IsAborted(s))) {
+      verdict = s;
+    }
+  }
+  if (!verdict.ok()) {
+    return verdict;
+  }
+  return buffers;
 }
 
 Result<std::vector<EmbeddingMatrix>> AllgatherEngine::Forward(
@@ -240,22 +433,7 @@ Result<std::vector<EmbeddingMatrix>> AllgatherEngine::Forward(
     }
     buffers.push_back(std::move(m));
   }
-
-  PassState state(relation_->num_devices, plan_, dim);
-  if (coordination_ == CoordinationMode::kCentralized) {
-    state.stage_barrier.emplace(relation_->num_devices);
-  }
-  DGCL_TSPAN2("runtime", "fwd.pass", "devices", relation_->num_devices, "dim", dim);
-  std::vector<std::thread> threads;
-  threads.reserve(relation_->num_devices);
-  for (uint32_t d = 0; d < relation_->num_devices; ++d) {
-    threads.emplace_back(
-        [this, d, dim, &buffers, &state]() { RunDevice(d, dim, /*backward=*/false, buffers, state); });
-  }
-  for (std::thread& t : threads) {
-    t.join();
-  }
-  return buffers;
+  return RunPass(std::move(buffers), dim, /*backward=*/false);
 }
 
 Result<std::vector<EmbeddingMatrix>> AllgatherEngine::Backward(
@@ -289,21 +467,7 @@ Result<std::vector<EmbeddingMatrix>> AllgatherEngine::Backward(
     }
     buffers.push_back(std::move(m));
   }
-
-  PassState state(relation_->num_devices, plan_, dim);
-  if (coordination_ == CoordinationMode::kCentralized) {
-    state.stage_barrier.emplace(relation_->num_devices);
-  }
-  DGCL_TSPAN2("runtime", "bwd.pass", "devices", relation_->num_devices, "dim", dim);
-  std::vector<std::thread> threads;
-  threads.reserve(relation_->num_devices);
-  for (uint32_t d = 0; d < relation_->num_devices; ++d) {
-    threads.emplace_back(
-        [this, d, dim, &buffers, &state]() { RunDevice(d, dim, /*backward=*/true, buffers, state); });
-  }
-  for (std::thread& t : threads) {
-    t.join();
-  }
+  DGCL_ASSIGN_OR_RETURN(buffers, RunPass(std::move(buffers), dim, /*backward=*/true));
 
   std::vector<EmbeddingMatrix> out;
   out.reserve(relation_->num_devices);

@@ -8,6 +8,17 @@
 // publishes readiness for the next stage. There is no central coordinator on
 // the data path.
 //
+// Every transfer rides a per-pair Connection (transport.h): the engine asks
+// the connection to Transmit (which emulates the wire — injected
+// latency/jitter/drops with bounded exponential-backoff retry, optional
+// bandwidth emulation for cost-model calibration) before copying the payload
+// into the connection-owned staging buffer. Every coordination wait is
+// deadline-bounded (TransportPolicy::wait_timeout_micros) and recorded as a
+// telemetry span tagged {peer, stage, op} with the transport as category, so
+// a dead peer fails the collective with a kDeadlineExceeded Status instead
+// of spinning forever, and coordination stalls are visible per wait in a
+// recorded trace (`tools/dgcl_trace summarize --waits`).
+//
 // The forward pass delivers, for every device, the embeddings of its local
 // plus required remote vertices; the backward pass routes gradient
 // contributions along the same trees in reverse, accumulating at each hop, so
@@ -17,12 +28,15 @@
 #define DGCL_RUNTIME_ALLGATHER_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "comm/compiled_plan.h"
 #include "comm/relation.h"
 #include "common/status.h"
+#include "runtime/transport.h"
 #include "topology/topology.h"
 
 namespace dgcl {
@@ -51,19 +65,44 @@ struct EmbeddingMatrix {
 // kept for the coordination-overhead ablation.
 enum class CoordinationMode : uint8_t { kDecentralized, kCentralized };
 
+// Engine construction options, fixed at Create (the same options-first shape
+// as SpstOptions / MultilevelOptions). None of these change what a pass
+// delivers — outputs stay bit-identical to the default for every setting;
+// they change how the pass is coordinated, faulted and timed.
+struct EngineOptions {
+  CoordinationMode coordination = CoordinationMode::kDecentralized;
+
+  // Straggler injection for tests: `straggler_device` sleeps
+  // `straggler_micros` before every stage (§6.1's transient stragglers only
+  // delay their own dependents, never correctness). kInvalidId disables.
+  uint32_t straggler_device = kInvalidId;
+  uint32_t straggler_micros = 0;
+
+  // Per-connection retry/timeout/emulation policy and injected faults.
+  TransportPolicy transport;
+  FaultInjection faults;
+
+  // Forced transports per ordered pair (ablations); selection falls back to
+  // the SelectTransport decision table for unlisted pairs.
+  std::vector<TransportOverride> transport_overrides;
+
+  Status Validate() const;
+};
+
 class AllgatherEngine {
  public:
-  // Validates the plan against the relation (delivery and causality) and
-  // precomputes per-device slot tables. The relation, plan and topology must
-  // outlive the engine.
+  // Validates the plan against the relation (delivery and causality),
+  // precomputes per-device slot tables and builds the per-pair connection
+  // table. The relation, plan and topology must outlive the engine.
   static Result<AllgatherEngine> Create(const CommRelation& relation, CompiledPlan plan,
-                                        const Topology& topo);
+                                        const Topology& topo, EngineOptions options = {});
 
   // `local[d]` holds device d's local embeddings, one row per vertex in
   // relation.local_vertices[d] order, all with the same dim. Returns per
   // device a matrix over its slots: local rows first, then remote rows in
   // relation.remote_vertices[d] order (forwarded-only extras are appended
-  // after and are not part of the contract).
+  // after and are not part of the contract). Fails with kDeadlineExceeded /
+  // kUnavailable when a peer dies or a transport exhausts its retries.
   Result<std::vector<EmbeddingMatrix>> Forward(const std::vector<EmbeddingMatrix>& local) const;
 
   // `slot_grads[d]` has the same shape as Forward's output for device d
@@ -72,17 +111,22 @@ class AllgatherEngine {
   Result<std::vector<EmbeddingMatrix>> Backward(
       const std::vector<EmbeddingMatrix>& slot_grads) const;
 
-  void set_coordination_mode(CoordinationMode mode) { coordination_ = mode; }
-  CoordinationMode coordination_mode() const { return coordination_; }
+  const EngineOptions& options() const { return options_; }
+  CoordinationMode coordination_mode() const { return options_.coordination; }
 
-  // Fault/straggler injection for tests: device `device` sleeps for
-  // `micros` before every stage. §6.1's claim — transient stragglers only
-  // delay their own dependents, never correctness — becomes checkable.
-  // Pass kInvalidId to clear.
+  // Deprecated post-hoc mutators, kept as shims for one PR: pass the fields
+  // via EngineOptions to Create instead.
+  [[deprecated("pass CoordinationMode via EngineOptions to Create")]]
+  void set_coordination_mode(CoordinationMode mode) { options_.coordination = mode; }
+  [[deprecated("pass straggler fields via EngineOptions to Create")]]
   void InjectStraggler(uint32_t device, uint32_t micros) {
-    straggler_device_ = device;
-    straggler_micros_ = micros;
+    options_.straggler_device = device;
+    options_.straggler_micros = micros;
   }
+
+  // Per-pair connections (transport kind, fault/retry counters, staging
+  // ownership). Read-only for callers; counters accumulate across passes.
+  const ConnectionTable& connections() const { return connections_; }
 
   // Slot index of a global vertex on a device; kInvalidId if the device
   // never holds it. Locals occupy [0, num_local), remotes follow.
@@ -95,15 +139,21 @@ class AllgatherEngine {
  private:
   AllgatherEngine() = default;
 
-  void RunDevice(uint32_t device, uint32_t dim, bool backward,
-                 std::vector<EmbeddingMatrix>& buffers, struct PassState& state) const;
+  Result<std::vector<EmbeddingMatrix>> RunPass(std::vector<EmbeddingMatrix> buffers,
+                                               uint32_t dim, bool backward) const;
+  Status RunDevice(uint32_t device, uint32_t dim, bool backward,
+                   std::vector<EmbeddingMatrix>& buffers, struct PassState& state) const;
 
   const CommRelation* relation_ = nullptr;
   const Topology* topo_ = nullptr;
-  CoordinationMode coordination_ = CoordinationMode::kDecentralized;
-  uint32_t straggler_device_ = kInvalidId;
-  uint32_t straggler_micros_ = 0;
+  EngineOptions options_;
   CompiledPlan plan_;
+  // Mutable: connections own per-op staging buffers that are resized at pass
+  // start, so passes on one engine are serialized by pass_mutex_ (concurrent
+  // Forward/Backward calls are safe, they just queue). Heap-held so the
+  // engine stays movable.
+  mutable ConnectionTable connections_;
+  std::unique_ptr<std::mutex> pass_mutex_ = std::make_unique<std::mutex>();
   std::vector<std::unordered_map<VertexId, uint32_t>> slots_;  // per device
   std::vector<uint32_t> slot_counts_;
 };

@@ -10,6 +10,7 @@
 #include "planner/baselines.h"
 #include "planner/cost_model.h"
 #include "planner/spst.h"
+#include "runtime/allgather_engine.h"
 #include "sim/swap_model.h"
 #include "common/thread_pool.h"
 #include "telemetry/trace.h"
@@ -136,6 +137,62 @@ Result<telemetry::CostAuditReport> EpochSimulator::AuditAllgather(uint32_t dim) 
   net.bytes_per_unit = bytes_per_unit;
   const NetworkSimResult result = SimulateTransfer(compiled, *topo_, net);
   return telemetry::AuditStageCosts(predicted, result.stage_seconds);
+}
+
+Result<telemetry::CostAuditReport> EpochSimulator::AuditAllgatherFromEngine(
+    uint32_t dim, double time_scale) const {
+  // No inverse_scale here: the engine moves the actual bytes of a dim-wide
+  // embedding, so the prediction must price exactly those bytes.
+  const double bytes_per_unit = static_cast<double>(dim) * 4.0;
+  CommClasses classes = BuildCommClasses(relation_);
+  SpstPlanner planner;
+  DGCL_ASSIGN_OR_RETURN(ClassPlan class_plan,
+                        planner.PlanClasses(classes, *topo_, bytes_per_unit));
+  const std::vector<double> predicted =
+      ReplayClassPlanStageSeconds(class_plan, *topo_, bytes_per_unit);
+  CompiledPlan compiled = CompilePlan(class_plan, classes, *topo_);
+
+  EngineOptions engine_options;
+  engine_options.transport.emulate_bandwidth = true;
+  engine_options.transport.bandwidth_time_scale = time_scale;
+  DGCL_ASSIGN_OR_RETURN(AllgatherEngine engine,
+                        AllgatherEngine::Create(relation_, std::move(compiled), *topo_,
+                                                engine_options));
+
+  std::vector<EmbeddingMatrix> local;
+  local.reserve(relation_.num_devices);
+  for (uint32_t d = 0; d < relation_.num_devices; ++d) {
+    local.push_back(EmbeddingMatrix::Zero(
+        static_cast<uint32_t>(relation_.local_vertices[d].size()), dim));
+  }
+
+  telemetry::Telemetry& telemetry = telemetry::Telemetry::Get();
+  const bool was_enabled = telemetry::Telemetry::Enabled();
+  if (!was_enabled) {
+    telemetry.SetEnabled(true);
+  }
+  const uint64_t pass_start_ns = telemetry::Telemetry::NowNs();
+  Result<std::vector<EmbeddingMatrix>> out = engine.Forward(local);
+  telemetry::Trace trace = telemetry.Collect();
+  if (!was_enabled) {
+    telemetry.SetEnabled(false);
+  }
+  DGCL_RETURN_IF_ERROR(out.status());
+
+  // Only this pass's stage spans: earlier passes (or the caller's own
+  // instrumented work) may share the recorders.
+  telemetry::Trace pass_trace;
+  for (telemetry::TraceEvent& ev : trace.events) {
+    if (ev.start_ns >= pass_start_ns && ev.name == "fwd.stage") {
+      pass_trace.events.push_back(std::move(ev));
+    }
+  }
+  std::vector<double> observed =
+      telemetry::ObservedStageSecondsFromTrace(pass_trace, "fwd.stage");
+  for (double& seconds : observed) {
+    seconds /= time_scale;
+  }
+  return telemetry::AuditStageCosts(predicted, observed);
 }
 
 Result<EpochReport> EpochSimulator::SimulatePlanned(Method method) const {

@@ -98,6 +98,21 @@ class EpochSimulator {
   // network simulator's per-stage times.
   Result<telemetry::CostAuditReport> AuditAllgather(uint32_t dim) const;
 
+  // Wall-clock calibration audit: plans one forward allgather at `dim`, then
+  // actually RUNS it on the threaded engine with bandwidth emulation
+  // (TransportPolicy::emulate_bandwidth: every transmit waits
+  // bytes / bottleneck_bandwidth * time_scale of wall time), records a
+  // telemetry trace of the pass and joins the cost model's per-stage
+  // predictions against the observed per-stage wall times — the max
+  // "fwd.stage" span per stage (CostAudit::ObservedStageSecondsFromTrace),
+  // divided back by `time_scale`. This audits the cost model against a real
+  // engine trace, waits and coordination included, not against the network
+  // simulator. `time_scale` > 1 stretches emulated time above scheduler
+  // noise (µs-scale transfers are hard to time faithfully). Telemetry is
+  // enabled for the duration of the call if it was off.
+  Result<telemetry::CostAuditReport> AuditAllgatherFromEngine(uint32_t dim,
+                                                              double time_scale = 1.0) const;
+
   const CommRelation& relation() const { return relation_; }
   const Partitioning& partitioning() const { return partitioning_; }
   const Dataset& dataset() const { return *dataset_; }

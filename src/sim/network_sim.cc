@@ -146,6 +146,16 @@ std::vector<ConnId> OpHops(const TransferOp& op, const Topology& topo,
   return topo.link(op.link).hops;  // symmetric-medium approximation
 }
 
+bool CrossesNic(const std::vector<ConnId>& hops, const Topology& topo) {
+  for (ConnId c : hops) {
+    const LinkType t = topo.connection(c).type;
+    if (t == LinkType::kInfiniBand || t == LinkType::kEthernet) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 double NetworkSimResult::TypeBusySeconds(const Topology& topo, LinkType type) const {
@@ -163,6 +173,7 @@ NetworkSimResult SimulateTransfer(const CompiledPlan& plan, const Topology& topo
   DGCL_TSPAN2("sim", direction == PassDirection::kBackward ? "sim.bwd.transfer"
                                                            : "sim.fwd.transfer",
               "ops", plan.ops.size(), "stages", plan.num_stages);
+  DGCL_CHECK(options.nic_drop_rate >= 0.0 && options.nic_drop_rate < 1.0);
   NetworkSimResult result;
   result.conn_busy_seconds.assign(topo.num_connections(), 0.0);
   result.stage_seconds.assign(plan.num_stages, 0.0);
@@ -193,16 +204,25 @@ NetworkSimResult SimulateTransfer(const CompiledPlan& plan, const Topology& topo
         volume_factor = options.atomic_overhead_factor;
       }
     }
+    const double nic_volume_factor =
+        options.nic_drop_rate > 0.0 ? 1.0 / (1.0 - options.nic_drop_rate) : 1.0;
+    double fault_latency = 0.0;
     std::vector<Flow> flows(ops.size());
     for (size_t i = 0; i < ops.size(); ++i) {
       flows[i].hops = OpHops(*ops[i], topo, direction);
+      double op_volume_factor = volume_factor;
+      if ((options.nic_extra_latency_s > 0.0 || options.nic_drop_rate > 0.0) &&
+          CrossesNic(flows[i].hops, topo)) {
+        op_volume_factor *= nic_volume_factor;
+        fault_latency = std::max(fault_latency, options.nic_extra_latency_s);
+      }
       flows[i].bytes_left = static_cast<double>(ops[i]->vertices.size()) *
-                            options.bytes_per_unit * volume_factor;
+                            options.bytes_per_unit * op_volume_factor;
       result.total_bytes +=
           static_cast<uint64_t>(ops[i]->vertices.size() * options.bytes_per_unit);
     }
     double stage_time = RunFlows(flows, topo, &result.conn_busy_seconds, nullptr) +
-                        options.per_op_latency_s * substage_rounds;
+                        options.per_op_latency_s * substage_rounds + fault_latency;
     result.stage_seconds[stage] += stage_time;
     result.total_seconds += stage_time;
   }

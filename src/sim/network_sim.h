@@ -32,6 +32,14 @@ struct NetworkSimOptions {
   // atomic-reduction penalty below.
   bool non_atomic = true;
   double atomic_overhead_factor = 1.35;
+  // Mirror of the runtime's FaultInjection for the NIC path (transport.h),
+  // in expectation rather than per-draw: flows whose route crosses an
+  // IB/Ethernet hop pay `nic_extra_latency_s` once per op and carry
+  // 1 / (1 - nic_drop_rate) times their volume (the mean retransmission
+  // count of a Bernoulli-dropped wire). Lets the simulator predict what a
+  // faulted engine run will measure.
+  double nic_extra_latency_s = 0.0;
+  double nic_drop_rate = 0.0;  // in [0, 1)
 };
 
 struct NetworkSimResult {

@@ -20,6 +20,8 @@ enum SlotWord : size_t {
   kWordVal0 = 7,
   kWordKey1 = 8,
   kWordVal1 = 9,
+  kWordKey2 = 10,
+  kWordVal2 = 11,
 };
 
 size_t RoundUpPow2(size_t n) {
@@ -56,7 +58,8 @@ TraceRecorder::TraceRecorder(uint32_t tid, size_t capacity)
 
 void TraceRecorder::Push(const char* category, const char* name, TraceEventKind kind,
                          uint64_t start_ns, uint64_t dur_ns, uint64_t value_bits,
-                         const char* key0, uint64_t val0, const char* key1, uint64_t val1) {
+                         const char* key0, uint64_t val0, const char* key1, uint64_t val1,
+                         const char* key2, uint64_t val2) {
   const uint64_t index = head_.load(std::memory_order_relaxed);
   // Announce the overwrite before touching the slot: a concurrent Drain that
   // reads any of the words below is guaranteed to also see this reserve_
@@ -76,24 +79,28 @@ void TraceRecorder::Push(const char* category, const char* name, TraceEventKind 
   slot[kWordVal0].store(val0, std::memory_order_relaxed);
   slot[kWordKey1].store(PtrBits(key1), std::memory_order_relaxed);
   slot[kWordVal1].store(val1, std::memory_order_relaxed);
+  slot[kWordKey2].store(PtrBits(key2), std::memory_order_relaxed);
+  slot[kWordVal2].store(val2, std::memory_order_relaxed);
   // Publish: a reader that observes head > index sees every word above.
   head_.store(index + 1, std::memory_order_release);
 }
 
 void TraceRecorder::RecordSpan(const char* category, const char* name, uint64_t start_ns,
                                uint64_t dur_ns, const char* key0, uint64_t val0,
-                               const char* key1, uint64_t val1) {
-  Push(category, name, TraceEventKind::kSpan, start_ns, dur_ns, 0, key0, val0, key1, val1);
+                               const char* key1, uint64_t val1, const char* key2,
+                               uint64_t val2) {
+  Push(category, name, TraceEventKind::kSpan, start_ns, dur_ns, 0, key0, val0, key1, val1, key2,
+       val2);
 }
 
 void TraceRecorder::RecordCounter(const char* category, const char* name, uint64_t ts_ns,
                                   double value, const char* key0, uint64_t val0) {
   Push(category, name, TraceEventKind::kCounter, ts_ns, 0, DoubleToBits(value), key0, val0,
-       nullptr, 0);
+       nullptr, 0, nullptr, 0);
 }
 
 void TraceRecorder::RecordInstant(const char* category, const char* name, uint64_t ts_ns) {
-  Push(category, name, TraceEventKind::kInstant, ts_ns, 0, 0, nullptr, 0, nullptr, 0);
+  Push(category, name, TraceEventKind::kInstant, ts_ns, 0, 0, nullptr, 0, nullptr, 0, nullptr, 0);
 }
 
 uint64_t TraceRecorder::dropped() const {
@@ -147,6 +154,7 @@ void TraceRecorder::Drain(std::vector<TraceEvent>& out) const {
     ev.value = BitsToDouble(e.words[kWordValue]);
     const char* key0 = BitsPtr(e.words[kWordKey0]);
     const char* key1 = BitsPtr(e.words[kWordKey1]);
+    const char* key2 = BitsPtr(e.words[kWordKey2]);
     if (key0 != nullptr) {
       ev.arg_key[0] = key0;
       ev.arg_val[0] = e.words[kWordVal0];
@@ -154,6 +162,10 @@ void TraceRecorder::Drain(std::vector<TraceEvent>& out) const {
     if (key1 != nullptr) {
       ev.arg_key[1] = key1;
       ev.arg_val[1] = e.words[kWordVal1];
+    }
+    if (key2 != nullptr) {
+      ev.arg_key[2] = key2;
+      ev.arg_val[2] = e.words[kWordVal2];
     }
     out.push_back(std::move(ev));
   }

@@ -52,9 +52,9 @@ struct TraceEvent {
   uint64_t start_ns = 0;   // steady-clock
   uint64_t dur_ns = 0;     // spans only
   double value = 0.0;      // counters only
-  // Up to two integer args ("bytes", "stage", "link", ...). Empty key = unset.
-  std::array<std::string, 2> arg_key;
-  std::array<uint64_t, 2> arg_val = {0, 0};
+  // Up to three integer args ("bytes", "stage", "peer", ...). Empty key = unset.
+  std::array<std::string, 3> arg_key;
+  std::array<uint64_t, 3> arg_val = {0, 0, 0};
 
   bool operator==(const TraceEvent&) const = default;
 };
@@ -75,7 +75,7 @@ class TraceRecorder {
 
   void RecordSpan(const char* category, const char* name, uint64_t start_ns, uint64_t dur_ns,
                   const char* key0 = nullptr, uint64_t val0 = 0, const char* key1 = nullptr,
-                  uint64_t val1 = 0);
+                  uint64_t val1 = 0, const char* key2 = nullptr, uint64_t val2 = 0);
   void RecordCounter(const char* category, const char* name, uint64_t ts_ns, double value,
                      const char* key0 = nullptr, uint64_t val0 = 0);
   void RecordInstant(const char* category, const char* name, uint64_t ts_ns);
@@ -92,9 +92,9 @@ class TraceRecorder {
  private:
   void Push(const char* category, const char* name, TraceEventKind kind, uint64_t start_ns,
             uint64_t dur_ns, uint64_t value_bits, const char* key0, uint64_t val0,
-            const char* key1, uint64_t val1);
+            const char* key1, uint64_t val1, const char* key2, uint64_t val2);
 
-  static constexpr size_t kWordsPerEvent = 10;
+  static constexpr size_t kWordsPerEvent = 12;
 
   uint32_t tid_;
   size_t capacity_;  // power of two
@@ -154,7 +154,8 @@ class Telemetry {
 class ScopedSpan {
  public:
   ScopedSpan(const char* category, const char* name, const char* key0 = nullptr,
-             uint64_t val0 = 0, const char* key1 = nullptr, uint64_t val1 = 0)
+             uint64_t val0 = 0, const char* key1 = nullptr, uint64_t val1 = 0,
+             const char* key2 = nullptr, uint64_t val2 = 0)
       : active_(Telemetry::Enabled()) {
     if (active_) {
       category_ = category;
@@ -163,6 +164,8 @@ class ScopedSpan {
       val0_ = val0;
       key1_ = key1;
       val1_ = val1;
+      key2_ = key2;
+      val2_ = val2;
       start_ns_ = Telemetry::NowNs();
     }
   }
@@ -171,7 +174,8 @@ class ScopedSpan {
     if (active_) {
       const uint64_t end_ns = Telemetry::NowNs();
       Telemetry::Get().RecorderForThisThread().RecordSpan(
-          category_, name_, start_ns_, end_ns - start_ns_, key0_, val0_, key1_, val1_);
+          category_, name_, start_ns_, end_ns - start_ns_, key0_, val0_, key1_, val1_, key2_,
+          val2_);
     }
   }
 
@@ -186,6 +190,8 @@ class ScopedSpan {
   uint64_t val0_ = 0;
   const char* key1_ = nullptr;
   uint64_t val1_ = 0;
+  const char* key2_ = nullptr;
+  uint64_t val2_ = 0;
   uint64_t start_ns_ = 0;
 };
 
@@ -220,6 +226,10 @@ inline void Counter(const char* category, const char* name, double value,
 #define DGCL_TSPAN2(cat, name, k0, v0, k1, v1)                               \
   ::dgcl::telemetry::ScopedSpan DGCL_TELEMETRY_CONCAT_(_dgcl_tspan_, __LINE__)( \
       cat, name, k0, static_cast<uint64_t>(v0), k1, static_cast<uint64_t>(v1))
+#define DGCL_TSPAN3(cat, name, k0, v0, k1, v1, k2, v2)                          \
+  ::dgcl::telemetry::ScopedSpan DGCL_TELEMETRY_CONCAT_(_dgcl_tspan_, __LINE__)( \
+      cat, name, k0, static_cast<uint64_t>(v0), k1, static_cast<uint64_t>(v1),  \
+      k2, static_cast<uint64_t>(v2))
 // Named counter sample (a gauge; the exporter keeps every sample).
 #define DGCL_TCOUNT(cat, name, value) \
   ::dgcl::telemetry::Counter(cat, name, static_cast<double>(value))
@@ -235,6 +245,9 @@ inline void Counter(const char* category, const char* name, double value,
   } while (0)
 #define DGCL_TSPAN2(cat, name, k0, v0, k1, v1) \
   do {                                         \
+  } while (0)
+#define DGCL_TSPAN3(cat, name, k0, v0, k1, v1, k2, v2) \
+  do {                                                 \
   } while (0)
 #define DGCL_TCOUNT(cat, name, value) \
   do {                                \

@@ -140,5 +140,40 @@ TEST(CostAuditTest, AuditAllgatherDetectsLatencyAsModelError) {
   EXPECT_GT(report->max_abs_error, 0.0);
 }
 
+// Calibration against a *real* engine trace: the pass actually runs on the
+// threaded runtime with bandwidth emulation, so observed times carry
+// scheduler noise, spin-wait latencies and coordination overhead. Assertions
+// are structural (report joins, totals positive, ratios defined) — tight
+// ratio bounds would flake under sanitizers and loaded CI hosts.
+TEST(CostAuditTest, AuditFromEngineTraceJoinsPredictedAndObserved) {
+  Rng rng(77);
+  Dataset ds;
+  ds.name = "audit-engine";
+  ds.graph = GenerateRmat({.scale = 10, .num_edges = 8000}, rng);
+  ds.feature_dim = 64;
+  ds.hidden_dim = 32;
+
+  Topology topo = BuildPaperTopology(8);
+  EpochOptions opts;
+  opts.net.per_op_latency_s = 0.0;
+  auto sim = EpochSimulator::Create(ds, topo, opts);
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+
+  auto report = sim->AuditAllgatherFromEngine(/*dim=*/16, /*time_scale=*/10.0);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_FALSE(report->rows.empty());
+  EXPECT_GT(report->predicted_total_seconds, 0.0);
+  EXPECT_GT(report->observed_total_seconds, 0.0);
+  bool any_defined = false;
+  for (const auto& row : report->rows) {
+    EXPECT_GE(row.observed_seconds, 0.0) << "stage " << row.stage;
+    if (row.ratio_defined) {
+      any_defined = true;
+      EXPECT_GT(row.ratio, 0.0) << "stage " << row.stage;
+    }
+  }
+  EXPECT_TRUE(any_defined);
+}
+
 }  // namespace
 }  // namespace dgcl

@@ -55,7 +55,7 @@ TEST(DgclApiTest, FullWorkflowRoundTrip) {
   auto slots = ctx->GraphAllgather(*local);
   ASSERT_TRUE(slots.ok());
 
-  const CommRelation& rel = ctx->relation();
+  const CommRelation& rel = ctx->artifacts().relation;
   for (uint32_t d = 0; d < 8; ++d) {
     const auto& locals = rel.local_vertices[d];
     const auto& remotes = rel.remote_vertices[d];
@@ -90,9 +90,9 @@ TEST(DgclApiTest, PlanIsValidatedAndCompiled) {
   auto ctx = DgclContext::Init(BuildPaperTopology(8));
   ASSERT_TRUE(ctx.ok());
   ASSERT_TRUE(ctx->BuildCommInfo(graph).ok());
-  EXPECT_TRUE(ValidatePlan(ctx->plan(), ctx->relation(), ctx->topology()).ok());
-  EXPECT_TRUE(ValidateCompiledPlan(ctx->compiled_plan(), ctx->relation(), ctx->topology()).ok());
-  EXPECT_GT(ctx->compiled_plan().TableBytes(), 0u);
+  EXPECT_TRUE(ValidatePlan(ctx->artifacts().plan, ctx->artifacts().relation, ctx->topology()).ok());
+  EXPECT_TRUE(ValidateCompiledPlan(ctx->artifacts().compiled, ctx->artifacts().relation, ctx->topology()).ok());
+  EXPECT_GT(ctx->artifacts().compiled.TableBytes(), 0u);
 }
 
 TEST(DgclApiTest, BackwardRoutesGradientsHome) {
@@ -101,7 +101,7 @@ TEST(DgclApiTest, BackwardRoutesGradientsHome) {
   auto ctx = DgclContext::Init(BuildPaperTopology(4));
   ASSERT_TRUE(ctx.ok());
   ASSERT_TRUE(ctx->BuildCommInfo(graph).ok());
-  const CommRelation& rel = ctx->relation();
+  const CommRelation& rel = ctx->artifacts().relation;
   const uint32_t dim = 2;
   std::vector<EmbeddingMatrix> grads;
   for (uint32_t d = 0; d < 4; ++d) {
@@ -122,6 +122,107 @@ TEST(DgclApiTest, BackwardRoutesGradientsHome) {
       const float expected = 1.0f + std::popcount(rel.dest_mask[locals[i]]);
       EXPECT_EQ((*result)[d].Row(i)[0], expected);
     }
+  }
+}
+
+TEST(DgclApiTest, InitValidatesOptions) {
+  {
+    DgclOptions options;
+    options.bytes_per_unit = 0.0;
+    EXPECT_EQ(DgclContext::Init(BuildPaperTopology(4), options).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    DgclOptions options;
+    options.engine.faults.drop_rate = 1.5;
+    EXPECT_EQ(DgclContext::Init(BuildPaperTopology(4), options).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    DgclOptions options;
+    options.engine.transport.backoff_base_micros = 100;
+    options.engine.transport.backoff_max_micros = 10;
+    EXPECT_EQ(DgclContext::Init(BuildPaperTopology(4), options).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    // Topology-dependent: override references a device that does not exist.
+    DgclOptions options;
+    options.engine.transport_overrides.push_back({0, 9, Transport::kNic});
+    EXPECT_EQ(DgclContext::Init(BuildPaperTopology(4), options).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    DgclOptions options;
+    options.engine.faults.dead_device = 99;
+    EXPECT_EQ(DgclContext::Init(BuildPaperTopology(4), options).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(DgclApiTest, ArtifactsBundleAndEngineExposeThePipeline) {
+  Rng rng(15);
+  CsrGraph graph = GenerateErdosRenyi(60, 200, rng);
+  DgclOptions options;
+  options.engine.coordination = CoordinationMode::kCentralized;
+  auto ctx = DgclContext::Init(BuildPaperTopology(4), options);
+  ASSERT_TRUE(ctx.ok());
+  ASSERT_TRUE(ctx->BuildCommInfo(graph).ok());
+
+  const PlanArtifacts& a = ctx->artifacts();
+  EXPECT_EQ(a.partitioning.assignment.size(), graph.num_vertices());
+  EXPECT_EQ(a.relation.num_devices, 4u);
+  EXPECT_GT(a.classes.classes.size(), 0u);
+  EXPECT_GT(a.compiled.ops.size(), 0u);
+  EXPECT_TRUE(ValidatePlan(a.plan, a.relation, ctx->topology()).ok());
+
+  // The engine was armed with the options passed at Init.
+  EXPECT_EQ(ctx->engine().coordination_mode(), CoordinationMode::kCentralized);
+  EXPECT_GT(ctx->engine().connections().size(), 0u);
+  EXPECT_EQ(ctx->options().engine.coordination, CoordinationMode::kCentralized);
+}
+
+TEST(DgclApiTest, TransportOverridesFlowThroughToTheEngine) {
+  Rng rng(17);
+  CsrGraph graph = GenerateErdosRenyi(60, 200, rng);
+  DgclOptions plain_options;
+  auto plain = DgclContext::Init(BuildPaperTopology(4), plain_options);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(plain->BuildCommInfo(graph).ok());
+
+  DgclOptions forced_options;
+  for (uint32_t src = 0; src < 4; ++src) {
+    for (uint32_t dst = 0; dst < 4; ++dst) {
+      if (src != dst) {
+        forced_options.engine.transport_overrides.push_back(
+            {src, dst, Transport::kPinnedHostMemory});
+      }
+    }
+  }
+  auto forced = DgclContext::Init(BuildPaperTopology(4), forced_options);
+  ASSERT_TRUE(forced.ok());
+  ASSERT_TRUE(forced->BuildCommInfo(graph).ok());
+
+  const ConnectionTable& connections = forced->engine().connections();
+  for (size_t i = 0; i < connections.size(); ++i) {
+    EXPECT_EQ(connections.connection(i).transport(), Transport::kPinnedHostMemory);
+  }
+
+  // Forcing the transport never changes what a pass delivers.
+  EmbeddingMatrix features = EmbeddingMatrix::Zero(graph.num_vertices(), 3);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    features.Row(v)[0] = static_cast<float>(v);
+  }
+  auto plain_local = plain->DispatchFeatures(features);
+  auto forced_local = forced->DispatchFeatures(features);
+  ASSERT_TRUE(plain_local.ok());
+  ASSERT_TRUE(forced_local.ok());
+  auto plain_out = plain->GraphAllgather(*plain_local);
+  auto forced_out = forced->GraphAllgather(*forced_local);
+  ASSERT_TRUE(plain_out.ok());
+  ASSERT_TRUE(forced_out.ok());
+  for (uint32_t d = 0; d < 4; ++d) {
+    EXPECT_EQ((*plain_out)[d].data, (*forced_out)[d].data) << "device " << d;
   }
 }
 

@@ -174,6 +174,36 @@ TEST(NetworkSimTest, ConnBusyTimeIsBounded) {
   }
 }
 
+TEST(NetworkSimTest, NicFaultMirrorSlowsCrossMachineFlowsOnly) {
+  // The simulator mirrors the runtime's NIC fault injection in expectation:
+  // drop_rate inflates cross-NIC flow volume by 1/(1-p) and nic_extra_latency
+  // adds per-stage latency — but only for flows that actually cross a NIC.
+  Rng rng(12);
+  CsrGraph g = GenerateErdosRenyi(60, 200, rng);
+  SpstPlanner spst;
+
+  // 16 GPUs = 2 machines: the plan crosses InfiniBand, faults must bite.
+  Topology multi = BuildPaperTopology(16);
+  HashPartitioner hash;
+  CommRelation rel16 = *BuildCommRelation(g, *hash.Partition(g, 16));
+  CompiledPlan plan16 = CompileFor(rel16, multi, spst);
+  NetworkSimOptions clean;
+  clean.per_op_latency_s = 0.0;
+  NetworkSimOptions faulty = clean;
+  faulty.nic_drop_rate = 0.5;        // doubles expected cross-NIC volume
+  faulty.nic_extra_latency_s = 1e-3;
+  const double t_clean = SimulateTransfer(plan16, multi, clean).total_seconds;
+  const double t_faulty = SimulateTransfer(plan16, multi, faulty).total_seconds;
+  EXPECT_GT(t_faulty, t_clean);
+
+  // 8 GPUs = one machine: no flow crosses a NIC, the knobs are inert.
+  Topology single = BuildPaperTopology(8);
+  CommRelation rel8 = *BuildCommRelation(g, *hash.Partition(g, 8));
+  CompiledPlan plan8 = CompileFor(rel8, single, spst);
+  EXPECT_DOUBLE_EQ(SimulateTransfer(plan8, single, faulty).total_seconds,
+                   SimulateTransfer(plan8, single, clean).total_seconds);
+}
+
 TEST(NetworkSimTest, BackwardUsesReverseLinks) {
   // Forward 0->1 loads the fwd NVLink connection; backward must load rev.
   Topology topo = BuildPaperTopology(2);

@@ -38,9 +38,16 @@ class StragglerSweep
 TEST_P(StragglerSweep, SlowDeviceNeverCorruptsDelivery) {
   const auto [straggler, mode] = GetParam();
   Fixture f = Fixture::Make(8, 21);
-  auto engine = AllgatherEngine::Create(f.relation, f.plan, f.topo);
+  EngineOptions clean_options;
+  clean_options.coordination = mode;
+  auto engine = AllgatherEngine::Create(f.relation, f.plan, f.topo, clean_options);
   ASSERT_TRUE(engine.ok());
-  engine->set_coordination_mode(mode);
+
+  EngineOptions slow_options = clean_options;
+  slow_options.straggler_device = straggler;
+  slow_options.straggler_micros = 2000;  // 2 ms per stage
+  auto slow_engine = AllgatherEngine::Create(f.relation, f.plan, f.topo, slow_options);
+  ASSERT_TRUE(slow_engine.ok());
 
   std::vector<EmbeddingMatrix> local;
   for (uint32_t d = 0; d < 8; ++d) {
@@ -54,8 +61,7 @@ TEST_P(StragglerSweep, SlowDeviceNeverCorruptsDelivery) {
   auto clean = engine->Forward(local);
   ASSERT_TRUE(clean.ok());
 
-  engine->InjectStraggler(straggler, 2000);  // 2 ms per stage
-  auto delayed = engine->Forward(local);
+  auto delayed = slow_engine->Forward(local);
   ASSERT_TRUE(delayed.ok());
   for (uint32_t d = 0; d < 8; ++d) {
     EXPECT_EQ((*clean)[d].data, (*delayed)[d].data) << "device " << d;
@@ -69,8 +75,7 @@ TEST_P(StragglerSweep, SlowDeviceNeverCorruptsDelivery) {
     }
     grads.push_back(std::move(g));
   }
-  auto back_delayed = engine->Backward(grads);
-  engine->InjectStraggler(kInvalidId, 0);
+  auto back_delayed = slow_engine->Backward(grads);
   auto back_clean = engine->Backward(grads);
   ASSERT_TRUE(back_delayed.ok());
   ASSERT_TRUE(back_clean.ok());

@@ -2,17 +2,22 @@
 // (`--trace <path>`) or by telemetry::WriteChromeTrace.
 //
 // Usage:
-//   dgcl_trace summarize <trace.json>...        per-(category,name) table
-//   dgcl_trace merge -o <out.json> <in.json>... merge traces into one file
-//   dgcl_trace convert <in.json> <out.json>     re-emit in canonical form
+//   dgcl_trace summarize <trace.json>...         per-(category,name) table
+//   dgcl_trace summarize --waits <trace.json>... per-peer wait-time histogram
+//   dgcl_trace merge -o <out.json> <in.json>...  merge traces into one file
+//   dgcl_trace convert <in.json> <out.json>      re-emit in canonical form
 //
 // All subcommands round-trip through the importer, so they double as a
 // validation pass: a file that summarizes cleanly will load in Perfetto.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
+
+#include "common/table_printer.h"
 
 #include "telemetry/chrome_trace.h"
 #include "telemetry/cost_audit.h"
@@ -23,22 +28,87 @@ namespace {
 
 void PrintUsage() {
   std::printf(
-      "usage: dgcl_trace summarize <trace.json>...\n"
+      "usage: dgcl_trace summarize [--waits] <trace.json>...\n"
       "       dgcl_trace merge -o <out.json> <in.json>...\n"
       "       dgcl_trace convert <in.json> <out.json>\n");
 }
 
-int Summarize(const std::vector<std::string>& paths) {
+Result<telemetry::Trace> LoadMerged(const std::vector<std::string>& paths) {
   std::vector<telemetry::Trace> traces;
   for (const std::string& path : paths) {
     Result<telemetry::Trace> trace = telemetry::ReadChromeTrace(path);
     if (!trace.ok()) {
-      std::fprintf(stderr, "%s: %s\n", path.c_str(), trace.status().ToString().c_str());
-      return 1;
+      return Status(trace.status().code(), path + ": " + std::string(trace.status().message()));
     }
     traces.push_back(std::move(trace).value());
   }
-  const telemetry::Trace merged = telemetry::MergeTraces(traces);
+  return telemetry::MergeTraces(traces);
+}
+
+// Per-peer wait-time histogram over the engine's coordination-wait spans
+// (names containing "wait": fwd.wait.ready, fwd.wait.done, bwd.wait.done,
+// wait.barrier), grouped by (wait name, peer arg). Buckets are decades of
+// wait duration — the shape separates healthy spin-throughs (<10us) from
+// stalls behind a straggler or injected NIC latency.
+int SummarizeWaits(const telemetry::Trace& trace) {
+  struct Bucketed {
+    uint64_t count = 0;
+    double total_seconds = 0.0;
+    double max_seconds = 0.0;
+    uint64_t buckets[5] = {0, 0, 0, 0, 0};  // <10us, <100us, <1ms, <10ms, >=10ms
+  };
+  std::map<std::pair<std::string, uint64_t>, Bucketed> waits;
+  for (const telemetry::TraceEvent& ev : trace.events) {
+    if (ev.kind != telemetry::TraceEventKind::kSpan ||
+        ev.name.find("wait") == std::string::npos) {
+      continue;
+    }
+    uint64_t peer = ~uint64_t{0};
+    for (size_t i = 0; i < ev.arg_key.size(); ++i) {
+      if (ev.arg_key[i] == "peer") {
+        peer = ev.arg_val[i];
+        break;
+      }
+    }
+    Bucketed& b = waits[{ev.name, peer}];
+    ++b.count;
+    const double seconds = ev.dur_ns / 1e9;
+    b.total_seconds += seconds;
+    b.max_seconds = std::max(b.max_seconds, seconds);
+    const size_t bucket = ev.dur_ns < 10'000        ? 0
+                          : ev.dur_ns < 100'000     ? 1
+                          : ev.dur_ns < 1'000'000   ? 2
+                          : ev.dur_ns < 10'000'000  ? 3
+                                                    : 4;
+    ++b.buckets[bucket];
+  }
+  if (waits.empty()) {
+    std::printf("no wait spans in trace (record with telemetry enabled on the engine)\n");
+    return 0;
+  }
+  TablePrinter table({"Wait", "Peer", "Count", "Total ms", "Max ms", "<10us", "<100us", "<1ms",
+                      "<10ms", ">=10ms"});
+  for (const auto& [key, b] : waits) {
+    table.AddRow({key.first, key.second == ~uint64_t{0} ? "-" : TablePrinter::FmtInt(key.second),
+                  TablePrinter::FmtInt(b.count), TablePrinter::Fmt(b.total_seconds * 1e3, 3),
+                  TablePrinter::Fmt(b.max_seconds * 1e3, 3), TablePrinter::FmtInt(b.buckets[0]),
+                  TablePrinter::FmtInt(b.buckets[1]), TablePrinter::FmtInt(b.buckets[2]),
+                  TablePrinter::FmtInt(b.buckets[3]), TablePrinter::FmtInt(b.buckets[4])});
+  }
+  std::printf("%s", table.Render("coordination waits by (wait, peer)").c_str());
+  return 0;
+}
+
+int Summarize(const std::vector<std::string>& paths, bool waits) {
+  Result<telemetry::Trace> loaded = LoadMerged(paths);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const telemetry::Trace& merged = *loaded;
+  if (waits) {
+    return SummarizeWaits(merged);
+  }
   std::string title = paths.size() == 1 ? paths[0] : std::to_string(paths.size()) + " traces";
   std::printf("%s", telemetry::RenderTraceSummary(merged, title).c_str());
   std::printf("%zu events total\n", merged.events.size());
@@ -54,16 +124,12 @@ int Summarize(const std::vector<std::string>& paths) {
 }
 
 int Merge(const std::string& out_path, const std::vector<std::string>& paths) {
-  std::vector<telemetry::Trace> traces;
-  for (const std::string& path : paths) {
-    Result<telemetry::Trace> trace = telemetry::ReadChromeTrace(path);
-    if (!trace.ok()) {
-      std::fprintf(stderr, "%s: %s\n", path.c_str(), trace.status().ToString().c_str());
-      return 1;
-    }
-    traces.push_back(std::move(trace).value());
+  Result<telemetry::Trace> loaded = LoadMerged(paths);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
   }
-  const telemetry::Trace merged = telemetry::MergeTraces(traces);
+  const telemetry::Trace& merged = *loaded;
   Status status = telemetry::WriteChromeTrace(merged, out_path);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
@@ -98,7 +164,20 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   if (cmd == "summarize" && argc >= 3) {
-    return Summarize(std::vector<std::string>(argv + 2, argv + argc));
+    bool waits = false;
+    std::vector<std::string> paths;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--waits") == 0) {
+        waits = true;
+      } else {
+        paths.emplace_back(argv[i]);
+      }
+    }
+    if (paths.empty()) {
+      PrintUsage();
+      return 2;
+    }
+    return Summarize(paths, waits);
   }
   if (cmd == "merge") {
     std::string out_path;
