@@ -5,8 +5,11 @@
 # allgather engine, the transport/coordination layer (connection retry and
 # fault-injection state shared across device threads), the straggler and
 # dead-peer timeout paths, the simulator/trainer (both fan work out on the
-# shared pool), the engine-trace cost audit and the lock-free telemetry
-# recorder.
+# shared pool), the engine-trace cost audit, the lock-free telemetry
+# recorder, and the elastic-recovery protocol (engine post-mortems, mid-epoch
+# kills, re-plan + resume) including a reduced-budget slice of the
+# fault-schedule fuzz suite (DGCL_FUZZ_SEEDS below; the full 200-seed sweep
+# runs in the plain build via ctest -L fuzz).
 # Separate build trees (build-tsan/, build-asan/) so the main build stays
 # untouched.
 #
@@ -14,7 +17,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TESTS_REGEX='thread_pool_test|plan_determinism_test|planner_property_test|spst_test|transport_test|allgather_engine_test|coordination_test|straggler_test|network_sim_test|epoch_sim_test|cost_audit_test|trainer_test|telemetry_test'
+TESTS_REGEX='thread_pool_test|plan_determinism_test|planner_property_test|spst_test|transport_test|allgather_engine_test|coordination_test|straggler_test|network_sim_test|epoch_sim_test|cost_audit_test|trainer_test|telemetry_test|recovery_test|fault_schedule_fuzz_test'
+
+# Sanitizer runs are 5-20x slower; trim the fuzz budget accordingly.
+export DGCL_FUZZ_SEEDS="${DGCL_FUZZ_SEEDS:-25}"
 
 run_one() {
   local kind="$1"
@@ -25,7 +31,8 @@ run_one() {
   cmake --build "$dir" -j "$(nproc)" --target \
     thread_pool_test plan_determinism_test planner_property_test spst_test \
     transport_test allgather_engine_test coordination_test straggler_test \
-    network_sim_test epoch_sim_test cost_audit_test trainer_test telemetry_test
+    network_sim_test epoch_sim_test cost_audit_test trainer_test telemetry_test \
+    recovery_test fault_schedule_fuzz_test
   echo "=== ${kind} sanitizer: running tests ==="
   ctest --test-dir "$dir" -R "$TESTS_REGEX" --output-on-failure
   echo "=== ${kind} sanitizer: OK ==="

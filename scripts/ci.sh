@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# The full CI gate, in tiers:
+#
+#   1. build + unit tier      ctest -L unit   (fast; every functional test)
+#   2. fuzz tier              ctest -L fuzz   (fault-schedule fuzzing, fixed
+#                             seed budget so wall time is bounded and every
+#                             run covers the same schedules)
+#   3. sanitizers             scripts/check_sanitizers.sh (TSan + ASan trees
+#                             over the concurrency-sensitive suites, with a
+#                             reduced fuzz budget)
+#
+# Usage: scripts/ci.sh [unit|fuzz|sanitizers|all]   (default: all)
+# Env:   DGCL_CI_FUZZ_SEEDS  fuzz-tier seed budget (default 200)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TIER="${1:-all}"
+
+build() {
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$(nproc)"
+}
+
+unit_tier() {
+  echo "=== CI tier: unit ==="
+  ctest --test-dir build -L unit --output-on-failure -j "$(nproc)"
+}
+
+fuzz_tier() {
+  echo "=== CI tier: fuzz (DGCL_CI_FUZZ_SEEDS=${DGCL_CI_FUZZ_SEEDS:-200}) ==="
+  DGCL_FUZZ_SEEDS="${DGCL_CI_FUZZ_SEEDS:-200}" \
+    ctest --test-dir build -L fuzz --output-on-failure
+}
+
+sanitizer_tier() {
+  echo "=== CI tier: sanitizers ==="
+  scripts/check_sanitizers.sh both
+}
+
+case "$TIER" in
+  unit)
+    build
+    unit_tier
+    ;;
+  fuzz)
+    build
+    fuzz_tier
+    ;;
+  sanitizers) sanitizer_tier ;;
+  all)
+    build
+    unit_tier
+    fuzz_tier
+    sanitizer_tier
+    ;;
+  *)
+    echo "usage: $0 [unit|fuzz|sanitizers|all]" >&2
+    exit 2
+    ;;
+esac
+echo "=== CI: OK (${TIER}) ==="

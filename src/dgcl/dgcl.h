@@ -34,6 +34,7 @@
 #include "partition/partitioner.h"
 #include "planner/spst.h"
 #include "runtime/allgather_engine.h"
+#include "runtime/recovery.h"
 #include "topology/topology.h"
 
 namespace dgcl {
@@ -53,6 +54,11 @@ struct DgclOptions {
   // per-pair transport overrides (ablations). None of them change what a
   // pass delivers.
   EngineOptions engine;
+
+  // Elastic fault recovery (recovery.h): with recovery.enabled, a failed
+  // collective can be survived by Recover() — re-plan onto the surviving
+  // topology and resume — instead of surfacing the Status.
+  RecoveryOptions recovery;
 
   // Checked by Init; topology-dependent parts (override ids, dead_device
   // range) are checked there too, so a bad config fails before any planning.
@@ -114,20 +120,34 @@ class DgclContext {
   // artifacts().
   const AllgatherEngine& engine() const;
 
-  // Deprecated per-field accessors, kept as shims for one PR: read the
-  // fields off artifacts() instead.
-  [[deprecated("use artifacts().partitioning")]]
-  const Partitioning& partitioning() const { return artifacts().partitioning; }
-  [[deprecated("use artifacts().relation")]]
-  const CommRelation& relation() const { return artifacts().relation; }
-  [[deprecated("use artifacts().classes")]]
-  const CommClasses& comm_classes() const { return artifacts().classes; }
-  [[deprecated("use artifacts().class_plan")]]
-  const ClassPlan& class_plan() const { return artifacts().class_plan; }
-  [[deprecated("use artifacts().plan")]]
-  const CommPlan& plan() const { return artifacts().plan; }
-  [[deprecated("use artifacts().compiled")]]
-  const CompiledPlan& compiled_plan() const { return artifacts().compiled; }
+  // --- Elastic fault recovery -------------------------------------------
+  //
+  // The recovery protocol driver. `suspects` is the failed-device set in the
+  // *current* device-id space (normally PassFailure::suspects from
+  // engine().last_failure()). Commits a membership epoch, folds the dead
+  // devices' vertices into survivors via the incremental repartition, swaps
+  // in the surviving (compacted) topology and re-runs the planning pipeline
+  // to re-arm the engine. On success the context looks exactly like one
+  // freshly built for the surviving topology: num_devices() shrinks, device
+  // ids compact, artifacts()/engine() describe the new plan. Every phase is
+  // a "recovery.<phase>" telemetry span; the returned report carries the
+  // per-phase wall-clock MTTR breakdown. Requires DgclOptions::recovery
+  // .enabled and comm_info_ready().
+  Result<RecoveryReport> Recover(DeviceMask suspects);
+
+  // Convenience: Recover using the engine's last recorded PassFailure.
+  // Fails with kFailedPrecondition when there is no recorded failure, and
+  // with the original Status when that failure is not a recoverable kind.
+  Result<RecoveryReport> RecoverFromLastFailure();
+
+  // Current membership: epoch counts committed failures across the
+  // context's lifetime; `alive` is over the *current* (compacted) id space,
+  // so after a successful recovery every current device is alive.
+  const MembershipView& membership() const;
+
+  // Current device id -> device id in the topology Init was given (identity
+  // until a recovery compacts the id space; composed across recoveries).
+  const std::vector<uint32_t>& device_origin() const;
 
  private:
   DgclContext() = default;
@@ -135,6 +155,12 @@ class DgclContext {
   // Heap state keeps addresses stable across moves (the engine holds
   // pointers into the relation and topology).
   struct State;
+
+  // The planning pipeline downstream of partitioning (relation -> classes ->
+  // SPST -> expand/validate -> compile -> arm engine), shared by
+  // BuildCommInfo and Recover.
+  static Status PlanAndArm(State& s, const CsrGraph& graph);
+
   std::unique_ptr<State> state_;
 };
 

@@ -75,13 +75,67 @@ Result<DistributedTrainer> DistributedTrainer::Create(
   return trainer;
 }
 
-Result<EpochResult> DistributedTrainer::Pass(bool train, EmbeddingMatrix* all_logits) {
+Result<EpochResult> DistributedTrainer::Pass(bool train, EmbeddingMatrix* all_logits,
+                                             const EpochHooks& hooks) {
   const uint32_t devices = relation_->num_devices;
   DGCL_TSPAN2("trainer", train ? "epoch.train" : "epoch.eval", "devices", devices, "layers",
               options_.num_layers);
+  if (train) {
+    // A previous pass that failed mid-backward may have left partial
+    // parameter-gradient accumulations behind (weights are only touched by
+    // the all-or-nothing synchronized step, so *they* are always clean).
+    // Re-zero so a retried epoch reproduces a fresh one exactly.
+    for (uint32_t d = 0; d < devices; ++d) {
+      for (uint32_t l = 0; l < options_.num_layers; ++l) {
+        for (EmbeddingMatrix* g : layers_[d][l]->Grads()) {
+          std::fill(g->data.begin(), g->data.end(), 0.0f);
+        }
+      }
+      std::fill(head_dw_[d].data.begin(), head_dw_[d].data.end(), 0.0f);
+    }
+  }
   std::vector<EmbeddingMatrix> acts = local_features_;
 
   for (uint32_t l = 0; l < options_.num_layers; ++l) {
+    const EmbeddingCheckpoint* ckpt =
+        (hooks.checkpoints != nullptr && hooks.restore) ? hooks.checkpoints->Find(l) : nullptr;
+    if (ckpt != nullptr) {
+      // Restore path: the activations entering this layer were snapshotted by
+      // the failed pass (weights unchanged since — see ExportReplica), so the
+      // slot inputs come straight from the global checkpoint and this layer's
+      // allgather is skipped. Local compute still runs below, keeping every
+      // layer's backward cache exact.
+      DGCL_TSPAN1("recovery", "recovery.restore.layer", "layer", l);
+      for (uint32_t d = 0; d < devices; ++d) {
+        EmbeddingMatrix trimmed =
+            EmbeddingMatrix::Zero(local_graphs_[d].num_slots, ckpt->acts.dim);
+        uint32_t row = 0;
+        for (VertexId v : relation_->local_vertices[d]) {
+          std::copy(ckpt->acts.Row(v), ckpt->acts.Row(v) + ckpt->acts.dim, trimmed.Row(row++));
+        }
+        for (VertexId v : relation_->remote_vertices[d]) {
+          std::copy(ckpt->acts.Row(v), ckpt->acts.Row(v) + ckpt->acts.dim, trimmed.Row(row++));
+        }
+        acts[d] = layers_[d][l]->Forward(local_graphs_[d], trimmed);
+      }
+      continue;
+    }
+    if (hooks.checkpoints != nullptr && l >= 1 && hooks.checkpoints->ShouldCheckpoint(l) &&
+        hooks.checkpoints->Find(l) == nullptr) {
+      // Snapshot the boundary *before* attempting the allgather: if the
+      // exchange below dies, the retry resumes from this very layer.
+      DGCL_TSPAN1("recovery", "recovery.checkpoint.save", "layer", l);
+      const uint32_t dim = layers_[0][l]->dim_in();
+      EmbeddingMatrix global =
+          EmbeddingMatrix::Zero(static_cast<uint32_t>(relation_->source.size()), dim);
+      for (uint32_t d = 0; d < devices; ++d) {
+        const auto& locals = relation_->local_vertices[d];
+        for (uint32_t i = 0; i < locals.size(); ++i) {
+          std::copy(acts[d].Row(i), acts[d].Row(i) + dim, global.Row(locals[i]));
+        }
+      }
+      hooks.checkpoints->Save(l, std::move(global));
+    }
     std::vector<EmbeddingMatrix> slots;
     {
       DGCL_TSPAN1("trainer", "layer.allgather", "layer", l);
@@ -210,7 +264,54 @@ Result<EpochResult> DistributedTrainer::Pass(bool train, EmbeddingMatrix* all_lo
 
 Result<EpochResult> DistributedTrainer::TrainEpoch() { return Pass(/*train=*/true, nullptr); }
 
+Result<EpochResult> DistributedTrainer::TrainEpoch(const EpochHooks& hooks) {
+  return Pass(/*train=*/true, nullptr, hooks);
+}
+
 Result<EpochResult> DistributedTrainer::Evaluate() { return Pass(/*train=*/false, nullptr); }
+
+ReplicaWeights DistributedTrainer::ExportReplica(uint32_t device) {
+  DGCL_CHECK(device < layers_.size());
+  ReplicaWeights weights;
+  weights.layers.reserve(options_.num_layers);
+  for (uint32_t l = 0; l < options_.num_layers; ++l) {
+    std::vector<EmbeddingMatrix> params;
+    for (EmbeddingMatrix* p : layers_[device][l]->Params()) {
+      params.push_back(*p);
+    }
+    weights.layers.push_back(std::move(params));
+  }
+  weights.head = head_w_[device];
+  return weights;
+}
+
+Status DistributedTrainer::ImportReplica(const ReplicaWeights& weights) {
+  if (weights.layers.size() != options_.num_layers) {
+    return Status::InvalidArgument("ImportReplica: layer count mismatch");
+  }
+  for (uint32_t d = 0; d < layers_.size(); ++d) {
+    for (uint32_t l = 0; l < options_.num_layers; ++l) {
+      std::vector<EmbeddingMatrix*> params = layers_[d][l]->Params();
+      if (params.size() != weights.layers[l].size()) {
+        return Status::InvalidArgument("ImportReplica: param count mismatch at layer " +
+                                       std::to_string(l));
+      }
+      for (size_t g = 0; g < params.size(); ++g) {
+        if (params[g]->rows != weights.layers[l][g].rows ||
+            params[g]->dim != weights.layers[l][g].dim) {
+          return Status::InvalidArgument("ImportReplica: shape mismatch at layer " +
+                                         std::to_string(l));
+        }
+        *params[g] = weights.layers[l][g];
+      }
+    }
+    if (head_w_[d].rows != weights.head.rows || head_w_[d].dim != weights.head.dim) {
+      return Status::InvalidArgument("ImportReplica: head shape mismatch");
+    }
+    head_w_[d] = weights.head;
+  }
+  return Status::Ok();
+}
 
 Result<EmbeddingMatrix> DistributedTrainer::Logits() {
   EmbeddingMatrix logits;

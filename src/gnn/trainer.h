@@ -23,6 +23,7 @@
 #include "gnn/layers.h"
 #include "gnn/local_graph.h"
 #include "runtime/allgather_engine.h"
+#include "runtime/recovery.h"
 
 namespace dgcl {
 
@@ -43,6 +44,29 @@ struct EpochResult {
   double accuracy = 0.0;
 };
 
+// One model replica's weights, keyed by (layer, param) position. Because the
+// model is replicated with identical seeds and synchronized steps, any
+// device's replica is *the* model — this is what survives a recovery and is
+// imported into the trainer rebuilt for the surviving topology.
+struct ReplicaWeights {
+  std::vector<std::vector<EmbeddingMatrix>> layers;  // [layer][param]
+  EmbeddingMatrix head;
+};
+
+// Optional per-epoch recovery plumbing for TrainEpoch. With `checkpoints`
+// set, the trainer snapshots the global activation matrix entering layer l
+// (for every l >= 1 the store elects) *before* running that layer's
+// allgather — keyed by global vertex id, so the snapshot is valid under any
+// post-recovery layout. With `restore` also set, layers whose boundary is
+// checkpointed rebuild their slot inputs straight from the snapshot instead
+// of re-running the allgather: every layer still runs its local compute (so
+// the backward caches stay exact), only the communication — the expensive
+// part — is skipped.
+struct EpochHooks {
+  EmbeddingCheckpointStore* checkpoints = nullptr;
+  bool restore = false;
+};
+
 class DistributedTrainer {
  public:
   // `features`: one row per global vertex. `labels`: per global vertex, in
@@ -57,6 +81,9 @@ class DistributedTrainer {
   // One full forward + backward + synchronized SGD step over all vertices.
   Result<EpochResult> TrainEpoch();
 
+  // TrainEpoch with activation checkpoint/restore plumbing (recovery path).
+  Result<EpochResult> TrainEpoch(const EpochHooks& hooks);
+
   // Forward only; loss/accuracy over all labeled vertices.
   Result<EpochResult> Evaluate();
 
@@ -67,12 +94,21 @@ class DistributedTrainer {
   GnnLayer& layer(uint32_t device, uint32_t index) { return *layers_[device][index]; }
   const EmbeddingMatrix& head_weights(uint32_t device) const { return head_w_[device]; }
 
+  // Snapshot of `device`'s replica weights (== every replica's: weights only
+  // ever change inside a fully-completed synchronized step, so at any failure
+  // point every replica still holds the epoch-start weights).
+  ReplicaWeights ExportReplica(uint32_t device = 0);
+
+  // Overwrites every replica with `weights`. Shapes must match the model.
+  Status ImportReplica(const ReplicaWeights& weights);
+
  private:
   DistributedTrainer() = default;
 
   // Runs forward to logits per device; when `grads` is non-null also runs
   // backward and fills per-layer gradient averaging + step.
-  Result<EpochResult> Pass(bool train, EmbeddingMatrix* all_logits);
+  Result<EpochResult> Pass(bool train, EmbeddingMatrix* all_logits,
+                           const EpochHooks& hooks = {});
 
   const CommRelation* relation_ = nullptr;
   const AllgatherEngine* engine_ = nullptr;

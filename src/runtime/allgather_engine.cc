@@ -115,6 +115,13 @@ struct PassState {
   std::unique_ptr<TimedBarrier> stage_barrier;
   // One per device, written by that device's thread, read after join.
   std::vector<Status> device_status;
+  // Suspicion evidence for the recovery protocol, read after join:
+  // named[d] = peers device d's waits timed out on (owner-thread-written);
+  // self_dead = devices that self-reported death this pass.
+  std::vector<DeviceMask> named;
+  std::atomic<DeviceMask> self_dead{0};
+  // Engine-lifetime index of this pass (for FaultInjection::dead_from_pass).
+  uint64_t pass_index = 0;
 
   PassState(uint32_t num_devices, const CompiledPlan& plan, const EngineOptions& options) {
     ready_stage = std::make_unique<std::atomic<uint32_t>[]>(num_devices);
@@ -129,6 +136,11 @@ struct PassState {
       stage_barrier = std::make_unique<TimedBarrier>(num_devices);
     }
     device_status.resize(num_devices);
+    named.assign(num_devices, 0);
+  }
+
+  bool DeviceIsDead(uint32_t device, const EngineOptions& options) const {
+    return device == options.faults.dead_device && pass_index >= options.faults.dead_from_pass;
   }
 
   void Fail() {
@@ -204,17 +216,18 @@ Status AllgatherEngine::RunDevice(uint32_t device, uint32_t dim, bool backward,
   EmbeddingMatrix& mine = buffers[device];
   const uint64_t timeout_micros = options_.transport.wait_timeout_micros;
 
-  if (device == options_.faults.dead_device) {
+  if (state.DeviceIsDead(device, options_)) {
     // The killed peer: never publishes readiness, never sends, never
     // consumes. Its peers' deadline-bounded waits turn this into a timeout
     // Status for the whole collective.
+    state.self_dead.fetch_or(DeviceMask{1} << device, std::memory_order_release);
     return Status::Unavailable("device " + std::to_string(device) + " is dead (injected fault)");
   }
 
   // Deadline-bounded flag spins. The deadline is re-armed per wait; the
   // abort flag short-circuits every spin once any device has failed.
-  auto spin_until = [&state, timeout_micros](auto&& ready, const char* what, uint32_t peer,
-                                             uint32_t stage) -> Status {
+  auto spin_until = [&state, device, timeout_micros](auto&& ready, const char* what, uint32_t peer,
+                                                     uint32_t stage) -> Status {
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::microseconds(timeout_micros == 0 ? 0 : timeout_micros);
     uint64_t spins = 0;
@@ -224,6 +237,7 @@ Status AllgatherEngine::RunDevice(uint32_t device, uint32_t dim, bool backward,
       }
       if (timeout_micros != 0 && (++spins & 0x3ff) == 0 &&
           std::chrono::steady_clock::now() >= deadline) {
+        state.named[device] |= DeviceMask{1} << peer;
         return Status::DeadlineExceeded(std::string(what) + " wait timed out on peer " +
                                         std::to_string(peer) + " at stage " +
                                         std::to_string(stage));
@@ -364,6 +378,7 @@ Result<std::vector<EmbeddingMatrix>> AllgatherEngine::RunPass(
   std::lock_guard<std::mutex> pass_lock(*pass_mutex_);
   connections_.PrepareBuffers(dim);
   PassState state(relation_->num_devices, plan_, options_);
+  state.pass_index = pass_count_++;
   DGCL_TSPAN2("runtime", backward ? "bwd.pass" : "fwd.pass", "devices", relation_->num_devices,
               "dim", dim);
   std::vector<std::thread> threads;
@@ -374,7 +389,7 @@ Result<std::vector<EmbeddingMatrix>> AllgatherEngine::RunPass(
       // A failed device aborts everyone else's waits — except the injected
       // dead peer, which must vanish *silently* so that its peers' deadlines
       // (not an abort broadcast) are what fail the collective.
-      if (!state.device_status[d].ok() && d != options_.faults.dead_device) {
+      if (!state.device_status[d].ok() && !state.DeviceIsDead(d, options_)) {
         state.Fail();
       }
     });
@@ -391,16 +406,44 @@ Result<std::vector<EmbeddingMatrix>> AllgatherEngine::RunPass(
       continue;
     }
     if (s.code() == StatusCode::kDeadlineExceeded) {
-      return s;
+      verdict = s;
+      break;
     }
     if (verdict.ok() || (IsAborted(verdict) && !IsAborted(s))) {
       verdict = s;
     }
   }
   if (!verdict.ok()) {
+    // Suspect derivation for the recovery protocol: self-reported deaths are
+    // certain; a device *named* by a timed-out wait is suspected only if it
+    // never produced a status of its own this pass (a named device that ran —
+    // even into its own timeout — was just blocked downstream of the real
+    // failure and stays innocent).
+    DeviceMask named = 0;
+    DeviceMask responders = 0;
+    const DeviceMask self_dead = state.self_dead.load(std::memory_order_acquire);
+    for (uint32_t d = 0; d < relation_->num_devices; ++d) {
+      named |= state.named[d];
+      const Status& s = state.device_status[d];
+      if (s.ok() || s.code() == StatusCode::kDeadlineExceeded || IsAborted(s)) {
+        responders |= DeviceMask{1} << d;
+      }
+    }
+    last_failure_ = PassFailure{verdict, self_dead | (named & ~responders), state.pass_index};
     return verdict;
   }
+  last_failure_.reset();
   return buffers;
+}
+
+std::optional<PassFailure> AllgatherEngine::last_failure() const {
+  std::lock_guard<std::mutex> pass_lock(*pass_mutex_);
+  return last_failure_;
+}
+
+uint64_t AllgatherEngine::pass_count() const {
+  std::lock_guard<std::mutex> pass_lock(*pass_mutex_);
+  return pass_count_;
 }
 
 Result<std::vector<EmbeddingMatrix>> AllgatherEngine::Forward(

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -89,6 +90,18 @@ struct EngineOptions {
   Status Validate() const;
 };
 
+// Post-mortem of a failed pass: the verdict Status plus the device set the
+// survivors suspect of being dead. A device is suspected when it either
+// self-reported death or was named by a timed-out wait and never demonstrably
+// ran the pass itself — a named peer that produced its own (even failing)
+// status was merely blocked on someone else and stays innocent. This is the
+// input to MembershipService::CommitFailure (recovery.h).
+struct PassFailure {
+  Status status;
+  DeviceMask suspects = 0;
+  uint64_t pass_index = 0;  // which Forward/Backward call failed, counting from 0
+};
+
 class AllgatherEngine {
  public:
   // Validates the plan against the relation (delivery and causality),
@@ -114,15 +127,13 @@ class AllgatherEngine {
   const EngineOptions& options() const { return options_; }
   CoordinationMode coordination_mode() const { return options_.coordination; }
 
-  // Deprecated post-hoc mutators, kept as shims for one PR: pass the fields
-  // via EngineOptions to Create instead.
-  [[deprecated("pass CoordinationMode via EngineOptions to Create")]]
-  void set_coordination_mode(CoordinationMode mode) { options_.coordination = mode; }
-  [[deprecated("pass straggler fields via EngineOptions to Create")]]
-  void InjectStraggler(uint32_t device, uint32_t micros) {
-    options_.straggler_device = device;
-    options_.straggler_micros = micros;
-  }
+  // Post-mortem of the most recent failed pass (nullopt while every pass has
+  // succeeded). Cleared by the next successful pass. This is what the
+  // recovery protocol reads to seed the membership commit.
+  std::optional<PassFailure> last_failure() const;
+
+  // Passes run so far (Forward + Backward, successful or not).
+  uint64_t pass_count() const;
 
   // Per-pair connections (transport kind, fault/retry counters, staging
   // ownership). Read-only for callers; counters accumulate across passes.
@@ -154,6 +165,9 @@ class AllgatherEngine {
   // engine stays movable.
   mutable ConnectionTable connections_;
   std::unique_ptr<std::mutex> pass_mutex_ = std::make_unique<std::mutex>();
+  // Both guarded by pass_mutex_ (written at pass end, read via accessors).
+  mutable uint64_t pass_count_ = 0;
+  mutable std::optional<PassFailure> last_failure_;
   std::vector<std::unordered_map<VertexId, uint32_t>> slots_;  // per device
   std::vector<uint32_t> slot_counts_;
 };

@@ -74,6 +74,11 @@ struct FaultInjection {
   // Device that never participates in a pass (a killed peer). Waits on it
   // time out and the collective fails with a Status instead of hanging.
   uint32_t dead_device = kInvalidId;
+  // First engine pass (counting Forward and Backward calls from 0) at which
+  // `dead_device` dies; earlier passes run healthy. Models a mid-epoch kill:
+  // with a 2-layer model, dead_from_pass = 2 kills the device entering layer
+  // 1's forward allgather.
+  uint32_t dead_from_pass = 0;
 
   Status Validate() const;
 };

@@ -181,13 +181,42 @@ NetworkSimResult SimulateTransfer(const CompiledPlan& plan, const Topology& topo
   // Stages always serialize. Within a stage all ops are concurrent flows;
   // in the non-atomic backward pass (§6.2) the ops aggregating at the same
   // device are chained by sub-stage — different devices' chains overlap.
-  std::map<uint32_t, std::vector<const TransferOp*>> stages;
+  std::map<uint32_t, std::vector<const TransferOp*>> stage_map;
   for (const TransferOp& op : plan.ops) {
-    stages[op.stage].push_back(&op);
+    stage_map[op.stage].push_back(&op);
   }
-
+  // Execution order matters once a death can cut the pass short: the
+  // backward pass runs the stages in reverse.
+  std::vector<std::pair<uint32_t, const std::vector<const TransferOp*>*>> stages;
+  stages.reserve(stage_map.size());
+  for (const auto& [stage, ops] : stage_map) {
+    stages.emplace_back(stage, &ops);
+  }
   const bool backward = direction == PassDirection::kBackward;
-  for (const auto& [stage, ops] : stages) {
+  if (backward) {
+    std::reverse(stages.begin(), stages.end());
+  }
+  for (const auto& [stage, ops_ptr] : stages) {
+    const std::vector<const TransferOp*>& ops = *ops_ptr;
+    if (options.dead_device != kInvalidId) {
+      // Death mirror: the first executed stage with an op touching the dead
+      // device never completes — survivors sit out the detection wait and
+      // the pass aborts, exactly what the engine's deadline-bounded waits do.
+      bool touches_dead = false;
+      for (const TransferOp* op : ops) {
+        if (op->src == options.dead_device || op->dst == options.dead_device) {
+          touches_dead = true;
+          break;
+        }
+      }
+      if (touches_dead) {
+        result.stage_seconds[stage] += options.failure_detect_s;
+        result.total_seconds += options.failure_detect_s;
+        result.completed = false;
+        result.failed_stage = stage;
+        break;
+      }
+    }
     // Backward aggregation cost model (§6.2, Table 9): with atomic
     // reductions every received gradient byte pays the atomic penalty; with
     // the non-atomic sub-stage split the receive tables are partitioned so

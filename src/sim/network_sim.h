@@ -40,6 +40,14 @@ struct NetworkSimOptions {
   // faulted engine run will measure.
   double nic_extra_latency_s = 0.0;
   double nic_drop_rate = 0.0;  // in [0, 1)
+  // Mirror of FaultInjection::dead_device: a device that stops participating
+  // mid-epoch. The first stage with an op touching it never completes —
+  // survivors detect the death after `failure_detect_s` (the simulator's
+  // stand-in for TransportPolicy::wait_timeout_micros) and the pass reports
+  // completed = false at that stage. Lets the simulator predict the detect
+  // phase of a recovery's MTTR.
+  uint32_t dead_device = kInvalidId;
+  double failure_detect_s = 0.0;
 };
 
 struct NetworkSimResult {
@@ -47,6 +55,10 @@ struct NetworkSimResult {
   std::vector<double> stage_seconds;       // per stage
   std::vector<double> conn_busy_seconds;   // per physical connection
   uint64_t total_bytes = 0;
+  // Death mirror: false when NetworkSimOptions::dead_device aborted the pass
+  // at `failed_stage` (total_seconds then ends with the detection wait).
+  bool completed = true;
+  uint32_t failed_stage = kInvalidId;
 
   // Busy time summed over connections of a link type (Table 2 / Table 7).
   double TypeBusySeconds(const Topology& topo, LinkType type) const;

@@ -126,32 +126,6 @@ TEST(CoordinationTest, CreateRejectsInvalidOptions) {
   EXPECT_FALSE(MakeEngine(f, options).ok());
 }
 
-// The one-PR deprecation window: the old post-hoc mutators must keep working
-// (and agree with the options they shadow) until callers have migrated.
-TEST(CoordinationTest, DeprecatedMutatorsStillWork) {
-  Fixture f = Fixture::Make(4, 17);
-  auto fresh = MakeEngine(f);
-  ASSERT_TRUE(fresh.ok());
-  auto engine = MakeEngine(f);
-  ASSERT_TRUE(engine.ok());
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  engine->set_coordination_mode(CoordinationMode::kCentralized);
-  engine->InjectStraggler(1, 200);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(engine->coordination_mode(), CoordinationMode::kCentralized);
-  EXPECT_EQ(engine->options().straggler_device, 1u);
-  EXPECT_EQ(engine->options().straggler_micros, 200u);
-  auto local = f.Local(2);
-  auto shimmed = engine->Forward(local);
-  auto plain = fresh->Forward(local);
-  ASSERT_TRUE(shimmed.ok());
-  ASSERT_TRUE(plain.ok());
-  for (uint32_t d = 0; d < f.relation.num_devices; ++d) {
-    EXPECT_EQ((*shimmed)[d].data, (*plain)[d].data) << "device " << d;
-  }
-}
-
 // A killed peer must fail the collective with a timeout Status, not hang.
 // Both protocols: decentralized waiters time out on the dead peer's flags;
 // the centralized barrier poisons itself when the peer never arrives.

@@ -1,0 +1,227 @@
+// Fault-schedule fuzzing for the elastic training loop.
+//
+// Each seed draws a random workload (graph, fully-connected topology, model
+// shape) and a random fault schedule — nothing, transport latency/jitter,
+// transport drops, or a device kill at a random engine pass — then trains
+// through it with recovery enabled. The invariant is the whole point of the
+// recovery design:
+//
+//   every run either completes with a loss trajectory BIT-IDENTICAL to the
+//   fault-free run (latency, drops, and never-triggered kills must not change
+//   the math), or it recovers — exactly one committed membership epoch, one
+//   device folded away — and its trajectory matches the fault-free run within
+//   float-reassociation tolerance.
+//
+// Failures print the seed; re-run a single schedule with
+//   DGCL_FUZZ_BASE_SEED=<seed> DGCL_FUZZ_SEEDS=1 ./fault_schedule_fuzz_test
+// The default budget is 200 schedules; CI tiers override DGCL_FUZZ_SEEDS.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "dgcl/dgcl.h"
+#include "dgcl/elastic.h"
+#include "graph/generators.h"
+#include "random_topology.h"
+#include "topology/topology.h"
+
+namespace dgcl {
+namespace {
+
+enum class FaultKind : uint32_t { kNone, kLatency, kDrop, kKill };
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kLatency:
+      return "latency";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kKill:
+      return "kill";
+  }
+  return "?";
+}
+
+struct Schedule {
+  uint32_t devices = 0;
+  uint32_t vertices = 0;
+  uint32_t edges = 0;
+  uint32_t num_layers = 0;
+  uint32_t hidden_dim = 0;
+  uint32_t feature_dim = 0;
+  uint32_t epochs = 0;
+  FaultKind kind = FaultKind::kNone;
+  uint32_t victim = kInvalidId;
+  uint32_t kill_pass = 0;  // engine pass index; may land past the run's end
+
+  std::string Describe() const {
+    std::string s = "devices=" + std::to_string(devices) + " vertices=" +
+                    std::to_string(vertices) + " fault=" + FaultKindName(kind);
+    if (kind == FaultKind::kKill) {
+      s += " victim=" + std::to_string(victim) + " kill_pass=" + std::to_string(kill_pass);
+    }
+    return s;
+  }
+};
+
+Schedule DrawSchedule(Rng& rng) {
+  Schedule s;
+  s.devices = 3 + static_cast<uint32_t>(rng.UniformInt(4));  // 3..6
+  s.vertices = 40 + static_cast<uint32_t>(rng.UniformInt(50));
+  s.edges = s.vertices * (3 + static_cast<uint32_t>(rng.UniformInt(3)));
+  s.num_layers = 2 + static_cast<uint32_t>(rng.UniformInt(2));  // 2..3
+  s.hidden_dim = 4 + static_cast<uint32_t>(rng.UniformInt(5));
+  s.feature_dim = 3 + static_cast<uint32_t>(rng.UniformInt(4));
+  s.epochs = 2 + static_cast<uint32_t>(rng.UniformInt(2));  // 2..3
+  s.kind = static_cast<FaultKind>(rng.UniformInt(4));
+  if (s.kind == FaultKind::kKill) {
+    s.victim = static_cast<uint32_t>(rng.UniformInt(s.devices));
+    // Passes per epoch = forward + backward allgather per layer. Drawing
+    // past the end (the +2 slack) deliberately fuzzes never-triggered kills.
+    const uint32_t total_passes = s.epochs * 2 * s.num_layers;
+    s.kill_pass = static_cast<uint32_t>(rng.UniformInt(total_passes + 2));
+  }
+  return s;
+}
+
+struct RunOutcome {
+  std::vector<double> losses;
+  uint32_t recoveries = 0;
+  uint32_t final_devices = 0;
+};
+
+// Trains `schedule.epochs` epochs; `faulted` selects whether the schedule's
+// fault is injected. Returns false (with ADD_FAILURE) on any hard error.
+bool RunSchedule(const Schedule& schedule, uint64_t seed, bool faulted, RunOutcome& out) {
+  Rng workload_rng(seed);  // same workload for both arms, fault or not
+  CsrGraph graph = GenerateErdosRenyi(schedule.vertices, schedule.edges, workload_rng);
+  Topology topo;
+  BuildRandomFullyConnectedTopology(schedule.devices, workload_rng, topo);
+
+  EmbeddingMatrix features = EmbeddingMatrix::Zero(schedule.vertices, schedule.feature_dim);
+  for (uint32_t v = 0; v < schedule.vertices; ++v) {
+    for (uint32_t c = 0; c < schedule.feature_dim; ++c) {
+      features.Row(v)[c] = static_cast<float>(workload_rng.UniformDouble()) - 0.5f;
+    }
+  }
+  const uint32_t num_classes = 3;
+  std::vector<uint32_t> labels(schedule.vertices);
+  for (uint32_t v = 0; v < schedule.vertices; ++v) {
+    labels[v] = static_cast<uint32_t>(workload_rng.UniformInt(num_classes));
+  }
+
+  DgclOptions options;
+  options.recovery.enabled = true;
+  options.recovery.checkpoint_every_n_layers = 1;
+  if (faulted) {
+    switch (schedule.kind) {
+      case FaultKind::kNone:
+        break;
+      case FaultKind::kLatency:
+        options.engine.faults.latency_micros = 200;
+        options.engine.faults.jitter_micros = 100;
+        options.engine.faults.all_transports = true;
+        options.engine.faults.seed = seed;
+        break;
+      case FaultKind::kDrop:
+        options.engine.faults.drop_rate = 0.1;
+        options.engine.faults.all_transports = true;
+        options.engine.faults.seed = seed;
+        break;
+      case FaultKind::kKill:
+        options.engine.faults.dead_device = schedule.victim;
+        options.engine.faults.dead_from_pass = schedule.kill_pass;
+        options.engine.transport.wait_timeout_micros = 150'000;
+        break;
+    }
+  }
+
+  auto ctx = DgclContext::Init(std::move(topo), options);
+  if (!ctx.ok()) {
+    ADD_FAILURE() << "Init: " << ctx.status().ToString();
+    return false;
+  }
+  if (Status status = ctx->BuildCommInfo(graph); !status.ok()) {
+    ADD_FAILURE() << "BuildCommInfo: " << status.ToString();
+    return false;
+  }
+  TrainerOptions trainer_options;
+  trainer_options.num_layers = schedule.num_layers;
+  trainer_options.hidden_dim = schedule.hidden_dim;
+  auto session =
+      ElasticTrainingSession::Create(*ctx, graph, features, labels, num_classes, trainer_options);
+  if (!session.ok()) {
+    ADD_FAILURE() << "Create: " << session.status().ToString();
+    return false;
+  }
+  for (uint32_t e = 0; e < schedule.epochs; ++e) {
+    auto result = session->TrainEpoch();
+    if (!result.ok()) {
+      ADD_FAILURE() << "epoch " << e << ": " << result.status().ToString();
+      return false;
+    }
+    out.losses.push_back(result->loss);
+  }
+  out.recoveries = session->recoveries();
+  out.final_devices = ctx->num_devices();
+  return true;
+}
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+TEST(FaultScheduleFuzzTest, EveryScheduleCompletesOrRecovers) {
+  const uint64_t base_seed = EnvOr("DGCL_FUZZ_BASE_SEED", 1000);
+  const uint64_t num_seeds = EnvOr("DGCL_FUZZ_SEEDS", 200);
+  uint64_t kills_triggered = 0;
+  for (uint64_t seed = base_seed; seed < base_seed + num_seeds; ++seed) {
+    Rng rng(seed);
+    const Schedule schedule = DrawSchedule(rng);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " " + schedule.Describe());
+
+    RunOutcome clean;
+    RunOutcome fuzzed;
+    if (!RunSchedule(schedule, seed, /*faulted=*/false, clean) ||
+        !RunSchedule(schedule, seed, /*faulted=*/true, fuzzed)) {
+      return;  // hard error already reported with the seed in scope
+    }
+
+    ASSERT_EQ(clean.recoveries, 0u) << "the fault-free arm must never recover";
+    ASSERT_EQ(fuzzed.losses.size(), clean.losses.size());
+    if (fuzzed.recoveries == 0) {
+      // No recovery happened (no fault, tolerated fault, or a kill scheduled
+      // past the end of the run): the trajectory must be bit-identical.
+      EXPECT_EQ(fuzzed.final_devices, schedule.devices);
+      for (uint32_t e = 0; e < clean.losses.size(); ++e) {
+        ASSERT_EQ(fuzzed.losses[e], clean.losses[e])
+            << "faults that don't kill must not change the math (epoch " << e << ")";
+      }
+    } else {
+      ASSERT_EQ(schedule.kind, FaultKind::kKill) << "only kills may trigger recovery";
+      ++kills_triggered;
+      EXPECT_EQ(fuzzed.recoveries, 1u);
+      EXPECT_EQ(fuzzed.final_devices, schedule.devices - 1);
+      // Post-recovery the partitioning (and float summation order) differ,
+      // so the match is tolerance-based rather than bitwise.
+      for (uint32_t e = 0; e < clean.losses.size(); ++e) {
+        ASSERT_NEAR(fuzzed.losses[e], clean.losses[e], 5e-3)
+            << "recovery perturbed the trajectory (epoch " << e << ")";
+      }
+    }
+  }
+  // The draw distribution guarantees real kill coverage at the default
+  // budget; tiny overridden budgets (CI smoke) may legitimately see none.
+  if (num_seeds >= 100) {
+    EXPECT_GT(kills_triggered, 5u) << "fuzz budget produced almost no live kills";
+  }
+}
+
+}  // namespace
+}  // namespace dgcl

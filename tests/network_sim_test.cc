@@ -53,6 +53,32 @@ TEST(NetworkSimTest, LatencyAddsPerRound) {
   EXPECT_LT(result.total_seconds, 1.1e-3);
 }
 
+TEST(NetworkSimTest, DeadDeviceAbortsAtFirstTouchingStage) {
+  Topology topo = BuildPaperTopology(2);
+  CommRelation rel = SingleFlowRelation(2, 0, 1, 100);
+  PeerToPeerPlanner p2p;
+  CompiledPlan plan = CompileFor(rel, topo, p2p);
+  NetworkSimOptions opts;
+  opts.bytes_per_unit = 1024.0;
+  opts.per_op_latency_s = 0.0;
+  opts.dead_device = 1;
+  opts.failure_detect_s = 0.25;  // the simulator's stand-in for wait_timeout
+  NetworkSimResult result = SimulateTransfer(plan, topo, opts);
+  EXPECT_FALSE(result.completed);
+  EXPECT_NE(result.failed_stage, kInvalidId);
+  // The aborted pass costs exactly the detection wait: the stage touching
+  // the dead device never transfers its bytes.
+  EXPECT_NEAR(result.total_seconds, 0.25, 1e-12);
+
+  // A dead device not touched by any op changes nothing.
+  NetworkSimOptions unrelated = opts;
+  unrelated.dead_device = kInvalidId;
+  NetworkSimResult healthy = SimulateTransfer(plan, topo, unrelated);
+  EXPECT_TRUE(healthy.completed);
+  EXPECT_EQ(healthy.failed_stage, kInvalidId);
+  EXPECT_GT(healthy.total_seconds, 0.0);
+}
+
 TEST(NetworkSimTest, FairSharingOnSharedHop) {
   // Two equal flows crossing the same QPI finish together in 2x single time.
   Topology topo = BuildPaperTopology(8);

@@ -60,6 +60,40 @@ inline void BuildRandomTopology(uint32_t devices, Rng& rng, Topology& topo) {
   }
 }
 
+// A random *fully connected* topology (every ordered pair gets a link, as
+// DgclContext::Init requires): random media per direct connection, with a
+// random subset of links additionally routed through shared buses for
+// contention. Strictly richer than BuildRandomTopology's ring for fuzzing
+// the full Init -> BuildCommInfo -> train -> recover pipeline.
+inline void BuildRandomFullyConnectedTopology(uint32_t devices, Rng& rng, Topology& topo) {
+  for (uint32_t d = 0; d < devices; ++d) {
+    topo.AddDevice({"d" + std::to_string(d), 0, d % 2, d / 2});
+  }
+  auto random_type = [&rng]() {
+    constexpr LinkType kTypes[] = {LinkType::kNvLink2, LinkType::kNvLink1, LinkType::kPcie,
+                                   LinkType::kQpi, LinkType::kInfiniBand, LinkType::kEthernet};
+    return kTypes[rng.UniformInt(6)];
+  };
+  std::vector<ConnId> buses;
+  for (int b = 0; b < 3; ++b) {
+    buses.push_back(topo.AddConnection({"bus" + std::to_string(b), random_type(), 0.0}));
+  }
+  for (uint32_t i = 0; i < devices; ++i) {
+    for (uint32_t j = 0; j < devices; ++j) {
+      if (i == j) {
+        continue;
+      }
+      ConnId direct = topo.AddConnection(
+          {"c" + std::to_string(i) + "_" + std::to_string(j), random_type(), 0.0});
+      std::vector<ConnId> hops = {direct};
+      if (rng.UniformDouble() < 0.4) {
+        hops.push_back(buses[rng.UniformInt(buses.size())]);
+      }
+      ASSERT_TRUE(topo.AddLink(i, j, std::move(hops)).ok());
+    }
+  }
+}
+
 }  // namespace dgcl
 
 #endif  // DGCL_TESTS_RANDOM_TOPOLOGY_H_

@@ -4,6 +4,7 @@
 // Usage:
 //   dgcl_trace summarize <trace.json>...         per-(category,name) table
 //   dgcl_trace summarize --waits <trace.json>... per-peer wait-time histogram
+//   dgcl_trace summarize --recovery <trace.json>... per-phase recovery MTTR
 //   dgcl_trace merge -o <out.json> <in.json>...  merge traces into one file
 //   dgcl_trace convert <in.json> <out.json>      re-emit in canonical form
 //
@@ -28,7 +29,7 @@ namespace {
 
 void PrintUsage() {
   std::printf(
-      "usage: dgcl_trace summarize [--waits] <trace.json>...\n"
+      "usage: dgcl_trace summarize [--waits|--recovery] <trace.json>...\n"
       "       dgcl_trace merge -o <out.json> <in.json>...\n"
       "       dgcl_trace convert <in.json> <out.json>\n");
 }
@@ -99,7 +100,52 @@ int SummarizeWaits(const telemetry::Trace& trace) {
   return 0;
 }
 
-int Summarize(const std::vector<std::string>& paths, bool waits) {
+// Per-phase MTTR breakdown over the "recovery" span category (emitted by
+// DgclContext::Recover / ElasticTrainingSession). The MTTR line sums the
+// recovery work proper — detect, membership, repartition, replan, restore —
+// matching RecoveryReport::MttrSeconds(); recovery.protocol (the envelope
+// around membership..replan) and recovery.resume (the retried epoch) are
+// shown but not double-counted into it.
+int SummarizeRecovery(const telemetry::Trace& trace) {
+  struct Phase {
+    uint64_t count = 0;
+    double total_seconds = 0.0;
+    double max_seconds = 0.0;
+  };
+  std::map<std::string, Phase> phases;
+  for (const telemetry::TraceEvent& ev : trace.events) {
+    if (ev.kind != telemetry::TraceEventKind::kSpan || ev.category != "recovery") {
+      continue;
+    }
+    Phase& p = phases[ev.name];
+    ++p.count;
+    const double seconds = ev.dur_ns / 1e9;
+    p.total_seconds += seconds;
+    p.max_seconds = std::max(p.max_seconds, seconds);
+  }
+  if (phases.empty()) {
+    std::printf("no recovery spans in trace (enable RecoveryOptions and telemetry)\n");
+    return 0;
+  }
+  TablePrinter table({"Phase", "Count", "Total ms", "Mean ms", "Max ms"});
+  double mttr_seconds = 0.0;
+  for (const auto& [name, p] : phases) {
+    table.AddRow({name, TablePrinter::FmtInt(p.count), TablePrinter::Fmt(p.total_seconds * 1e3, 3),
+                  TablePrinter::Fmt(p.total_seconds / p.count * 1e3, 3),
+                  TablePrinter::Fmt(p.max_seconds * 1e3, 3)});
+    if (name == "recovery.detect" || name == "recovery.membership" ||
+        name == "recovery.repartition" || name == "recovery.replan" ||
+        name == "recovery.restore") {
+      mttr_seconds += p.total_seconds;
+    }
+  }
+  std::printf("%s", table.Render("recovery phases").c_str());
+  std::printf("MTTR (detect+membership+repartition+replan+restore): %.3f ms\n",
+              mttr_seconds * 1e3);
+  return 0;
+}
+
+int Summarize(const std::vector<std::string>& paths, bool waits, bool recovery) {
   Result<telemetry::Trace> loaded = LoadMerged(paths);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
@@ -108,6 +154,9 @@ int Summarize(const std::vector<std::string>& paths, bool waits) {
   const telemetry::Trace& merged = *loaded;
   if (waits) {
     return SummarizeWaits(merged);
+  }
+  if (recovery) {
+    return SummarizeRecovery(merged);
   }
   std::string title = paths.size() == 1 ? paths[0] : std::to_string(paths.size()) + " traces";
   std::printf("%s", telemetry::RenderTraceSummary(merged, title).c_str());
@@ -165,10 +214,13 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "summarize" && argc >= 3) {
     bool waits = false;
+    bool recovery = false;
     std::vector<std::string> paths;
     for (int i = 2; i < argc; ++i) {
       if (std::strcmp(argv[i], "--waits") == 0) {
         waits = true;
+      } else if (std::strcmp(argv[i], "--recovery") == 0) {
+        recovery = true;
       } else {
         paths.emplace_back(argv[i]);
       }
@@ -177,7 +229,7 @@ int main(int argc, char** argv) {
       PrintUsage();
       return 2;
     }
-    return Summarize(paths, waits);
+    return Summarize(paths, waits, recovery);
   }
   if (cmd == "merge") {
     std::string out_path;
