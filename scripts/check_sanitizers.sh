@@ -17,7 +17,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TESTS_REGEX='thread_pool_test|plan_determinism_test|planner_property_test|spst_test|transport_test|allgather_engine_test|coordination_test|straggler_test|network_sim_test|epoch_sim_test|cost_audit_test|trainer_test|telemetry_test|recovery_test|fault_schedule_fuzz_test'
+TESTS_REGEX='thread_pool_test|plan_determinism_test|planner_property_test|planner_conformance_test|spst_test|transport_test|allgather_engine_test|coordination_test|straggler_test|network_sim_test|epoch_sim_test|cost_audit_test|trainer_test|telemetry_test|recovery_test|fault_schedule_fuzz_test'
 
 # Sanitizer runs are 5-20x slower; trim the fuzz budget accordingly.
 export DGCL_FUZZ_SEEDS="${DGCL_FUZZ_SEEDS:-25}"
@@ -29,7 +29,8 @@ run_one() {
   echo "=== ${kind} sanitizer: configuring ${dir} ==="
   cmake -B "$dir" -S . -DDGCL_SANITIZE="$kind" >/dev/null
   cmake --build "$dir" -j "$(nproc)" --target \
-    thread_pool_test plan_determinism_test planner_property_test spst_test \
+    thread_pool_test plan_determinism_test planner_property_test \
+    planner_conformance_test spst_test \
     transport_test allgather_engine_test coordination_test straggler_test \
     network_sim_test epoch_sim_test cost_audit_test trainer_test telemetry_test \
     recovery_test fault_schedule_fuzz_test

@@ -2,14 +2,19 @@
 # The full CI gate, in tiers:
 #
 #   1. build + unit tier      ctest -L unit   (fast; every functional test)
-#   2. fuzz tier              ctest -L fuzz   (fault-schedule fuzzing, fixed
+#   2. planner tier           ctest -L planner (the planner-family suites:
+#                             conformance over every registered strategy,
+#                             SPST, baselines, determinism, properties — a
+#                             subset of `unit`, runnable alone when iterating
+#                             on planners)
+#   3. fuzz tier              ctest -L fuzz   (fault-schedule fuzzing, fixed
 #                             seed budget so wall time is bounded and every
 #                             run covers the same schedules)
-#   3. sanitizers             scripts/check_sanitizers.sh (TSan + ASan trees
+#   4. sanitizers             scripts/check_sanitizers.sh (TSan + ASan trees
 #                             over the concurrency-sensitive suites, with a
 #                             reduced fuzz budget)
 #
-# Usage: scripts/ci.sh [unit|fuzz|sanitizers|all]   (default: all)
+# Usage: scripts/ci.sh [unit|planner|fuzz|sanitizers|all]   (default: all)
 # Env:   DGCL_CI_FUZZ_SEEDS  fuzz-tier seed budget (default 200)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,6 +29,11 @@ build() {
 unit_tier() {
   echo "=== CI tier: unit ==="
   ctest --test-dir build -L unit --output-on-failure -j "$(nproc)"
+}
+
+planner_tier() {
+  echo "=== CI tier: planner ==="
+  ctest --test-dir build -L planner --output-on-failure -j "$(nproc)"
 }
 
 fuzz_tier() {
@@ -42,6 +52,10 @@ case "$TIER" in
     build
     unit_tier
     ;;
+  planner)
+    build
+    planner_tier
+    ;;
   fuzz)
     build
     fuzz_tier
@@ -54,7 +68,7 @@ case "$TIER" in
     sanitizer_tier
     ;;
   *)
-    echo "usage: $0 [unit|fuzz|sanitizers|all]" >&2
+    echo "usage: $0 [unit|planner|fuzz|sanitizers|all]" >&2
     exit 2
     ;;
 esac

@@ -109,7 +109,9 @@ CompiledPlan CompilePlan(const ClassPlan& plan, const CommClasses& classes,
           vertices.insert(vertices.end(), chunk_begin, chunk_end);
         }
       });
-  return GroupsToPlan(groups, plan.num_devices, plan.NumStages(), topo);
+  CompiledPlan compiled = GroupsToPlan(groups, plan.num_devices, plan.NumStages(), topo);
+  compiled.planner_name = plan.planner_name;
+  return compiled;
 }
 
 uint64_t CompiledPlan::TableBytes() const {

@@ -10,6 +10,7 @@
 #define DGCL_COMM_COMPILED_PLAN_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "comm/plan.h"
@@ -34,6 +35,10 @@ struct CompiledPlan {
   uint32_t num_devices = 0;
   uint32_t num_stages = 0;
   std::vector<TransferOp> ops;  // sorted by (stage, link)
+
+  // Provenance: registry name of the strategy whose ClassPlan compiled into
+  // this (empty for per-vertex CommPlan compilation or legacy plan files).
+  std::string planner_name;
 
   // Indices into `ops` per device, for runtime scheduling.
   std::vector<std::vector<uint32_t>> ops_by_src;  // per device

@@ -64,6 +64,11 @@ struct ClassPlan {
   // property tests rely on. 0 when the plan is empty.
   double planned_cost_seconds = 0.0;
 
+  // Provenance: the registry name of the strategy that produced this plan
+  // ("spst", "p2p", ...). Carried through CompilePlan and plan_io so a saved
+  // plan records how it was made; empty means unknown/legacy.
+  std::string planner_name;
+
   uint32_t NumStages() const;
 };
 

@@ -8,6 +8,12 @@ namespace {
 
 constexpr char kMagic[8] = {'D', 'G', 'C', 'L', 'P', '1', 0, 0};
 
+// Optional trailer after the op table carrying the plan's planner provenance.
+// It is written only for non-default strategies, so plan files produced by
+// the default SPST planner are byte-identical to the pre-trailer format (the
+// golden corpus stays valid); a file without a trailer loads as "spst".
+constexpr char kPlannerTrailerMagic[4] = {'P', 'L', 'N', 'R'};
+
 struct Header {
   char magic[8];
   uint32_t num_devices = 0;
@@ -52,6 +58,12 @@ Status SaveCompiledPlan(const CompiledPlan& plan, const Topology& topo,
     out.write(reinterpret_cast<const char*>(op.vertices.data()),
               static_cast<std::streamsize>(op.vertices.size() * sizeof(VertexId)));
   }
+  if (!plan.planner_name.empty() && plan.planner_name != "spst") {
+    out.write(kPlannerTrailerMagic, sizeof(kPlannerTrailerMagic));
+    WritePod(out, static_cast<uint32_t>(plan.planner_name.size()));
+    out.write(plan.planner_name.data(),
+              static_cast<std::streamsize>(plan.planner_name.size()));
+  }
   return out.good() ? Status::Ok() : Status::Internal("write failed: " + path);
 }
 
@@ -91,6 +103,21 @@ Result<CompiledPlan> LoadCompiledPlan(const Topology& topo, const std::string& p
       return Status::InvalidArgument(path + ": truncated vertex table");
     }
     plan.ops.push_back(std::move(op));
+  }
+  plan.planner_name = "spst";  // trailer-less files predate provenance
+  char trailer_magic[4];
+  if (in.read(trailer_magic, sizeof(trailer_magic)) &&
+      std::memcmp(trailer_magic, kPlannerTrailerMagic, sizeof(kPlannerTrailerMagic)) == 0) {
+    uint32_t len = 0;
+    if (!ReadPod(in, len) || len > 256) {
+      return Status::InvalidArgument(path + ": corrupt planner trailer");
+    }
+    std::string name(len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(len));
+    if (!in) {
+      return Status::InvalidArgument(path + ": truncated planner trailer");
+    }
+    plan.planner_name = std::move(name);
   }
   plan.ops_by_src.resize(plan.num_devices);
   plan.ops_by_dst.resize(plan.num_devices);

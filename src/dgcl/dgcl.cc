@@ -40,11 +40,19 @@ Status DgclOptions::Validate() const {
   if (!(bytes_per_unit > 0.0) || !std::isfinite(bytes_per_unit)) {
     return Status::InvalidArgument("bytes_per_unit must be positive and finite");
   }
+  DGCL_RETURN_IF_ERROR(planner.Validate());
   DGCL_RETURN_IF_ERROR(recovery.Validate());
   return engine.Validate();
 }
 
 Result<DgclContext> DgclContext::Init(Topology topology, DgclOptions options) {
+  // Legacy shim: callers that predate PlannerOptions set options.spst
+  // directly. Forward a customized legacy struct into planner.spst as long
+  // as the new field is untouched (both customized = the caller mixed the
+  // two spellings; the new one wins).
+  if (!(options.spst == SpstOptions{}) && options.planner.spst == SpstOptions{}) {
+    options.planner.spst = options.spst;
+  }
   DGCL_RETURN_IF_ERROR(options.Validate());
   if (topology.num_devices() == 0) {
     return Status::InvalidArgument("topology has no devices");
@@ -69,8 +77,9 @@ Result<DgclContext> DgclContext::Init(Topology topology, DgclOptions options) {
   return ctx;
 }
 
-// The downstream planning pipeline — relation, class grouping, batched SPST,
-// expansion/validation, compile, arm the engine — from an already-set
+// The downstream planning pipeline — relation, class grouping, strategy
+// planning, expansion/validation, compile, arm the engine — from an
+// already-set
 // s.artifacts.partitioning. BuildCommInfo runs it after the partition phase;
 // Recover re-runs it against the surviving topology with the incrementally
 // repaired partitioning.
@@ -81,11 +90,14 @@ Status DgclContext::PlanAndArm(State& s, const CsrGraph& graph) {
     DGCL_ASSIGN_OR_RETURN(a.relation, BuildCommRelation(graph, a.partitioning));
     a.classes = BuildCommClasses(a.relation);
   }
-  SpstPlanner planner(s.options.spst);
   {
     DGCL_TSPAN("dgcl", "phase.plan");
+    // Resolve the configured strategy through the registry ("auto" plans
+    // with every registered strategy and commits the cost-model winner; the
+    // scorecards land in a.selection either way).
     DGCL_ASSIGN_OR_RETURN(a.class_plan,
-                          planner.PlanClasses(a.classes, s.topology, s.options.bytes_per_unit));
+                          PlanWithStrategy(s.options.planner, a.classes, s.topology,
+                                           s.options.bytes_per_unit, &a.selection));
   }
   {
     DGCL_TSPAN("dgcl", "phase.expand");

@@ -10,10 +10,11 @@
 // Init sets up the communication environment for the given topology.
 // BuildCommInfo partitions the graph (hierarchically when the topology spans
 // machines), builds the communication relation, groups it into destination-
-// set equivalence classes, runs the batched SPST planner over the classes
-// (chunk size: DgclOptions::spst.max_class_units) and compiles the class
-// trees into the same per-vertex send/receive tables the runtime always
-// consumed. GraphAllgather
+// set equivalence classes, runs the configured planning strategy over the
+// classes (DgclOptions::planner — batched SPST by default, any registered
+// strategy by name, or "auto" for cost-model selection) and compiles the
+// class trees into the same per-vertex send/receive tables the runtime
+// always consumed. GraphAllgather
 // is the synchronous embedding exchange used before every layer's graph op;
 // GraphAllgatherBackward routes gradients to vertex owners in reverse.
 //
@@ -32,19 +33,29 @@
 #include "gnn/local_graph.h"
 #include "partition/multilevel.h"
 #include "partition/partitioner.h"
+#include "planner/registry.h"
 #include "planner/spst.h"
 #include "runtime/allgather_engine.h"
+#include "sim/planner_select.h"
 #include "runtime/recovery.h"
 #include "topology/topology.h"
 
 namespace dgcl {
 
 struct DgclOptions {
-  // Planner knobs, including max_class_units (the class-batching chunk
-  // bound; 0 recovers per-vertex planning for ablations) and num_threads
-  // (speculative parallel planning on the shared thread pool; the plan is
-  // bit-identical for every thread count, so flipping it never changes
-  // what BuildCommInfo arms the runtime with).
+  // Strategy selection and per-strategy planner knobs. planner.strategy
+  // names a PlannerRegistry entry ("spst" by default; "p2p", "swap", "ring",
+  // "broadcast-1d", "broadcast-1.5d") or "auto" to plan with every
+  // registered strategy and commit the cost-model winner (the per-candidate
+  // scores land in PlanArtifacts::selection). planner.spst carries the SPST
+  // knobs, including max_class_units (the class-batching chunk bound; 0
+  // recovers per-vertex planning for ablations) and num_threads (parallel
+  // planning; the plan is bit-identical for every thread count).
+  PlannerOptions planner;
+
+  // Deprecated spelling of planner.spst, kept so existing callers compile
+  // unchanged: when this is customized and planner.spst is untouched, Init
+  // forwards it into planner.spst. New code should set planner.spst.
   SpstOptions spst;
   MultilevelOptions partition;
   double bytes_per_unit = 1024.0;  // embedding bytes used for planning
@@ -72,9 +83,10 @@ struct PlanArtifacts {
   Partitioning partitioning;  // device assignment per vertex
   CommRelation relation;      // who needs which vertices
   CommClasses classes;        // destination-set equivalence classes
-  ClassPlan class_plan;       // batched SPST trees over classes
+  ClassPlan class_plan;       // class trees from the selected strategy
   CommPlan plan;              // per-vertex expansion (validation/ablations)
   CompiledPlan compiled;      // staged transfer ops the runtime executes
+  SelectionReport selection;  // strategy scorecards (one entry when forced)
 };
 
 class DgclContext {
@@ -157,8 +169,8 @@ class DgclContext {
   struct State;
 
   // The planning pipeline downstream of partitioning (relation -> classes ->
-  // SPST -> expand/validate -> compile -> arm engine), shared by
-  // BuildCommInfo and Recover.
+  // strategy planning -> expand/validate -> compile -> arm engine), shared
+  // by BuildCommInfo and Recover; honors DgclOptions::planner both times.
   static Status PlanAndArm(State& s, const CsrGraph& graph);
 
   std::unique_ptr<State> state_;

@@ -39,6 +39,10 @@ Result<DistributedTrainer> DistributedTrainer::Create(
   if (options.num_layers == 0 || num_classes == 0) {
     return Status::InvalidArgument("need at least one layer and one class");
   }
+  if (options.aggregate_every_r == 0) {
+    return Status::InvalidArgument(
+        "aggregate_every_r must be >= 1 (1 = synchronous, r = exchange every r-th epoch)");
+  }
   DistributedTrainer trainer;
   trainer.relation_ = &relation;
   trainer.engine_ = &engine;
@@ -96,6 +100,14 @@ Result<EpochResult> DistributedTrainer::Pass(bool train, EmbeddingMatrix* all_lo
   }
   std::vector<EmbeddingMatrix> acts = local_features_;
 
+  // cd-r: a training epoch is stale when it is not a multiple of r and a
+  // fresh exchange has already populated the remote-row cache; it reuses the
+  // cached rows and skips both directions of communication. Eval passes are
+  // always fresh.
+  const bool stale = train && options_.aggregate_every_r > 1 &&
+                     (train_epochs_ % options_.aggregate_every_r) != 0 &&
+                     !stale_remote_.empty();
+
   for (uint32_t l = 0; l < options_.num_layers; ++l) {
     const EmbeddingCheckpoint* ckpt =
         (hooks.checkpoints != nullptr && hooks.restore) ? hooks.checkpoints->Find(l) : nullptr;
@@ -136,6 +148,23 @@ Result<EpochResult> DistributedTrainer::Pass(bool train, EmbeddingMatrix* all_lo
       }
       hooks.checkpoints->Save(l, std::move(global));
     }
+    if (stale) {
+      // Stale epoch: slot inputs are fresh local rows plus the remote rows
+      // cached at the last exchange; no communication for this layer.
+      DGCL_TSPAN1("trainer", "layer.stale_reuse", "layer", l);
+      for (uint32_t d = 0; d < devices; ++d) {
+        const LocalGraph& g = local_graphs_[d];
+        const EmbeddingMatrix& cached = stale_remote_[l][d];
+        EmbeddingMatrix trimmed = EmbeddingMatrix::Zero(g.num_slots, acts[d].dim);
+        std::copy(acts[d].data.begin(),
+                  acts[d].data.begin() + static_cast<size_t>(g.num_compute) * acts[d].dim,
+                  trimmed.data.begin());
+        std::copy(cached.data.begin(), cached.data.end(),
+                  trimmed.data.begin() + static_cast<size_t>(g.num_compute) * trimmed.dim);
+        acts[d] = layers_[d][l]->Forward(g, trimmed);
+      }
+      continue;
+    }
     std::vector<EmbeddingMatrix> slots;
     {
       DGCL_TSPAN1("trainer", "layer.allgather", "layer", l);
@@ -143,8 +172,22 @@ Result<EpochResult> DistributedTrainer::Pass(bool train, EmbeddingMatrix* all_lo
     }
     DGCL_TSPAN1("trainer", "layer.compute", "layer", l);
     for (uint32_t d = 0; d < devices; ++d) {
-      EmbeddingMatrix trimmed = TrimRows(slots[d], local_graphs_[d].num_slots);
-      acts[d] = layers_[d][l]->Forward(local_graphs_[d], trimmed);
+      const LocalGraph& g = local_graphs_[d];
+      EmbeddingMatrix trimmed = TrimRows(slots[d], g.num_slots);
+      if (train && options_.aggregate_every_r > 1) {
+        // Refresh the cache the stale epochs will reuse until the next
+        // exchange.
+        if (stale_remote_.empty()) {
+          stale_remote_.resize(options_.num_layers,
+                               std::vector<EmbeddingMatrix>(devices));
+        }
+        const uint32_t remotes = g.num_slots - g.num_compute;
+        EmbeddingMatrix cached = EmbeddingMatrix::Zero(remotes, trimmed.dim);
+        std::copy(trimmed.data.begin() + static_cast<size_t>(g.num_compute) * trimmed.dim,
+                  trimmed.data.end(), cached.data.begin());
+        stale_remote_[l][d] = std::move(cached);
+      }
+      acts[d] = layers_[d][l]->Forward(g, trimmed);
     }
   }
 
@@ -208,6 +251,16 @@ Result<EpochResult> DistributedTrainer::Pass(bool train, EmbeddingMatrix* all_lo
         dslots[d] = layers_[d][l]->Backward(local_graphs_[d], dacts[d]);
       }
     }
+    if (stale) {
+      // cd-r: the delayed remote-gradient contributions are dropped; every
+      // owner keeps the gradient its own compute produced for its local
+      // rows, and no exchange runs.
+      DGCL_TSPAN1("trainer", "layer.bwd.stale_local", "layer", l);
+      for (uint32_t d = 0; d < devices; ++d) {
+        dacts[d] = TrimRows(dslots[d], local_graphs_[d].num_compute);
+      }
+      continue;
+    }
     DGCL_TSPAN1("trainer", "layer.bwd.allgather", "layer", l);
     DGCL_ASSIGN_OR_RETURN(dacts, engine_->Backward(dslots));
   }
@@ -262,10 +315,14 @@ Result<EpochResult> DistributedTrainer::Pass(bool train, EmbeddingMatrix* all_lo
   return result;
 }
 
-Result<EpochResult> DistributedTrainer::TrainEpoch() { return Pass(/*train=*/true, nullptr); }
+Result<EpochResult> DistributedTrainer::TrainEpoch() { return TrainEpoch(EpochHooks{}); }
 
 Result<EpochResult> DistributedTrainer::TrainEpoch(const EpochHooks& hooks) {
-  return Pass(/*train=*/true, nullptr, hooks);
+  Result<EpochResult> result = Pass(/*train=*/true, nullptr, hooks);
+  if (result.ok()) {
+    ++train_epochs_;  // only completed epochs advance the cd-r schedule
+  }
+  return result;
 }
 
 Result<EpochResult> DistributedTrainer::Evaluate() { return Pass(/*train=*/false, nullptr); }

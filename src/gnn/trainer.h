@@ -37,6 +37,14 @@ struct TrainerOptions {
   // instead of a naive sequential sum. Same result up to float summation
   // order; this is what Horovod/DDP would do on real hardware (§6.3).
   bool use_ring_allreduce = false;
+
+  // DistGNN-style cd-r delayed remote aggregation: cross-partition
+  // allgathers run only every r-th training epoch; the r-1 epochs in
+  // between reuse the remote slot rows cached at the last exchange (local
+  // rows stay fresh) and skip the backward allgather, dropping the delayed
+  // remote-gradient contributions. 1 (default) = fully synchronous — the
+  // exact paper schedule. Evaluate/Logits always exchange fresh embeddings.
+  uint32_t aggregate_every_r = 1;
 };
 
 struct EpochResult {
@@ -123,6 +131,12 @@ class DistributedTrainer {
   // Classification head (dense, local rows only), replicated per device.
   std::vector<EmbeddingMatrix> head_w_;
   std::vector<EmbeddingMatrix> head_dw_;
+
+  // cd-r state (aggregate_every_r > 1): completed training epochs, and the
+  // remote slot rows [num_local, num_slots) cached per (layer, device) at
+  // the last fresh exchange. Empty until the first fresh epoch populates it.
+  uint64_t train_epochs_ = 0;
+  std::vector<std::vector<EmbeddingMatrix>> stale_remote_;  // [layer][device]
 };
 
 }  // namespace dgcl

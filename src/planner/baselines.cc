@@ -1,70 +1,15 @@
 #include "planner/baselines.h"
 
 #include <bit>
-#include <limits>
-#include <mutex>
 
-#include "common/thread_pool.h"
-#include "planner/cost_model.h"
+#include "planner/class_parallel.h"
 
 namespace dgcl {
-namespace {
-
-// Both baselines are oblivious to load, so class trees are independent and
-// planning is trivially parallel: ParallelFor fills slot c of the pre-sized
-// tree vector from class c alone, which is deterministic for every thread
-// count. Errors are collected first-index-wins so the reported failure is
-// also independent of scheduling.
-template <typename PlanOneClass>
-Result<ClassPlan> PlanClassesParallel(const CommClasses& classes, const Topology& topo,
-                                      double bytes_per_unit, uint32_t num_threads,
-                                      const PlanOneClass& plan_one) {
-  if (classes.num_devices != topo.num_devices()) {
-    return Status::InvalidArgument("relation/topology device count mismatch");
-  }
-  ClassPlan plan;
-  plan.num_devices = classes.num_devices;
-  plan.trees.resize(classes.classes.size());
-
-  std::mutex failure_mutex;
-  uint64_t failure_index = std::numeric_limits<uint64_t>::max();
-  Status failure = Status::Ok();
-  auto plan_class = [&](uint64_t c) {
-    ClassTree& tree = plan.trees[c];
-    tree.class_id = static_cast<uint32_t>(c);
-    tree.first = 0;
-    tree.count = static_cast<uint32_t>(classes.classes[c].vertices.size());
-    Status s = plan_one(classes.classes[c], tree);
-    if (!s.ok()) {
-      std::lock_guard<std::mutex> lock(failure_mutex);
-      if (c < failure_index) {
-        failure_index = c;
-        failure = std::move(s);
-      }
-    }
-  };
-
-  const uint32_t threads = ThreadPool::ResolveThreadCount(num_threads);
-  if (threads <= 1) {
-    for (uint64_t c = 0; c < plan.trees.size(); ++c) {
-      plan_class(c);
-    }
-  } else {
-    ThreadPool::Shared().ParallelFor(plan.trees.size(), plan_class);
-  }
-  if (!failure.ok()) {
-    return failure;
-  }
-  plan.planned_cost_seconds = ReplayClassPlanCost(plan, topo, bytes_per_unit);
-  return plan;
-}
-
-}  // namespace
 
 Result<ClassPlan> PeerToPeerPlanner::PlanClasses(const CommClasses& classes,
                                                  const Topology& topo, double bytes_per_unit) {
-  return PlanClassesParallel(
-      classes, topo, bytes_per_unit, num_threads_,
+  return internal::PlanClassesParallel(
+      classes, topo, bytes_per_unit, num_threads_, name(),
       [&topo](const CommClass& cls, ClassTree& tree) {
         DeviceMask mask = cls.mask;
         while (mask != 0) {
@@ -83,8 +28,8 @@ Result<ClassPlan> PeerToPeerPlanner::PlanClasses(const CommClasses& classes,
 Result<ClassPlan> RingPlanner::PlanClasses(const CommClasses& classes, const Topology& topo,
                                            double bytes_per_unit) {
   const uint32_t n = classes.num_devices;
-  return PlanClassesParallel(
-      classes, topo, bytes_per_unit, num_threads_,
+  return internal::PlanClassesParallel(
+      classes, topo, bytes_per_unit, num_threads_, name(),
       [&topo, n](const CommClass& cls, ClassTree& tree) {
         // Walk the ring src -> src+1 -> ... until all destinations are passed.
         uint32_t current = cls.source;
@@ -100,6 +45,49 @@ Result<ClassPlan> RingPlanner::PlanClasses(const CommClasses& classes, const Top
           remaining &= ~(DeviceMask{1} << next);
           current = next;
           ++stage;
+        }
+        return Status::Ok();
+      });
+}
+
+Result<ClassPlan> SwapPlanner::PlanClasses(const CommClasses& classes, const Topology& topo,
+                                           double bytes_per_unit) {
+  return internal::PlanClassesParallel(
+      classes, topo, bytes_per_unit, num_threads_, name(),
+      [&topo](const CommClass& cls, ClassTree& tree) {
+        // The staging hub: the lowest device id sharing the source's
+        // (machine, socket) — the stand-in for the socket's host staging
+        // buffer. All of the class's traffic goes source -> hub once, then
+        // hub -> destination per destination, mirroring how swap funnels
+        // every embedding through CPU memory.
+        const Device& src_dev = topo.device(cls.source);
+        uint32_t hub = cls.source;
+        for (uint32_t d = 0; d < topo.num_devices(); ++d) {
+          const Device& dev = topo.device(d);
+          if (dev.machine == src_dev.machine && dev.socket == src_dev.socket) {
+            hub = d;
+            break;
+          }
+        }
+        uint32_t hub_depth = 0;
+        DeviceMask mask = cls.mask;
+        if (hub != cls.source) {
+          LinkId to_hub = topo.LinkBetween(cls.source, hub);
+          if (to_hub == kInvalidId) {
+            return Status::FailedPrecondition("no link to swap staging hub");
+          }
+          tree.edges.push_back(TreeEdge{to_hub, 0});
+          hub_depth = 1;
+          mask &= ~(DeviceMask{1} << hub);  // delivered by the staging hop
+        }
+        while (mask != 0) {
+          uint32_t d = static_cast<uint32_t>(std::countr_zero(mask));
+          mask &= mask - 1;
+          LinkId link = topo.LinkBetween(hub, d);
+          if (link == kInvalidId) {
+            return Status::FailedPrecondition("no link from swap staging hub");
+          }
+          tree.edges.push_back(TreeEdge{link, hub_depth});
         }
         return Status::Ok();
       });

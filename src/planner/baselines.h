@@ -1,20 +1,26 @@
 // Baseline communication planners.
 //
-//  * PeerToPeerPlanner — each vertex goes directly from its source to every
-//    destination over the direct link, all in one stage (the scheme of
+//  * PeerToPeerPlanner ("p2p") — each vertex goes directly from its source to
+//    every destination over the direct link, all in one stage (the scheme of
 //    Lux/ROC that §3 profiles).
-//  * RingPlanner — vertices travel along a fixed device ring until every
-//    destination is covered (the NCCL-style regular pattern; an ablation
-//    showing why regular collectives fit GNN traffic poorly).
+//  * RingPlanner ("ring") — vertices travel along a fixed device ring until
+//    every destination is covered (the NCCL-style regular pattern; an
+//    ablation showing why regular collectives fit GNN traffic poorly).
+//  * SwapPlanner ("swap") — the link-level analogue of NeuGraph's swap
+//    scheme: every transfer is staged through the source socket's hub device
+//    (its lowest GPU id, standing in for the PCIe-root/host staging buffer)
+//    and fanned out from there, so all of a partition's traffic funnels
+//    through one staging point. Swap's *memory* behaviour is modeled in
+//    src/sim/swap_model.h; this planner gives the registry a link-level
+//    strategy with the same funnel shape for cost-model comparisons.
 //
-// Both are oblivious to load, so they plan one tree per equivalence class
-// with no chunking; the expanded per-vertex trees are identical to what
-// per-vertex planning produced. Classes are independent, so both planners
-// fan the work out over the shared thread pool (num_threads != 1) with
-// slot-indexed writes — the plan is bit-identical for every thread count.
-//
-// Swap and Replication are not link-level planners (they restructure the
-// computation instead); they are modeled in src/sim/.
+// All three are oblivious to load, so they plan one tree per equivalence
+// class with no chunking; the expanded per-vertex trees are identical to
+// what per-vertex planning produced. Classes are independent, so the
+// planners fan the work out over the shared thread pool (num_threads != 1)
+// with slot-indexed writes — the plan is bit-identical for every thread
+// count. Replication is not a link-level planner (it restructures the
+// computation instead); it is modeled in src/sim/.
 
 #ifndef DGCL_PLANNER_BASELINES_H_
 #define DGCL_PLANNER_BASELINES_H_
@@ -30,7 +36,7 @@ class PeerToPeerPlanner final : public Planner {
 
   Result<ClassPlan> PlanClasses(const CommClasses& classes, const Topology& topo,
                                 double bytes_per_unit) override;
-  std::string name() const override { return "peer-to-peer"; }
+  std::string name() const override { return "p2p"; }
 
  private:
   uint32_t num_threads_;
@@ -43,6 +49,18 @@ class RingPlanner final : public Planner {
   Result<ClassPlan> PlanClasses(const CommClasses& classes, const Topology& topo,
                                 double bytes_per_unit) override;
   std::string name() const override { return "ring"; }
+
+ private:
+  uint32_t num_threads_;
+};
+
+class SwapPlanner final : public Planner {
+ public:
+  explicit SwapPlanner(uint32_t num_threads = 1) : num_threads_(num_threads) {}
+
+  Result<ClassPlan> PlanClasses(const CommClasses& classes, const Topology& topo,
+                                double bytes_per_unit) override;
+  std::string name() const override { return "swap"; }
 
  private:
   uint32_t num_threads_;

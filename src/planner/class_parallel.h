@@ -1,0 +1,74 @@
+// Shared driver for load-oblivious planners (baselines, block broadcasts).
+//
+// A load-oblivious planner derives each class tree from the class alone, so
+// classes are independent work items: ParallelFor fills slot c of the
+// pre-sized tree vector from class c, which is deterministic for every
+// thread count. Errors are collected first-index-wins so the reported
+// failure is also independent of scheduling. The finished plan is priced by
+// replaying the trees through a fresh CostModel (the same accounting SPST
+// does incrementally while planning).
+
+#ifndef DGCL_PLANNER_CLASS_PARALLEL_H_
+#define DGCL_PLANNER_CLASS_PARALLEL_H_
+
+#include <limits>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "planner/cost_model.h"
+#include "planner/planner.h"
+
+namespace dgcl {
+namespace internal {
+
+template <typename PlanOneClass>
+Result<ClassPlan> PlanClassesParallel(const CommClasses& classes, const Topology& topo,
+                                      double bytes_per_unit, uint32_t num_threads,
+                                      std::string planner_name, const PlanOneClass& plan_one) {
+  if (classes.num_devices != topo.num_devices()) {
+    return Status::InvalidArgument("relation/topology device count mismatch");
+  }
+  ClassPlan plan;
+  plan.num_devices = classes.num_devices;
+  plan.planner_name = std::move(planner_name);
+  plan.trees.resize(classes.classes.size());
+
+  std::mutex failure_mutex;
+  uint64_t failure_index = std::numeric_limits<uint64_t>::max();
+  Status failure = Status::Ok();
+  auto plan_class = [&](uint64_t c) {
+    ClassTree& tree = plan.trees[c];
+    tree.class_id = static_cast<uint32_t>(c);
+    tree.first = 0;
+    tree.count = static_cast<uint32_t>(classes.classes[c].vertices.size());
+    Status s = plan_one(classes.classes[c], tree);
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lock(failure_mutex);
+      if (c < failure_index) {
+        failure_index = c;
+        failure = std::move(s);
+      }
+    }
+  };
+
+  const uint32_t threads = ThreadPool::ResolveThreadCount(num_threads);
+  if (threads <= 1) {
+    for (uint64_t c = 0; c < plan.trees.size(); ++c) {
+      plan_class(c);
+    }
+  } else {
+    ThreadPool::Shared().ParallelFor(plan.trees.size(), plan_class);
+  }
+  if (!failure.ok()) {
+    return failure;
+  }
+  plan.planned_cost_seconds = ReplayClassPlanCost(plan, topo, bytes_per_unit);
+  return plan;
+}
+
+}  // namespace internal
+}  // namespace dgcl
+
+#endif  // DGCL_PLANNER_CLASS_PARALLEL_H_

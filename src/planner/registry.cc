@@ -1,0 +1,140 @@
+#include "planner/registry.h"
+
+#include <set>
+#include <utility>
+
+#include "planner/baselines.h"
+
+namespace dgcl {
+namespace {
+
+std::string NormalizeName(const std::string& name) {
+  return name == "peer-to-peer" ? "p2p" : name;
+}
+
+}  // namespace
+
+Status PlannerOptions::Validate() const {
+  if (strategy.empty()) {
+    return Status::InvalidArgument(
+        "PlannerOptions::strategy is empty; pick a registered strategy (" +
+        [] {
+          std::string names;
+          for (const std::string& n : PlannerRegistry::Global().Names()) {
+            names += names.empty() ? n : ", " + n;
+          }
+          return names;
+        }() +
+        ") or \"auto\"");
+  }
+  if (auto_select && strategy != "auto" && strategy != "spst") {
+    // "spst" is the default spelling, so auto_select=true with an untouched
+    // strategy field means auto; any other explicit strategy contradicts it.
+    return Status::InvalidArgument("PlannerOptions::auto_select is set but strategy forces \"" +
+                                   strategy +
+                                   "\"; drop one of the two (auto_select selects the cost-model "
+                                   "winner across every registered strategy)");
+  }
+  if (strategy != "auto" && !PlannerRegistry::Global().Contains(NormalizeName(strategy))) {
+    std::string names;
+    for (const std::string& n : PlannerRegistry::Global().Names()) {
+      names += names.empty() ? n : ", " + n;
+    }
+    return Status::InvalidArgument("unknown planner strategy \"" + strategy +
+                                   "\"; registered strategies: " + names + ", or \"auto\"");
+  }
+  DGCL_RETURN_IF_ERROR(broadcast.Validate());
+  return Status::Ok();
+}
+
+PlannerRegistry& PlannerRegistry::Global() {
+  static PlannerRegistry* registry = [] {
+    auto* r = new PlannerRegistry();
+    auto must = [r](const std::string& name, PlannerFactory factory) {
+      Status s = r->Register(name, std::move(factory));
+      (void)s;
+    };
+    must("spst", [](const PlannerOptions& o) -> std::unique_ptr<Planner> {
+      return std::make_unique<SpstPlanner>(o.spst);
+    });
+    must("p2p", [](const PlannerOptions& o) -> std::unique_ptr<Planner> {
+      return std::make_unique<PeerToPeerPlanner>(o.spst.num_threads);
+    });
+    must("ring", [](const PlannerOptions& o) -> std::unique_ptr<Planner> {
+      return std::make_unique<RingPlanner>(o.spst.num_threads);
+    });
+    must("swap", [](const PlannerOptions& o) -> std::unique_ptr<Planner> {
+      return std::make_unique<SwapPlanner>(o.spst.num_threads);
+    });
+    must("broadcast-1d", [](const PlannerOptions& o) -> std::unique_ptr<Planner> {
+      return std::make_unique<BlockBroadcastPlanner>(BroadcastVariant::k1D, o.broadcast);
+    });
+    must("broadcast-1.5d", [](const PlannerOptions& o) -> std::unique_ptr<Planner> {
+      return std::make_unique<BlockBroadcastPlanner>(BroadcastVariant::k1_5D, o.broadcast);
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+Status PlannerRegistry::Register(const std::string& name, PlannerFactory factory) {
+  if (name.empty() || name == "auto") {
+    return Status::InvalidArgument("planner name must be non-empty and not \"auto\"");
+  }
+  if (factory == nullptr) {
+    return Status::InvalidArgument("planner factory must not be null");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = factories_.emplace(name, std::move(factory));
+  (void)it;
+  if (!inserted) {
+    return Status::InvalidArgument("planner \"" + name + "\" already registered");
+  }
+  return Status::Ok();
+}
+
+bool PlannerRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(NormalizeName(name)) != 0;
+}
+
+Result<std::unique_ptr<Planner>> PlannerRegistry::Create(const std::string& name,
+                                                         const PlannerOptions& options) const {
+  PlannerFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = factories_.find(NormalizeName(name));
+    if (it == factories_.end()) {
+      std::string names;
+      for (const auto& [n, f] : factories_) {
+        names += names.empty() ? n : ", " + n;
+      }
+      return Status::NotFound("planner \"" + name + "\" not registered (have: " + names + ")");
+    }
+    factory = it->second;
+  }
+  std::unique_ptr<Planner> planner = factory(options);
+  if (planner == nullptr) {
+    return Status::Internal("planner factory for \"" + name + "\" returned null");
+  }
+  return planner;
+}
+
+std::vector<std::string> PlannerRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+const char* PlannerRegistry::InternedName(const std::string& s) {
+  static std::mutex intern_mutex;
+  static std::set<std::string>* interned = new std::set<std::string>();
+  std::lock_guard<std::mutex> lock(intern_mutex);
+  return interned->insert(s).first->c_str();
+}
+
+}  // namespace dgcl

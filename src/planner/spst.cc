@@ -281,6 +281,7 @@ Result<ClassPlan> SpstPlanner::PlanClasses(const CommClasses& classes, const Top
   }
   ClassPlan plan;
   plan.num_devices = classes.num_devices;
+  plan.planner_name = name();
   if (classes.num_devices <= 1) {
     return plan;
   }

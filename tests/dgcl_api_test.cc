@@ -158,6 +158,88 @@ TEST(DgclApiTest, InitValidatesOptions) {
     EXPECT_EQ(DgclContext::Init(BuildPaperTopology(4), options).status().code(),
               StatusCode::kInvalidArgument);
   }
+  {
+    DgclOptions options;
+    options.planner.strategy = "no-such-strategy";
+    auto ctx = DgclContext::Init(BuildPaperTopology(4), options);
+    EXPECT_EQ(ctx.status().code(), StatusCode::kInvalidArgument);
+    // Actionable: the message lists what *is* registered.
+    EXPECT_NE(ctx.status().message().find("spst"), std::string::npos);
+  }
+  {
+    DgclOptions options;
+    options.planner.strategy = "ring";
+    options.planner.auto_select = true;  // contradictory knobs
+    EXPECT_EQ(DgclContext::Init(BuildPaperTopology(4), options).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    DgclOptions options;
+    options.planner.broadcast.fanout = 0;
+    EXPECT_EQ(DgclContext::Init(BuildPaperTopology(4), options).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(DgclApiTest, PlannerStrategyFlowsThroughThePipeline) {
+  Rng rng(21);
+  CsrGraph graph = GenerateErdosRenyi(80, 260, rng);
+  DgclOptions options;
+  options.planner.strategy = "broadcast-1d";
+  auto ctx = DgclContext::Init(BuildPaperTopology(4), options);
+  ASSERT_TRUE(ctx.ok());
+  ASSERT_TRUE(ctx->BuildCommInfo(graph).ok());
+  const PlanArtifacts& a = ctx->artifacts();
+  EXPECT_EQ(a.class_plan.planner_name, "broadcast-1d");
+  EXPECT_EQ(a.compiled.planner_name, "broadcast-1d");
+  EXPECT_TRUE(ValidatePlan(a.plan, a.relation, ctx->topology()).ok());
+  ASSERT_EQ(a.selection.candidates.size(), 1u);
+  EXPECT_EQ(a.selection.selected_strategy, "broadcast-1d");
+}
+
+TEST(DgclApiTest, AutoSelectCommitsWinnerAndRecordsScorecard) {
+  Rng rng(22);
+  CsrGraph graph = GenerateErdosRenyi(80, 260, rng);
+  DgclOptions options;
+  options.planner.strategy = "auto";
+  auto ctx = DgclContext::Init(BuildPaperTopology(4), options);
+  ASSERT_TRUE(ctx.ok());
+  ASSERT_TRUE(ctx->BuildCommInfo(graph).ok());
+  const PlanArtifacts& a = ctx->artifacts();
+  EXPECT_EQ(a.selection.candidates.size(), PlannerRegistry::Global().Names().size());
+  EXPECT_EQ(a.class_plan.planner_name, a.selection.selected_strategy);
+  double winner_cost = 0.0;
+  for (const PlannerCandidateScore& c : a.selection.candidates) {
+    if (c.selected) {
+      winner_cost = c.planned_cost_seconds;
+    }
+  }
+  for (const PlannerCandidateScore& c : a.selection.candidates) {
+    if (c.planned) {
+      EXPECT_GE(c.planned_cost_seconds, winner_cost);
+    }
+  }
+  // The committed plan still runs: exchange a feature matrix end to end.
+  EmbeddingMatrix features = EmbeddingMatrix::Zero(graph.num_vertices(), 4);
+  auto local = ctx->DispatchFeatures(features);
+  ASSERT_TRUE(local.ok());
+  EXPECT_TRUE(ctx->GraphAllgather(*local).ok());
+}
+
+TEST(DgclApiTest, LegacySpstOptionsForwardIntoPlanner) {
+  DgclOptions options;
+  options.spst.max_class_units = 17;  // legacy spelling only
+  auto ctx = DgclContext::Init(BuildPaperTopology(4), options);
+  ASSERT_TRUE(ctx.ok());
+  EXPECT_EQ(ctx->options().planner.spst.max_class_units, 17u);
+
+  // When both spellings are customized, the new one wins.
+  DgclOptions both;
+  both.spst.max_class_units = 17;
+  both.planner.spst.max_class_units = 33;
+  auto ctx2 = DgclContext::Init(BuildPaperTopology(4), both);
+  ASSERT_TRUE(ctx2.ok());
+  EXPECT_EQ(ctx2->options().planner.spst.max_class_units, 33u);
 }
 
 TEST(DgclApiTest, ArtifactsBundleAndEngineExposeThePipeline) {

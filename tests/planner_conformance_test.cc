@@ -1,0 +1,321 @@
+// Conformance suite over every PlannerRegistry strategy: whatever is
+// registered — built-in or added later — must produce valid plans, compile
+// identically via the class and per-vertex paths, be deterministic across
+// runs and thread counts, and carry its provenance through plan_io. New
+// planners get all of this for free by registering a factory.
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "comm/plan_io.h"
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+#include "planner/cost_model.h"
+#include "planner/registry.h"
+#include "sim/planner_select.h"
+#include "topology/presets.h"
+
+namespace dgcl {
+namespace {
+
+struct Workload {
+  CsrGraph graph;
+  Topology topo;
+  CommRelation relation;
+  CommClasses classes;
+};
+
+Workload MakeWorkload(uint32_t num_gpus, uint32_t machines = 1, uint64_t seed = 1) {
+  Workload w;
+  Rng rng(seed);
+  w.graph = GenerateErdosRenyi(120, 420, rng);
+  if (machines > 1) {
+    MachineConfig config;
+    config.num_gpus = num_gpus;
+    w.topo = BuildCluster(machines, config);
+  } else {
+    w.topo = BuildPaperTopology(num_gpus);
+  }
+  HashPartitioner hash;
+  w.relation = *BuildCommRelation(w.graph, *hash.Partition(w.graph, w.topo.num_devices()));
+  w.classes = BuildCommClasses(w.relation);
+  return w;
+}
+
+PlannerOptions OptionsWithThreads(uint32_t threads) {
+  PlannerOptions o;
+  o.spst.num_threads = threads;
+  o.broadcast.num_threads = threads;
+  return o;
+}
+
+bool SamePlan(const ClassPlan& a, const ClassPlan& b) {
+  if (a.num_devices != b.num_devices || a.trees.size() != b.trees.size() ||
+      a.planner_name != b.planner_name) {
+    return false;
+  }
+  for (size_t t = 0; t < a.trees.size(); ++t) {
+    const ClassTree& x = a.trees[t];
+    const ClassTree& y = b.trees[t];
+    if (x.class_id != y.class_id || x.first != y.first || x.count != y.count ||
+        x.edges.size() != y.edges.size()) {
+      return false;
+    }
+    for (size_t e = 0; e < x.edges.size(); ++e) {
+      if (x.edges[e].link != y.edges[e].link || x.edges[e].stage != y.edges[e].stage) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool SameOps(const CompiledPlan& a, const CompiledPlan& b) {
+  if (a.num_stages != b.num_stages || a.ops.size() != b.ops.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.ops.size(); ++i) {
+    if (a.ops[i].link != b.ops[i].link || a.ops[i].stage != b.ops[i].stage ||
+        a.ops[i].substage != b.ops[i].substage || a.ops[i].vertices != b.ops[i].vertices) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class PlannerConformanceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PlannerConformanceTest, ProducesValidPlans) {
+  for (const Workload& w : {MakeWorkload(8), MakeWorkload(4, 2, 3)}) {
+    auto planner = PlannerRegistry::Global().Create(GetParam(), OptionsWithThreads(1));
+    ASSERT_TRUE(planner.ok());
+    auto plan = (*planner)->PlanClasses(w.classes, w.topo, 1024);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    EXPECT_EQ(plan->planner_name, GetParam());
+    CommPlan expanded = ExpandClassPlan(*plan, w.classes);
+    EXPECT_TRUE(ValidatePlan(expanded, w.relation, w.topo).ok());
+    // Cost accounting invariant: the stored estimate replays bit-for-bit.
+    EXPECT_EQ(plan->planned_cost_seconds, ReplayClassPlanCost(*plan, w.topo, 1024));
+  }
+}
+
+TEST_P(PlannerConformanceTest, ClassCompileMatchesExpandedCompile) {
+  Workload w = MakeWorkload(8, 1, 7);
+  auto planner = PlannerRegistry::Global().Create(GetParam(), OptionsWithThreads(1));
+  ASSERT_TRUE(planner.ok());
+  auto plan = (*planner)->PlanClasses(w.classes, w.topo, 1024);
+  ASSERT_TRUE(plan.ok());
+  CompiledPlan direct = CompilePlan(*plan, w.classes, w.topo);
+  CompiledPlan via_expand = CompilePlan(ExpandClassPlan(*plan, w.classes), w.topo);
+  EXPECT_TRUE(SameOps(direct, via_expand));
+  EXPECT_EQ(direct.planner_name, GetParam());
+  EXPECT_TRUE(ValidateCompiledPlan(direct, w.relation, w.topo).ok());
+}
+
+TEST_P(PlannerConformanceTest, DeterministicAcrossRunsAndThreads) {
+  Workload w = MakeWorkload(8, 1, 11);
+  auto plan_with = [&](uint32_t threads) {
+    auto planner = PlannerRegistry::Global().Create(GetParam(), OptionsWithThreads(threads));
+    EXPECT_TRUE(planner.ok());
+    auto plan = (*planner)->PlanClasses(w.classes, w.topo, 1024);
+    EXPECT_TRUE(plan.ok());
+    return std::move(plan).value();
+  };
+  ClassPlan first = plan_with(1);
+  EXPECT_TRUE(SamePlan(first, plan_with(1)));
+  EXPECT_TRUE(SamePlan(first, plan_with(4)));
+}
+
+TEST_P(PlannerConformanceTest, PlanIoRoundTripPreservesProvenance) {
+  Workload w = MakeWorkload(8, 1, 13);
+  auto planner = PlannerRegistry::Global().Create(GetParam(), OptionsWithThreads(1));
+  ASSERT_TRUE(planner.ok());
+  auto plan = (*planner)->PlanClasses(w.classes, w.topo, 1024);
+  ASSERT_TRUE(plan.ok());
+  CompiledPlan compiled = CompilePlan(*plan, w.classes, w.topo);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / ("dgcl_conf_" + GetParam() + ".bin")).string();
+  ASSERT_TRUE(SaveCompiledPlan(compiled, w.topo, path).ok());
+  auto loaded = LoadCompiledPlan(w.topo, path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->planner_name, GetParam());
+  EXPECT_TRUE(SameOps(compiled, *loaded));
+}
+
+std::string SafeName(const ::testing::TestParamInfo<std::string>& info) {
+  std::string out = info.param;
+  for (char& c : out) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, PlannerConformanceTest,
+                         ::testing::ValuesIn(PlannerRegistry::Global().Names()), SafeName);
+
+TEST(PlannerRegistryTest, BuiltinsRegistered) {
+  const std::vector<std::string> names = PlannerRegistry::Global().Names();
+  EXPECT_GE(names.size(), 6u);
+  for (const char* required :
+       {"spst", "p2p", "swap", "ring", "broadcast-1d", "broadcast-1.5d"}) {
+    EXPECT_TRUE(PlannerRegistry::Global().Contains(required)) << required;
+  }
+  // Display-name alias of the pre-registry API.
+  EXPECT_TRUE(PlannerRegistry::Global().Contains("peer-to-peer"));
+}
+
+TEST(PlannerRegistryTest, RejectsBadRegistrations) {
+  auto& reg = PlannerRegistry::Global();
+  auto factory = [](const PlannerOptions& o) { return std::unique_ptr<Planner>(); };
+  EXPECT_FALSE(reg.Register("", factory).ok());
+  EXPECT_FALSE(reg.Register("auto", factory).ok());
+  EXPECT_FALSE(reg.Register("spst", factory).ok());  // duplicate
+  EXPECT_FALSE(reg.Register("null-factory", nullptr).ok());
+  EXPECT_FALSE(reg.Create("no-such-planner", PlannerOptions{}).ok());
+}
+
+TEST(PlannerOptionsTest, ValidateRejectsBadConfigs) {
+  PlannerOptions o;
+  EXPECT_TRUE(o.Validate().ok());  // default spst
+
+  o.strategy = "";
+  Status s = o.Validate();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("spst"), std::string::npos);  // lists strategies
+
+  o.strategy = "does-not-exist";
+  s = o.Validate();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("does-not-exist"), std::string::npos);
+
+  o.strategy = "broadcast-1d";
+  o.broadcast.fanout = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o.broadcast.fanout = 1;
+  EXPECT_TRUE(o.Validate().ok());
+
+  // auto_select with a forced strategy is contradictory; with the default
+  // or explicit "auto" spelling it is fine.
+  o.auto_select = true;
+  EXPECT_FALSE(o.Validate().ok());
+  o.strategy = "auto";
+  EXPECT_TRUE(o.Validate().ok());
+  o.strategy = "spst";
+  EXPECT_TRUE(o.Validate().ok());
+  EXPECT_TRUE(o.IsAuto());
+}
+
+TEST(AutoSelectTest, PicksCostModelWinnerAndReportsAllCandidates) {
+  Workload w = MakeWorkload(8, 1, 17);
+  PlannerOptions o;
+  o.strategy = "auto";
+  SelectionReport report;
+  auto plan = PlanWithStrategy(o, w.classes, w.topo, 1024, &report);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(report.candidates.size(), PlannerRegistry::Global().Names().size());
+  EXPECT_EQ(plan->planner_name, report.selected_strategy);
+
+  double best = 0.0;
+  bool found_selected = false;
+  for (const PlannerCandidateScore& c : report.candidates) {
+    if (c.selected) {
+      found_selected = true;
+      best = c.planned_cost_seconds;
+      EXPECT_EQ(c.strategy, report.selected_strategy);
+    }
+  }
+  ASSERT_TRUE(found_selected);
+  for (const PlannerCandidateScore& c : report.candidates) {
+    if (c.planned) {
+      EXPECT_GE(c.planned_cost_seconds, best);
+      EXPECT_GT(c.simulated_seconds, 0.0);
+    }
+  }
+  EXPECT_FALSE(report.Table().empty());
+}
+
+TEST(AutoSelectTest, ForcedStrategyReportsOneCandidate) {
+  Workload w = MakeWorkload(4, 1, 19);
+  PlannerOptions o;
+  o.strategy = "broadcast-1.5d";
+  SelectionReport report;
+  auto plan = PlanWithStrategy(o, w.classes, w.topo, 1024, &report);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->planner_name, "broadcast-1.5d");
+  ASSERT_EQ(report.candidates.size(), 1u);
+  EXPECT_TRUE(report.candidates[0].selected);
+  EXPECT_EQ(report.selected_strategy, "broadcast-1.5d");
+}
+
+TEST(BlockBroadcastTest, BinomialBoundsSourceFanOutPerStage) {
+  // One class: device 0 must reach the 7 other devices. The binomial tree
+  // gives the source ceil(log2(8)) = 3 children (one per round), not 7.
+  Workload w = MakeWorkload(8, 1, 23);
+  CommRelation rel;
+  rel.num_devices = 8;
+  rel.source.assign(1, 0);
+  rel.dest_mask.assign(1, DeviceMask{0xFE});
+  rel.local_vertices.resize(8);
+  rel.remote_vertices.resize(8);
+  rel.local_vertices[0].push_back(0);
+  for (uint32_t d = 1; d < 8; ++d) {
+    rel.remote_vertices[d].push_back(0);
+  }
+  CommClasses classes = BuildCommClasses(rel);
+  auto planner = PlannerRegistry::Global().Create("broadcast-1d", PlannerOptions{});
+  ASSERT_TRUE(planner.ok());
+  auto plan = (*planner)->PlanClasses(classes, w.topo, 1024);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->trees.size(), 1u);
+  uint32_t source_edges = 0;
+  for (const TreeEdge& e : plan->trees[0].edges) {
+    if (w.topo.link(e.link).src == 0) {
+      ++source_edges;
+    }
+  }
+  EXPECT_EQ(source_edges, 3u);
+  EXPECT_EQ(plan->NumStages(), 3u);
+  CommPlan expanded = ExpandClassPlan(*plan, classes);
+  EXPECT_TRUE(ValidatePlan(expanded, rel, w.topo).ok());
+}
+
+TEST(BlockBroadcastTest, OnePointFiveDCrossesMachinesOncePerGroup) {
+  // 2 machines x 4 GPUs; device 0 reaches everyone. The 1.5D schedule sends
+  // exactly one copy to the remote machine (its leader), so exactly one tree
+  // edge crosses machines.
+  MachineConfig config;
+  config.num_gpus = 4;
+  Topology topo = BuildCluster(2, config);
+  CommRelation rel;
+  rel.num_devices = 8;
+  rel.source.assign(1, 0);
+  rel.dest_mask.assign(1, DeviceMask{0xFE});
+  rel.local_vertices.resize(8);
+  rel.remote_vertices.resize(8);
+  rel.local_vertices[0].push_back(0);
+  for (uint32_t d = 1; d < 8; ++d) {
+    rel.remote_vertices[d].push_back(0);
+  }
+  CommClasses classes = BuildCommClasses(rel);
+  auto planner = PlannerRegistry::Global().Create("broadcast-1.5d", PlannerOptions{});
+  ASSERT_TRUE(planner.ok());
+  auto plan = (*planner)->PlanClasses(classes, topo, 1024);
+  ASSERT_TRUE(plan.ok());
+  uint32_t cross_machine = 0;
+  for (const TreeEdge& e : plan->trees[0].edges) {
+    const Link& link = topo.link(e.link);
+    if (topo.device(link.src).machine != topo.device(link.dst).machine) {
+      ++cross_machine;
+    }
+  }
+  EXPECT_EQ(cross_machine, 1u);
+  EXPECT_TRUE(ValidatePlan(ExpandClassPlan(*plan, classes), rel, topo).ok());
+}
+
+}  // namespace
+}  // namespace dgcl

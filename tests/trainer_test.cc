@@ -187,6 +187,107 @@ TEST(TrainerTest, RingAllreduceSyncTrainsEquivalently) {
   }
 }
 
+// cd-r loss-trajectory acceptance: the DistGNN-style delayed aggregation
+// must keep the model trainable for r in {1, 2, 4}. r = 1 is bit-identical
+// to the synchronous schedule; r > 1 trades gradient exactness for skipped
+// allgathers, so the acceptance bar is convergence, not equality.
+class TrainerCdRSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(TrainerCdRSweep, LossTrajectoryStaysHealthy) {
+  const uint32_t r = GetParam();
+  World w = World::Make(4, 61);
+  auto engine = AllgatherEngine::Create(w.relation, w.plan, w.topo);
+  ASSERT_TRUE(engine.ok());
+  TrainerOptions opts;
+  opts.hidden_dim = 16;
+  opts.learning_rate = 0.8f;
+  opts.aggregate_every_r = r;
+  auto trainer = DistributedTrainer::Create(w.graph, w.relation, *engine, w.features, w.labels,
+                                            w.num_classes, opts);
+  ASSERT_TRUE(trainer.ok());
+  double first = 0.0;
+  double last = 0.0;
+  for (int epoch = 0; epoch < 40; ++epoch) {
+    auto res = trainer->TrainEpoch();
+    ASSERT_TRUE(res.ok()) << "epoch " << epoch;
+    if (epoch == 0) {
+      first = res->loss;
+    }
+    last = res->loss;
+  }
+  EXPECT_LT(last, first * 0.5) << "r=" << r;
+  auto eval = trainer->Evaluate();  // always a fresh exchange
+  ASSERT_TRUE(eval.ok());
+  EXPECT_GT(eval->accuracy, 0.75) << "r=" << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(StalenessFactors, TrainerCdRSweep, ::testing::Values(1u, 2u, 4u));
+
+TEST(TrainerCdRTest, REqualsOneMatchesSynchronousExactly) {
+  World w = World::Make(4, 67);
+  auto engine = AllgatherEngine::Create(w.relation, w.plan, w.topo);
+  ASSERT_TRUE(engine.ok());
+  TrainerOptions base;
+  base.hidden_dim = 12;
+  base.learning_rate = 0.5f;
+  TrainerOptions cd1 = base;
+  cd1.aggregate_every_r = 1;
+  auto a = DistributedTrainer::Create(w.graph, w.relation, *engine, w.features, w.labels,
+                                      w.num_classes, base);
+  auto b = DistributedTrainer::Create(w.graph, w.relation, *engine, w.features, w.labels,
+                                      w.num_classes, cd1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    auto ra = a->TrainEpoch();
+    auto rb = b->TrainEpoch();
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    EXPECT_EQ(ra->loss, rb->loss) << "epoch " << epoch;  // same code path
+  }
+}
+
+TEST(TrainerCdRTest, StaleEpochsDivergeButTrackSynchronousLoss) {
+  World w = World::Make(4, 71);
+  auto engine = AllgatherEngine::Create(w.relation, w.plan, w.topo);
+  ASSERT_TRUE(engine.ok());
+  TrainerOptions sync_opts;
+  sync_opts.hidden_dim = 16;
+  sync_opts.learning_rate = 0.8f;
+  TrainerOptions stale_opts = sync_opts;
+  stale_opts.aggregate_every_r = 2;
+  auto sync = DistributedTrainer::Create(w.graph, w.relation, *engine, w.features, w.labels,
+                                         w.num_classes, sync_opts);
+  auto stale = DistributedTrainer::Create(w.graph, w.relation, *engine, w.features, w.labels,
+                                          w.num_classes, stale_opts);
+  ASSERT_TRUE(sync.ok());
+  ASSERT_TRUE(stale.ok());
+  double sync_loss = 0.0;
+  double stale_loss = 0.0;
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    auto rs = sync->TrainEpoch();
+    auto rt = stale->TrainEpoch();
+    ASSERT_TRUE(rs.ok());
+    ASSERT_TRUE(rt.ok());
+    sync_loss = rs->loss;
+    stale_loss = rt->loss;
+  }
+  // Staleness costs some loss but must stay in the same convergence regime.
+  EXPECT_LT(stale_loss, sync_loss + 0.5);
+  EXPECT_GT(stale_loss, 0.0);
+}
+
+TEST(TrainerCdRTest, RejectsZero) {
+  World w = World::Make(2, 73);
+  auto engine = AllgatherEngine::Create(w.relation, w.plan, w.topo);
+  ASSERT_TRUE(engine.ok());
+  TrainerOptions opts;
+  opts.aggregate_every_r = 0;
+  EXPECT_FALSE(
+      DistributedTrainer::Create(w.graph, w.relation, *engine, w.features, w.labels, 4, opts)
+          .ok());
+}
+
 TEST(TrainerTest, UnlabeledVerticesAreIgnored) {
   World w = World::Make(2, 47);
   for (VertexId v = 0; v < w.graph.num_vertices(); v += 2) {

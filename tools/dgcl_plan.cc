@@ -7,8 +7,13 @@
 //
 // Usage:
 //   dgcl_plan [--graph path] [--gpus N] [--no-nvlink] [--nvswitch]
-//             [--machines M] [--dim D] [--planner spst|p2p|ring]
-//             [--save-plan path] [--seed S]
+//             [--machines M] [--dim D] [--planner <name>|auto]
+//             [--list-planners] [--save-plan path] [--seed S]
+//
+// --planner resolves through the PlannerRegistry, so any registered strategy
+// works by name; "auto" plans with every strategy and commits the cost-model
+// winner, printing the per-candidate scorecard. --list-planners prints the
+// registered names and exits.
 
 #include <cstdio>
 #include <cstring>
@@ -22,10 +27,10 @@
 #include "graph/stats.h"
 #include "partition/hierarchical.h"
 #include "partition/multilevel.h"
-#include "planner/baselines.h"
 #include "planner/cost_model.h"
-#include "planner/spst.h"
+#include "planner/registry.h"
 #include "sim/network_sim.h"
+#include "sim/planner_select.h"
 #include "topology/presets.h"
 
 using namespace dgcl;
@@ -42,13 +47,14 @@ struct Args {
   uint64_t seed = 7;
   bool nvlink = true;
   bool nvswitch = false;
+  bool list_planners = false;
 };
 
 void PrintUsage() {
   std::printf(
       "usage: dgcl_plan [--graph path] [--gpus N] [--machines M] [--no-nvlink]\n"
-      "                 [--nvswitch] [--dim D] [--planner spst|p2p|ring]\n"
-      "                 [--save-plan path] [--seed S]\n");
+      "                 [--nvswitch] [--dim D] [--planner <name>|auto]\n"
+      "                 [--list-planners] [--save-plan path] [--seed S]\n");
 }
 
 bool Parse(int argc, char** argv, Args& args) {
@@ -103,6 +109,8 @@ bool Parse(int argc, char** argv, Args& args) {
         return false;
       }
       args.seed = std::stoull(v);
+    } else if (flag == "--list-planners") {
+      args.list_planners = true;
     } else if (flag == "--no-nvlink") {
       args.nvlink = false;
     } else if (flag == "--nvswitch") {
@@ -140,6 +148,14 @@ int main(int argc, char** argv) {
   if (!Parse(argc, argv, args)) {
     return 1;
   }
+  if (args.list_planners) {
+    std::printf("registered planner strategies:\n");
+    for (const std::string& name : PlannerRegistry::Global().Names()) {
+      std::printf("  %s\n", name.c_str());
+    }
+    std::printf("  auto (cost-model selection over the above)\n");
+    return 0;
+  }
 
   auto graph = LoadGraph(args);
   if (!graph.ok()) {
@@ -172,38 +188,37 @@ int main(int argc, char** argv) {
   std::printf("communication relation: %llu vertex transfers\n",
               static_cast<unsigned long long>(rel->TotalTransfers()));
 
-  SpstPlanner spst;
-  PeerToPeerPlanner p2p;
-  RingPlanner ring;
-  Planner* planner = nullptr;
-  if (args.planner == "spst") {
-    planner = &spst;
-  } else if (args.planner == "p2p") {
-    planner = &p2p;
-  } else if (args.planner == "ring") {
-    planner = &ring;
-  } else {
-    std::fprintf(stderr, "unknown planner %s\n", args.planner.c_str());
+  PlannerOptions popts;
+  popts.strategy = args.planner;
+  if (Status s = popts.Validate(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
 
   const double bytes = static_cast<double>(args.dim) * sizeof(float);
-  auto plan = planner->Plan(*rel, topo, bytes);
-  if (!plan.ok()) {
-    std::fprintf(stderr, "planning failed: %s\n", plan.status().ToString().c_str());
+  CommClasses classes = BuildCommClasses(*rel);
+  SelectionReport report;
+  auto class_plan = PlanWithStrategy(popts, classes, topo, bytes, &report);
+  if (!class_plan.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n", class_plan.status().ToString().c_str());
     return 1;
   }
-  if (Status s = ValidatePlan(*plan, *rel, topo); !s.ok()) {
+  if (popts.IsAuto()) {
+    std::printf("\nauto-select scorecard (winner starred):\n%s", report.Table().c_str());
+  }
+  CommPlan expanded = ExpandClassPlan(*class_plan, classes);
+  if (Status s = ValidatePlan(expanded, *rel, topo); !s.ok()) {
     std::fprintf(stderr, "plan invalid: %s\n", s.ToString().c_str());
     return 1;
   }
+  const CommPlan* plan = &expanded;
 
-  CompiledPlan compiled = CompilePlan(*plan, topo);
+  CompiledPlan compiled = CompilePlan(*class_plan, classes, topo);
   AssignBackwardSubstages(compiled);
   NetworkSimOptions net;
   net.bytes_per_unit = bytes;
   const double simulated = SimulateTransfer(compiled, topo, net).total_seconds;
-  std::printf("\nplanner %s (embedding dim %u):\n", planner->name().c_str(), args.dim);
+  std::printf("\nplanner %s (embedding dim %u):\n", class_plan->planner_name.c_str(), args.dim);
   std::printf("  stages              %u\n", plan->NumStages());
   std::printf("  transfer ops        %zu\n", compiled.ops.size());
   std::printf("  link traversals     %llu\n",

@@ -145,6 +145,53 @@ int SummarizeRecovery(const telemetry::Trace& trace) {
   return 0;
 }
 
+// Planner auto-selection scorecard: the "planner" category's
+// "auto.<strategy>.cost_us" / "auto.<strategy>.sim_us" counters recorded per
+// candidate by PlanWithStrategy, plus the "auto.selected.<strategy>" marker.
+// Lets a trace answer *why* a strategy was committed after the fact.
+void SummarizeAutoSelect(const telemetry::Trace& trace) {
+  struct Scores {
+    double cost_us = 0.0;
+    double sim_us = 0.0;
+    uint64_t rounds = 0;
+    bool selected = false;
+  };
+  std::map<std::string, Scores> by_strategy;  // latest sample wins
+  for (const telemetry::TraceEvent& ev : trace.events) {
+    if (ev.kind != telemetry::TraceEventKind::kCounter || ev.category != "planner" ||
+        ev.name.rfind("auto.", 0) != 0) {
+      continue;
+    }
+    const std::string rest = ev.name.substr(5);
+    if (rest.rfind("selected.", 0) == 0) {
+      by_strategy[rest.substr(9)].selected = true;
+      continue;
+    }
+    const size_t dot = rest.rfind('.');
+    if (dot == std::string::npos) {
+      continue;
+    }
+    const std::string strategy = rest.substr(0, dot);
+    const std::string metric = rest.substr(dot + 1);
+    Scores& s = by_strategy[strategy];
+    if (metric == "cost_us") {
+      s.cost_us = ev.value;
+      ++s.rounds;
+    } else if (metric == "sim_us") {
+      s.sim_us = ev.value;
+    }
+  }
+  if (by_strategy.empty()) {
+    return;  // no auto-selection in this trace
+  }
+  TablePrinter table({"Strategy", "Cost-model ms", "Simulated ms", "Samples", "Selected"});
+  for (const auto& [name, s] : by_strategy) {
+    table.AddRow({name, TablePrinter::Fmt(s.cost_us / 1e3, 3), TablePrinter::Fmt(s.sim_us / 1e3, 3),
+                  TablePrinter::FmtInt(s.rounds), s.selected ? "*" : ""});
+  }
+  std::printf("%s", table.Render("planner auto-select candidates (last sample)").c_str());
+}
+
 int Summarize(const std::vector<std::string>& paths, bool waits, bool recovery) {
   Result<telemetry::Trace> loaded = LoadMerged(paths);
   if (!loaded.ok()) {
@@ -161,6 +208,7 @@ int Summarize(const std::vector<std::string>& paths, bool waits, bool recovery) 
   std::string title = paths.size() == 1 ? paths[0] : std::to_string(paths.size()) + " traces";
   std::printf("%s", telemetry::RenderTraceSummary(merged, title).c_str());
   std::printf("%zu events total\n", merged.events.size());
+  SummarizeAutoSelect(merged);
 
   // When the trace carries per-stage allgather spans, also report observed
   // stage wall times (the CostAudit's observation side).
