@@ -3,7 +3,10 @@
 # runs the concurrency-sensitive test binaries under each: the thread pool,
 # the speculative parallel planner (determinism + property suites), the
 # allgather engine, the transport/coordination layer (connection retry and
-# fault-injection state shared across device threads), the straggler and
+# fault-injection state shared across device threads), the chunked-overlap
+# conformance suite (TSan is the gate for the per-chunk ready-flag protocol:
+# sender release-stores into op_chunks_done, receiver acquire-loads and reads
+# the staged rows), the straggler and
 # dead-peer timeout paths, the simulator/trainer (both fan work out on the
 # shared pool), the engine-trace cost audit, the lock-free telemetry
 # recorder, and the elastic-recovery protocol (engine post-mortems, mid-epoch
@@ -17,7 +20,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TESTS_REGEX='thread_pool_test|plan_determinism_test|planner_property_test|planner_conformance_test|spst_test|transport_test|allgather_engine_test|coordination_test|straggler_test|network_sim_test|epoch_sim_test|cost_audit_test|trainer_test|telemetry_test|recovery_test|fault_schedule_fuzz_test'
+TESTS_REGEX='thread_pool_test|plan_determinism_test|planner_property_test|planner_conformance_test|spst_test|transport_test|allgather_engine_test|coordination_test|overlap_conformance_test|straggler_test|network_sim_test|epoch_sim_test|cost_audit_test|trainer_test|telemetry_test|recovery_test|fault_schedule_fuzz_test'
 
 # Sanitizer runs are 5-20x slower; trim the fuzz budget accordingly.
 export DGCL_FUZZ_SEEDS="${DGCL_FUZZ_SEEDS:-25}"
@@ -31,7 +34,8 @@ run_one() {
   cmake --build "$dir" -j "$(nproc)" --target \
     thread_pool_test plan_determinism_test planner_property_test \
     planner_conformance_test spst_test \
-    transport_test allgather_engine_test coordination_test straggler_test \
+    transport_test allgather_engine_test coordination_test \
+    overlap_conformance_test straggler_test \
     network_sim_test epoch_sim_test cost_audit_test trainer_test telemetry_test \
     recovery_test fault_schedule_fuzz_test
   echo "=== ${kind} sanitizer: running tests ==="

@@ -7,14 +7,21 @@
 #                             SPST, baselines, determinism, properties — a
 #                             subset of `unit`, runnable alone when iterating
 #                             on planners)
-#   3. fuzz tier              ctest -L fuzz   (fault-schedule fuzzing, fixed
+#   3. overlap tier           ctest -L overlap (the chunked/overlapped engine
+#                             mode: bitwise conformance vs barrier across
+#                             chunk counts and planners, chunk-wait poisoning
+#                             under dead peers, and the chunked fault-schedule
+#                             fuzz — a subset of unit+fuzz, runnable alone
+#                             when iterating on the overlap engine)
+#   4. fuzz tier              ctest -L fuzz   (fault-schedule fuzzing, fixed
 #                             seed budget so wall time is bounded and every
 #                             run covers the same schedules)
-#   4. sanitizers             scripts/check_sanitizers.sh (TSan + ASan trees
+#   5. sanitizers             scripts/check_sanitizers.sh (TSan + ASan trees
 #                             over the concurrency-sensitive suites, with a
-#                             reduced fuzz budget)
+#                             reduced fuzz budget; TSan is the gate for the
+#                             per-chunk ready-flag protocol)
 #
-# Usage: scripts/ci.sh [unit|planner|fuzz|sanitizers|all]   (default: all)
+# Usage: scripts/ci.sh [unit|planner|overlap|fuzz|sanitizers|all]   (default: all)
 # Env:   DGCL_CI_FUZZ_SEEDS  fuzz-tier seed budget (default 200)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -34,6 +41,12 @@ unit_tier() {
 planner_tier() {
   echo "=== CI tier: planner ==="
   ctest --test-dir build -L planner --output-on-failure -j "$(nproc)"
+}
+
+overlap_tier() {
+  echo "=== CI tier: overlap (DGCL_CI_FUZZ_SEEDS=${DGCL_CI_FUZZ_SEEDS:-200}) ==="
+  DGCL_FUZZ_SEEDS="${DGCL_CI_FUZZ_SEEDS:-200}" \
+    ctest --test-dir build -L overlap --output-on-failure -j "$(nproc)"
 }
 
 fuzz_tier() {
@@ -56,6 +69,10 @@ case "$TIER" in
     build
     planner_tier
     ;;
+  overlap)
+    build
+    overlap_tier
+    ;;
   fuzz)
     build
     fuzz_tier
@@ -68,7 +85,7 @@ case "$TIER" in
     sanitizer_tier
     ;;
   *)
-    echo "usage: $0 [unit|planner|fuzz|sanitizers|all]" >&2
+    echo "usage: $0 [unit|planner|overlap|fuzz|sanitizers|all]" >&2
     exit 2
     ;;
 esac

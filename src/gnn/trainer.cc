@@ -165,15 +165,54 @@ Result<EpochResult> DistributedTrainer::Pass(bool train, EmbeddingMatrix* all_lo
       }
       continue;
     }
-    std::vector<EmbeddingMatrix> slots;
-    {
-      DGCL_TSPAN1("trainer", "layer.allgather", "layer", l);
-      DGCL_ASSIGN_OR_RETURN(slots, engine_->Forward(acts));
+    std::vector<EmbeddingMatrix> trimmed_slots(devices);
+    if (engine_->options().overlap.num_chunks > 1) {
+      // Overlapped exchange: consume each chunk as its flag publishes — the
+      // first stage of aggregation (materializing the compute-side slot
+      // matrix) runs while later chunks are still on the wire, instead of
+      // after the pass barrier. Each callback fires on the receiving
+      // device's pass thread and writes only that device's matrix, so
+      // callbacks race neither with each other nor with this thread (which
+      // blocks in Forward until every pass thread has joined). Rows land via
+      // the same copies the barrier path makes, so the result is
+      // bit-identical; the neighbor-sum itself still runs after the pass
+      // because reassociating it per arrival order would break that
+      // guarantee.
+      DGCL_TSPAN1("trainer", "layer.allgather.overlap", "layer", l);
+      for (uint32_t d = 0; d < devices; ++d) {
+        const LocalGraph& g = local_graphs_[d];
+        trimmed_slots[d] = EmbeddingMatrix::Zero(g.num_slots, acts[d].dim);
+        std::copy(acts[d].data.begin(),
+                  acts[d].data.begin() + static_cast<size_t>(g.num_compute) * acts[d].dim,
+                  trimmed_slots[d].data.begin());
+      }
+      auto on_chunk = [&](const ChunkArrival& a) {
+        const TransferOp& op = engine_->plan().ops[a.op];
+        const LocalGraph& g = local_graphs_[a.device];
+        EmbeddingMatrix& t = trimmed_slots[a.device];
+        for (uint32_t i = a.row_begin; i < a.row_end; ++i) {
+          const uint32_t slot = engine_->SlotOf(a.device, op.vertices[i]);
+          if (slot < g.num_slots) {
+            std::copy(a.output->Row(slot), a.output->Row(slot) + a.dim, t.Row(slot));
+          }
+        }
+      };
+      std::vector<EmbeddingMatrix> slots;
+      DGCL_ASSIGN_OR_RETURN(slots, engine_->Forward(acts, on_chunk));
+    } else {
+      std::vector<EmbeddingMatrix> slots;
+      {
+        DGCL_TSPAN1("trainer", "layer.allgather", "layer", l);
+        DGCL_ASSIGN_OR_RETURN(slots, engine_->Forward(acts));
+      }
+      for (uint32_t d = 0; d < devices; ++d) {
+        trimmed_slots[d] = TrimRows(slots[d], local_graphs_[d].num_slots);
+      }
     }
     DGCL_TSPAN1("trainer", "layer.compute", "layer", l);
     for (uint32_t d = 0; d < devices; ++d) {
       const LocalGraph& g = local_graphs_[d];
-      EmbeddingMatrix trimmed = TrimRows(slots[d], g.num_slots);
+      EmbeddingMatrix& trimmed = trimmed_slots[d];
       if (train && options_.aggregate_every_r > 1) {
         // Refresh the cache the stale epochs will reuse until the next
         // exchange.

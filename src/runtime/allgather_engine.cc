@@ -104,10 +104,13 @@ class TimedBarrier {
 struct PassState {
   // ready_stage[d]: d has finished consuming all receives of stages < value.
   std::unique_ptr<std::atomic<uint32_t>[]> ready_stage;
-  // One done flag per op. The op's staging buffer (connection-owned) is
-  // written by exactly one sender and read by exactly one receiver after
-  // `done` is raised.
-  std::unique_ptr<std::atomic<bool>[]> op_done;
+  // op_chunks_done[op]: chunks of the op staged and published so far — the
+  // §6.1 per-op done flag generalized to a monotone counter. The sender
+  // writes a chunk's rows into the connection-owned staging buffer, then
+  // release-stores the bumped count; the receiver acquire-loads before
+  // reading those rows. With overlap.num_chunks == 1 this degenerates to the
+  // original single done flag.
+  std::unique_ptr<std::atomic<uint32_t>[]> op_chunks_done;
   // Raised by the first failing device; every other device bails out of its
   // waits with the aborted sentinel instead of running to its own deadline.
   std::atomic<bool> abort{false};
@@ -128,9 +131,9 @@ struct PassState {
     for (uint32_t d = 0; d < num_devices; ++d) {
       ready_stage[d].store(0, std::memory_order_relaxed);
     }
-    op_done = std::make_unique<std::atomic<bool>[]>(plan.ops.size());
+    op_chunks_done = std::make_unique<std::atomic<uint32_t>[]>(plan.ops.size());
     for (uint32_t i = 0; i < plan.ops.size(); ++i) {
-      op_done[i].store(false, std::memory_order_relaxed);
+      op_chunks_done[i].store(0, std::memory_order_relaxed);
     }
     if (options.coordination == CoordinationMode::kCentralized) {
       stage_barrier = std::make_unique<TimedBarrier>(num_devices);
@@ -151,9 +154,26 @@ struct PassState {
   }
 };
 
+std::pair<uint32_t, uint32_t> ChunkRows(size_t rows, uint32_t num_chunks, uint32_t chunk) {
+  const uint64_t n = rows;
+  return {static_cast<uint32_t>(n * chunk / num_chunks),
+          static_cast<uint32_t>(n * (chunk + 1) / num_chunks)};
+}
+
+Status OverlapOptions::Validate() const {
+  if (num_chunks == 0) {
+    return Status::InvalidArgument("overlap.num_chunks must be at least 1");
+  }
+  if (num_chunks > 4096) {
+    return Status::InvalidArgument("overlap.num_chunks above 4096 is surely a typo");
+  }
+  return Status::Ok();
+}
+
 Status EngineOptions::Validate() const {
   DGCL_RETURN_IF_ERROR(transport.Validate());
   DGCL_RETURN_IF_ERROR(faults.Validate());
+  DGCL_RETURN_IF_ERROR(overlap.Validate());
   if (straggler_device != kInvalidId && straggler_micros > 10'000'000) {
     return Status::InvalidArgument("straggler delay above 10 s per stage is surely a typo");
   }
@@ -211,8 +231,10 @@ uint32_t AllgatherEngine::NumContractSlots(uint32_t device) const {
 }
 
 Status AllgatherEngine::RunDevice(uint32_t device, uint32_t dim, bool backward,
-                                  std::vector<EmbeddingMatrix>& buffers, PassState& state) const {
+                                  std::vector<EmbeddingMatrix>& buffers, PassState& state,
+                                  const ChunkConsumer* on_chunk) const {
   const uint32_t num_stages = plan_.num_stages;
+  const uint32_t num_chunks = options_.overlap.num_chunks;
   EmbeddingMatrix& mine = buffers[device];
   const uint64_t timeout_micros = options_.transport.wait_timeout_micros;
 
@@ -305,13 +327,18 @@ Status AllgatherEngine::RunDevice(uint32_t device, uint32_t dim, bool backward,
       const uint32_t receiver = backward ? op.src : op.dst;
       Connection& conn = connections_.ForOp(op_id);
       if (!backward && options_.coordination == CoordinationMode::kDecentralized) {
+        // Double buffering (overlap.double_buffer) relaxes the §6.1 gate by
+        // one stage: the sender may stage into the "other" recv-table buffer
+        // while the receiver still consumes the previous stage. Per-op
+        // staging buffers make the relaxed gate memory-safe.
+        const uint32_t lead = options_.overlap.double_buffer ? 1 : 0;
         Status status;
         {
           DGCL_TSPAN3(conn.name(), "fwd.wait.ready", "peer", receiver, "stage", stage, "op",
                       op_id);
           status = spin_until(
-              [&state, receiver, stage] {
-                return state.ready_stage[receiver].load(std::memory_order_acquire) >= stage;
+              [&state, receiver, stage, lead] {
+                return state.ready_stage[receiver].load(std::memory_order_acquire) + lead >= stage;
               },
               "ready-flag", receiver, stage);
         }
@@ -320,39 +347,63 @@ Status AllgatherEngine::RunDevice(uint32_t device, uint32_t dim, bool backward,
           return status;
         }
       }
-      const uint64_t bytes = op.vertices.size() * static_cast<size_t>(dim) * sizeof(float);
-      if (Status status = conn.Transmit(bytes); !status.ok()) {
-        state.Fail();
-        return status;
-      }
-      DGCL_TSPAN2(LinkCategory(*topo_, op.link), backward ? "bwd.send" : "fwd.send", "stage",
-                  stage, "bytes", bytes);
+      // One transmit + pack + flag publish per chunk; a receiver may consume
+      // chunk c while chunk c+1 is still on the wire. num_chunks == 1 is
+      // byte-for-byte the original whole-op path.
       std::vector<float>& staging = connections_.OpStaging(op_id);
-      for (size_t i = 0; i < op.vertices.size(); ++i) {
-        const uint32_t slot = SlotOf(device, op.vertices[i]);
-        DGCL_CHECK_NE(slot, kInvalidId);
-        PackRow(staging.data() + i * dim, mine.Row(slot), dim);
+      for (uint32_t c = 0; c < num_chunks; ++c) {
+        const auto [row_begin, row_end] = ChunkRows(op.vertices.size(), num_chunks, c);
+        if (row_end > row_begin) {
+          const uint64_t bytes =
+              static_cast<uint64_t>(row_end - row_begin) * static_cast<size_t>(dim) * sizeof(float);
+          if (Status status = conn.Transmit(bytes); !status.ok()) {
+            state.Fail();
+            return status;
+          }
+          DGCL_TSPAN2(LinkCategory(*topo_, op.link), backward ? "bwd.send" : "fwd.send", "stage",
+                      stage, "bytes", bytes);
+          for (size_t i = row_begin; i < row_end; ++i) {
+            const uint32_t slot = SlotOf(device, op.vertices[i]);
+            DGCL_CHECK_NE(slot, kInvalidId);
+            PackRow(staging.data() + i * dim, mine.Row(slot), dim);
+          }
+        }
+        state.op_chunks_done[op_id].store(c + 1, std::memory_order_release);
       }
-      state.op_done[op_id].store(true, std::memory_order_release);
     }
+
+    // Receives of this stage, split into per-chunk units and grouped so that
+    // eager (arrival-order) consumption stays bitwise-identical to barrier
+    // execution: forward chunks write disjoint slot rows (each vertex is
+    // delivered to a device by exactly one op per pass), so the whole stage
+    // is one group; backward accumulation is order-sensitive across ops that
+    // carry the same vertex, so eagerness is confined to one §6.2 sub-stage
+    // group at a time (conflict-free by AssignBackwardSubstages construction)
+    // and groups drain in ascending sub-stage order.
+    struct RecvUnit {
+      uint32_t op_id;
+      uint32_t chunk;
+      uint32_t row_begin;
+      uint32_t row_end;
+    };
+    std::vector<std::vector<RecvUnit>> groups;
+    uint32_t group_substage = 0;
     for (uint32_t op_id : recvs[stage]) {
       const TransferOp& op = plan_.ops[op_id];
-      const uint32_t sender = backward ? op.dst : op.src;
-      const Connection& conn = connections_.ForOp(op_id);
-      Status status;
-      {
-        DGCL_TSPAN3(conn.name(), backward ? "bwd.wait.done" : "fwd.wait.done", "peer", sender,
-                    "stage", stage, "op", op_id);
-        status = spin_until(
-            [&state, op_id] { return state.op_done[op_id].load(std::memory_order_acquire); },
-            "done-flag", sender, stage);
+      if (groups.empty() || (backward && op.substage != group_substage)) {
+        groups.emplace_back();
+        group_substage = op.substage;
       }
-      if (!status.ok()) {
-        state.Fail();
-        return status;
+      for (uint32_t c = 0; c < num_chunks; ++c) {
+        const auto [row_begin, row_end] = ChunkRows(op.vertices.size(), num_chunks, c);
+        groups.back().push_back(RecvUnit{op_id, c, row_begin, row_end});
       }
-      const std::vector<float>& staging = connections_.OpStaging(op_id);
-      for (size_t i = 0; i < op.vertices.size(); ++i) {
+    }
+
+    auto consume_unit = [&](const RecvUnit& u) {
+      const TransferOp& op = plan_.ops[u.op_id];
+      const std::vector<float>& staging = connections_.OpStaging(u.op_id);
+      for (size_t i = u.row_begin; i < u.row_end; ++i) {
         const uint32_t slot = SlotOf(device, op.vertices[i]);
         DGCL_CHECK_NE(slot, kInvalidId);
         if (backward) {
@@ -366,6 +417,131 @@ Status AllgatherEngine::RunDevice(uint32_t device, uint32_t dim, bool backward,
           PackRow(mine.Row(slot), staging.data() + i * dim, dim);
         }
       }
+      if (!backward && on_chunk != nullptr) {
+        DGCL_TSPAN2("runtime", "overlap.consume", "stage", stage, "chunk", u.chunk);
+        ChunkArrival arrival;
+        arrival.device = device;
+        arrival.stage = stage;
+        arrival.op = u.op_id;
+        arrival.chunk = u.chunk;
+        arrival.row_begin = u.row_begin;
+        arrival.row_end = u.row_end;
+        arrival.dim = dim;
+        arrival.output = &mine;
+        (*on_chunk)(arrival);
+      }
+    };
+
+    const bool eager =
+        num_chunks > 1 && options_.overlap.consume_policy == ConsumePolicy::kEager;
+    for (const std::vector<RecvUnit>& group : groups) {
+      if (!eager) {
+        // Deterministic-schedule drain: (op, chunk) order, one flag wait per
+        // unit. num_chunks == 1 keeps the seed wait-span taxonomy
+        // (fwd.wait.done / bwd.wait.done, tagged {peer, stage, op}).
+        for (const RecvUnit& u : group) {
+          const TransferOp& op = plan_.ops[u.op_id];
+          const uint32_t sender = backward ? op.dst : op.src;
+          const Connection& conn = connections_.ForOp(u.op_id);
+          Status status;
+          {
+            DGCL_TSPAN3(conn.name(),
+                        num_chunks == 1 ? (backward ? "bwd.wait.done" : "fwd.wait.done")
+                                        : (backward ? "bwd.wait.chunk" : "fwd.wait.chunk"),
+                        "peer", sender, "stage", stage, num_chunks == 1 ? "op" : "chunk",
+                        num_chunks == 1 ? u.op_id : u.chunk);
+            status = spin_until(
+                [&state, &u] {
+                  return state.op_chunks_done[u.op_id].load(std::memory_order_acquire) > u.chunk;
+                },
+                "chunk-flag", sender, stage);
+          }
+          if (!status.ok()) {
+            state.Fail();
+            return status;
+          }
+          consume_unit(u);
+        }
+        continue;
+      }
+      // Eager drain: consume every published unit each scan; when none is
+      // published, block with a deadline until one rises, the pass is
+      // poisoned, or the deadline fires. Progress re-arms the deadline (a
+      // slow-but-alive sender never times the receiver out), and a timeout
+      // names *every* pending sender — with chunk waits outstanding on
+      // several peers at once, the poison and the recovery protocol's
+      // suspect math must cover all of them, not just the first.
+      std::vector<uint8_t> consumed(group.size(), 0);
+      size_t remaining = group.size();
+      while (remaining > 0) {
+        bool progress = false;
+        for (size_t i = 0; i < group.size(); ++i) {
+          if (consumed[i]) {
+            continue;
+          }
+          const RecvUnit& u = group[i];
+          if (state.op_chunks_done[u.op_id].load(std::memory_order_acquire) > u.chunk) {
+            consume_unit(u);
+            consumed[i] = 1;
+            --remaining;
+            progress = true;
+          }
+        }
+        if (remaining == 0 || progress) {
+          continue;
+        }
+        size_t first_pending = 0;
+        while (consumed[first_pending]) {
+          ++first_pending;
+        }
+        const RecvUnit& fu = group[first_pending];
+        const TransferOp& first_op = plan_.ops[fu.op_id];
+        const uint32_t first_sender = backward ? first_op.dst : first_op.src;
+        Status status;
+        {
+          DGCL_TSPAN3(connections_.ForOp(fu.op_id).name(),
+                      backward ? "bwd.wait.chunk" : "fwd.wait.chunk", "peer", first_sender,
+                      "stage", stage, "chunk", fu.chunk);
+          const auto deadline = std::chrono::steady_clock::now() +
+                                std::chrono::microseconds(timeout_micros == 0 ? 0 : timeout_micros);
+          uint64_t spins = 0;
+          for (;;) {
+            bool any = false;
+            for (size_t i = 0; i < group.size() && !any; ++i) {
+              any = !consumed[i] &&
+                    state.op_chunks_done[group[i].op_id].load(std::memory_order_acquire) >
+                        group[i].chunk;
+            }
+            if (any) {
+              status = Status::Ok();
+              break;
+            }
+            if (state.abort.load(std::memory_order_relaxed)) {
+              status = AbortedStatus();
+              break;
+            }
+            if (timeout_micros != 0 && (++spins & 0x3ff) == 0 &&
+                std::chrono::steady_clock::now() >= deadline) {
+              for (size_t i = 0; i < group.size(); ++i) {
+                if (!consumed[i]) {
+                  const TransferOp& op = plan_.ops[group[i].op_id];
+                  state.named[device] |= DeviceMask{1} << (backward ? op.dst : op.src);
+                }
+              }
+              status = Status::DeadlineExceeded(
+                  "chunk-flag wait timed out on peer " + std::to_string(first_sender) +
+                  " at stage " + std::to_string(stage) + " with " + std::to_string(remaining) +
+                  " chunks outstanding");
+              break;
+            }
+            std::this_thread::yield();
+          }
+        }
+        if (!status.ok()) {
+          state.Fail();
+          return status;
+        }
+      }
     }
     state.ready_stage[device].store(step + 1, std::memory_order_release);
   }
@@ -373,7 +549,8 @@ Status AllgatherEngine::RunDevice(uint32_t device, uint32_t dim, bool backward,
 }
 
 Result<std::vector<EmbeddingMatrix>> AllgatherEngine::RunPass(
-    std::vector<EmbeddingMatrix> buffers, uint32_t dim, bool backward) const {
+    std::vector<EmbeddingMatrix> buffers, uint32_t dim, bool backward,
+    const ChunkConsumer* on_chunk) const {
   // Connection staging buffers are shared engine state; passes serialize.
   std::lock_guard<std::mutex> pass_lock(*pass_mutex_);
   connections_.PrepareBuffers(dim);
@@ -384,8 +561,8 @@ Result<std::vector<EmbeddingMatrix>> AllgatherEngine::RunPass(
   std::vector<std::thread> threads;
   threads.reserve(relation_->num_devices);
   for (uint32_t d = 0; d < relation_->num_devices; ++d) {
-    threads.emplace_back([this, d, dim, backward, &buffers, &state]() {
-      state.device_status[d] = RunDevice(d, dim, backward, buffers, state);
+    threads.emplace_back([this, d, dim, backward, &buffers, &state, on_chunk]() {
+      state.device_status[d] = RunDevice(d, dim, backward, buffers, state, on_chunk);
       // A failed device aborts everyone else's waits — except the injected
       // dead peer, which must vanish *silently* so that its peers' deadlines
       // (not an abort broadcast) are what fail the collective.
@@ -448,6 +625,16 @@ uint64_t AllgatherEngine::pass_count() const {
 
 Result<std::vector<EmbeddingMatrix>> AllgatherEngine::Forward(
     const std::vector<EmbeddingMatrix>& local) const {
+  return ForwardImpl(local, nullptr);
+}
+
+Result<std::vector<EmbeddingMatrix>> AllgatherEngine::Forward(
+    const std::vector<EmbeddingMatrix>& local, const ChunkConsumer& on_chunk) const {
+  return ForwardImpl(local, on_chunk ? &on_chunk : nullptr);
+}
+
+Result<std::vector<EmbeddingMatrix>> AllgatherEngine::ForwardImpl(
+    const std::vector<EmbeddingMatrix>& local, const ChunkConsumer* on_chunk) const {
   if (local.size() != relation_->num_devices) {
     return Status::InvalidArgument("one local matrix per device required");
   }
@@ -476,7 +663,7 @@ Result<std::vector<EmbeddingMatrix>> AllgatherEngine::Forward(
     }
     buffers.push_back(std::move(m));
   }
-  return RunPass(std::move(buffers), dim, /*backward=*/false);
+  return RunPass(std::move(buffers), dim, /*backward=*/false, on_chunk);
 }
 
 Result<std::vector<EmbeddingMatrix>> AllgatherEngine::Backward(
@@ -510,7 +697,8 @@ Result<std::vector<EmbeddingMatrix>> AllgatherEngine::Backward(
     }
     buffers.push_back(std::move(m));
   }
-  DGCL_ASSIGN_OR_RETURN(buffers, RunPass(std::move(buffers), dim, /*backward=*/true));
+  DGCL_ASSIGN_OR_RETURN(buffers,
+                        RunPass(std::move(buffers), dim, /*backward=*/true, nullptr));
 
   std::vector<EmbeddingMatrix> out;
   out.reserve(relation_->num_devices);

@@ -28,10 +28,12 @@
 #define DGCL_RUNTIME_ALLGATHER_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "comm/compiled_plan.h"
@@ -66,6 +68,58 @@ struct EmbeddingMatrix {
 // kept for the coordination-overhead ablation.
 enum class CoordinationMode : uint8_t { kDecentralized, kCentralized };
 
+// How an overlapped receiver orders chunk consumption within a stage.
+// kEager consumes whichever published chunk it finds first (bitwise-safe:
+// forward chunks write disjoint slot rows, and backward eagerness is confined
+// to one §6.2 sub-stage group at a time, whose ops are conflict-free by
+// construction). kInOrder drains chunks in (op, chunk) order — the
+// deterministic-schedule reference the conformance suite compares against.
+enum class ConsumePolicy : uint8_t { kEager, kInOrder };
+
+// Chunked/overlapped execution (§6.1 flag protocol, extended). With
+// num_chunks > 1 each op's rows are split into near-equal chunks; the sender
+// publishes a per-chunk flag as soon as that chunk's rows are staged, so the
+// receiver (and the trainer, via Forward's ChunkConsumer overload) starts
+// consuming while later chunks are still on the wire. Like every other
+// EngineOptions knob, this never changes what a pass delivers — outputs stay
+// bit-identical to barrier (num_chunks == 1) execution.
+struct OverlapOptions {
+  // Chunks per op. 1 keeps the seed barrier behavior (one flag per op).
+  uint32_t num_chunks = 1;
+  // Models the double-buffered recv table: the sender's stage-readiness gate
+  // is relaxed by one stage (it may stage into the "other" buffer while the
+  // receiver still consumes the previous stage). Per-op staging buffers make
+  // this memory-safe; the gate only throttles.
+  bool double_buffer = false;
+  ConsumePolicy consume_policy = ConsumePolicy::kEager;
+
+  Status Validate() const;
+};
+
+// Notification that one received chunk's rows are final in the receiving
+// device's output matrix. Fired on the receiving device's pass thread, so
+// consumers overlap with that device's still-in-flight transfers; a consumer
+// must only touch state owned by `device` (callbacks for different devices
+// run concurrently).
+struct ChunkArrival {
+  uint32_t device = 0;  // receiving device
+  uint32_t stage = 0;
+  uint32_t op = 0;    // index into plan().ops
+  uint32_t chunk = 0;
+  uint32_t row_begin = 0;  // row range within plan().ops[op].vertices
+  uint32_t row_end = 0;
+  uint32_t dim = 0;
+  // The receiving device's slot matrix; rows SlotOf(device, vertices[i]) for
+  // i in [row_begin, row_end) are final. Valid only during the callback.
+  const EmbeddingMatrix* output = nullptr;
+};
+using ChunkConsumer = std::function<void(const ChunkArrival&)>;
+
+// Row range [first, second) of chunk `chunk` when `rows` rows are split into
+// `num_chunks` near-equal chunks (the engine's chunking rule — shared with
+// NetworkSim so simulated chunk arrivals line up with real ones).
+std::pair<uint32_t, uint32_t> ChunkRows(size_t rows, uint32_t num_chunks, uint32_t chunk);
+
 // Engine construction options, fixed at Create (the same options-first shape
 // as SpstOptions / MultilevelOptions). None of these change what a pass
 // delivers — outputs stay bit-identical to the default for every setting;
@@ -86,6 +140,9 @@ struct EngineOptions {
   // Forced transports per ordered pair (ablations); selection falls back to
   // the SelectTransport decision table for unlisted pairs.
   std::vector<TransportOverride> transport_overrides;
+
+  // Chunked/overlapped execution mode.
+  OverlapOptions overlap;
 
   Status Validate() const;
 };
@@ -117,6 +174,14 @@ class AllgatherEngine {
   // after and are not part of the contract). Fails with kDeadlineExceeded /
   // kUnavailable when a peer dies or a transport exhausts its retries.
   Result<std::vector<EmbeddingMatrix>> Forward(const std::vector<EmbeddingMatrix>& local) const;
+
+  // Overlapped forward: `on_chunk` fires on the receiving device's pass
+  // thread as each received chunk's rows become final, so the caller consumes
+  // arrivals while later chunks are still in flight. The returned matrices
+  // are identical to the plain overload's; with overlap.num_chunks == 1 the
+  // callback fires once per op.
+  Result<std::vector<EmbeddingMatrix>> Forward(const std::vector<EmbeddingMatrix>& local,
+                                               const ChunkConsumer& on_chunk) const;
 
   // `slot_grads[d]` has the same shape as Forward's output for device d
   // (extras rows zero-extended internally if absent). Returns per device the
@@ -150,10 +215,13 @@ class AllgatherEngine {
  private:
   AllgatherEngine() = default;
 
-  Result<std::vector<EmbeddingMatrix>> RunPass(std::vector<EmbeddingMatrix> buffers,
-                                               uint32_t dim, bool backward) const;
+  Result<std::vector<EmbeddingMatrix>> ForwardImpl(const std::vector<EmbeddingMatrix>& local,
+                                                   const ChunkConsumer* on_chunk) const;
+  Result<std::vector<EmbeddingMatrix>> RunPass(std::vector<EmbeddingMatrix> buffers, uint32_t dim,
+                                               bool backward, const ChunkConsumer* on_chunk) const;
   Status RunDevice(uint32_t device, uint32_t dim, bool backward,
-                   std::vector<EmbeddingMatrix>& buffers, struct PassState& state) const;
+                   std::vector<EmbeddingMatrix>& buffers, struct PassState& state,
+                   const ChunkConsumer* on_chunk) const;
 
   const CommRelation* relation_ = nullptr;
   const Topology* topo_ = nullptr;

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "graph/generators.h"
 #include "partition/multilevel.h"
 #include "planner/spst.h"
@@ -147,6 +149,48 @@ TEST(CoordinationTest, DeadPeerFailsTheCollectiveInsteadOfHanging) {
   }
 }
 
+// Regression: a dead peer detected mid-chunk must poison ALL outstanding
+// chunk waits — in every device thread and for every not-yet-published chunk
+// — not just the wait that timed out. The failing shape this pins against:
+// each of K chunk waits (or each blocked device) running to its own full
+// deadline serially, turning one detection into many. With 16 chunks and a
+// 150 ms deadline the serial shape needs >= 2.4 s for a single stage; the
+// poisoned path needs roughly one deadline regardless of K, coordination
+// mode or consume policy (the centralized barrier's Abort and the
+// decentralized abort flag are both part of the poison broadcast).
+TEST(CoordinationTest, DeadPeerMidChunkPoisonsAllOutstandingChunkWaits) {
+  Fixture f = Fixture::Make(4, 19);
+  auto local = f.Local(2);
+  for (CoordinationMode mode :
+       {CoordinationMode::kDecentralized, CoordinationMode::kCentralized}) {
+    for (ConsumePolicy policy : {ConsumePolicy::kEager, ConsumePolicy::kInOrder}) {
+      EngineOptions options;
+      options.coordination = mode;
+      options.overlap.num_chunks = 16;
+      options.overlap.double_buffer = true;
+      options.overlap.consume_policy = policy;
+      options.faults.dead_device = 1;
+      options.transport.wait_timeout_micros = 150'000;
+      auto engine = MakeEngine(f, options);
+      ASSERT_TRUE(engine.ok());
+      const auto start = std::chrono::steady_clock::now();
+      auto out = engine->Forward(local);
+      const double elapsed_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      ASSERT_FALSE(out.ok());
+      EXPECT_EQ(out.status().code(), StatusCode::kDeadlineExceeded)
+          << "mode " << static_cast<int>(mode) << ": " << out.status().ToString();
+      EXPECT_LT(elapsed_s, 1.2) << "outstanding chunk waits ran to serial deadlines";
+      // The recovery handoff still points at exactly the dead device: the
+      // timed-out waits name every pending sender, and innocents that merely
+      // aborted stay off the suspect list.
+      auto failure = engine->last_failure();
+      ASSERT_TRUE(failure.has_value());
+      EXPECT_EQ(failure->suspects, DeviceMask{1} << 1);
+    }
+  }
+}
+
 // Injected drops force retries but never corrupt the payload: a faulted
 // engine's outputs are bit-identical to a clean engine's.
 TEST(CoordinationTest, DroppedTransmitsRetryToIdenticalOutputs) {
@@ -246,6 +290,54 @@ TEST(CoordinationTest, WaitSpansCarryPeerAndStageTags) {
   EXPECT_GT(ready_waits, 0u);
   EXPECT_GT(done_waits, 0u);
   EXPECT_GT(barrier_waits, 0u);
+}
+
+// Chunked waits extend the same taxonomy: a chunked receiver's blocked time
+// shows up as transport-categorized "fwd.wait.chunk" spans tagged
+// {peer, stage, chunk} (the series the hidden/exposed overlap audit sums),
+// and the barrier-mode names never appear in a chunked trace.
+TEST(CoordinationTest, ChunkWaitSpansCarryPeerStageAndChunkTags) {
+  telemetry::Telemetry& telem = telemetry::Telemetry::Get();
+  const bool was_enabled = telemetry::Telemetry::Enabled();
+  telem.SetEnabled(true);
+  telem.Reset();
+
+  Fixture f = Fixture::Make(4, 29);
+  EngineOptions options;
+  options.overlap.num_chunks = 4;
+  options.overlap.double_buffer = true;
+  options.faults.all_transports = true;
+  options.faults.latency_micros = 20;  // make the waits non-trivial
+  auto engine = MakeEngine(f, options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->Forward(f.Local(2)).ok());
+
+  telemetry::Trace trace = telem.Collect();
+  telem.Reset();
+  telem.SetEnabled(was_enabled);
+
+  uint64_t chunk_waits = 0;
+  for (const telemetry::TraceEvent& ev : trace.events) {
+    if (ev.kind != telemetry::TraceEventKind::kSpan) {
+      continue;
+    }
+    EXPECT_NE(ev.name, "fwd.wait.done") << "barrier-mode span name in a chunked trace";
+    if (ev.name != "fwd.wait.chunk") {
+      continue;
+    }
+    ++chunk_waits;
+    bool has_peer = false, has_stage = false, has_chunk = false;
+    for (size_t i = 0; i < ev.arg_key.size(); ++i) {
+      has_peer = has_peer || ev.arg_key[i] == "peer";
+      has_stage = has_stage || ev.arg_key[i] == "stage";
+      has_chunk = has_chunk || ev.arg_key[i] == "chunk";
+    }
+    EXPECT_TRUE(has_peer && has_stage && has_chunk) << ev.name;
+    EXPECT_TRUE(ev.category == "cuda-vm" || ev.category == "pinned-host" ||
+                ev.category == "nic")
+        << ev.category;
+  }
+  EXPECT_GT(chunk_waits, 0u);
 }
 
 // The acceptance path end to end: latency injected on the NIC transport only

@@ -1,0 +1,364 @@
+// Overlap conformance suite: chunked/double-buffered execution
+// (EngineOptions::overlap) must be BITWISE-identical to barrier execution —
+// for every chunk count, consume policy, coordination mode, thread (device)
+// count and registered planner strategy, for recv tables (Forward), gradient
+// tables (Backward) and fully trained weights. The chunk-consumer callback
+// contract is pinned too: every contract remote row arrives exactly once,
+// and a consumer-assembled slot matrix equals the barrier TrimRows result
+// byte for byte.
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gnn/trainer.h"
+#include "graph/generators.h"
+#include "partition/multilevel.h"
+#include "planner/registry.h"
+#include "runtime/allgather_engine.h"
+#include "topology/presets.h"
+
+namespace dgcl {
+namespace {
+
+constexpr uint32_t kChunkCounts[] = {1, 2, 4, 7};
+
+struct Fixture {
+  CsrGraph graph;
+  Topology topo;
+  CommRelation relation;
+  CompiledPlan plan;
+
+  static Fixture Make(uint32_t gpus, uint64_t seed, const std::string& strategy = "spst") {
+    Fixture f;
+    Rng rng(seed);
+    f.graph = GenerateErdosRenyi(70, 210, rng);
+    f.topo = BuildPaperTopology(gpus);
+    MultilevelPartitioner metis;
+    f.relation = *BuildCommRelation(f.graph, *metis.Partition(f.graph, gpus));
+    PlannerOptions options;
+    options.strategy = strategy;
+    auto planner = PlannerRegistry::Global().Create(strategy, options);
+    f.plan = CompilePlan(*(*planner)->Plan(f.relation, f.topo, 64), f.topo);
+    AssignBackwardSubstages(f.plan);
+    return f;
+  }
+
+  std::vector<EmbeddingMatrix> Local(uint32_t dim) const {
+    std::vector<EmbeddingMatrix> local;
+    for (uint32_t d = 0; d < relation.num_devices; ++d) {
+      const auto& locals = relation.local_vertices[d];
+      EmbeddingMatrix m = EmbeddingMatrix::Zero(static_cast<uint32_t>(locals.size()), dim);
+      for (uint32_t i = 0; i < locals.size(); ++i) {
+        for (uint32_t c = 0; c < dim; ++c) {
+          m.Row(i)[c] = static_cast<float>(locals[i]) * 0.37f + static_cast<float>(c) * 1.13f;
+        }
+      }
+      local.push_back(std::move(m));
+    }
+    return local;
+  }
+
+  std::vector<EmbeddingMatrix> Grads(const AllgatherEngine& engine, uint32_t dim) const {
+    std::vector<EmbeddingMatrix> grads;
+    for (uint32_t d = 0; d < relation.num_devices; ++d) {
+      EmbeddingMatrix g = EmbeddingMatrix::Zero(engine.NumContractSlots(d), dim);
+      for (uint32_t i = 0; i < g.data.size(); ++i) {
+        g.data[i] = static_cast<float>((i * 31 + d * 7) % 97) * 0.021f - 1.0f;
+      }
+      grads.push_back(std::move(g));
+    }
+    return grads;
+  }
+};
+
+Result<AllgatherEngine> MakeEngine(const Fixture& f, const EngineOptions& options = {}) {
+  return AllgatherEngine::Create(f.relation, f.plan, f.topo, options);
+}
+
+// --- ChunkRows: the split rule itself -------------------------------------
+
+TEST(ChunkRowsTest, PartitionsExactlyAndNearEqually) {
+  for (uint32_t rows : {0u, 1u, 5u, 7u, 64u, 1000u}) {
+    for (uint32_t k : {1u, 2u, 3u, 4u, 7u, 16u, 100u}) {
+      uint32_t covered = 0;
+      uint32_t prev_end = 0;
+      uint32_t min_size = rows, max_size = 0;
+      for (uint32_t c = 0; c < k; ++c) {
+        const auto [begin, end] = ChunkRows(rows, k, c);
+        ASSERT_EQ(begin, prev_end) << "rows=" << rows << " k=" << k << " c=" << c;
+        ASSERT_LE(begin, end);
+        covered += end - begin;
+        prev_end = end;
+        min_size = std::min(min_size, end - begin);
+        max_size = std::max(max_size, end - begin);
+      }
+      EXPECT_EQ(prev_end, rows);
+      EXPECT_EQ(covered, rows);
+      if (rows >= k) {
+        EXPECT_LE(max_size - min_size, 1u) << "rows=" << rows << " k=" << k;
+      }
+    }
+  }
+}
+
+// --- Engine-level bitwise equivalence -------------------------------------
+
+// (planner strategy, gpus): every registered strategy, two thread counts.
+class PlannerOverlapSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, uint32_t>> {};
+
+TEST_P(PlannerOverlapSweep, ChunkedMatchesBarrierBitwise) {
+  const auto& [strategy, gpus] = GetParam();
+  Fixture f = Fixture::Make(gpus, 23, strategy);
+  const auto local = f.Local(5);
+
+  EngineOptions barrier_options;
+  auto barrier = MakeEngine(f, barrier_options);
+  ASSERT_TRUE(barrier.ok()) << barrier.status().ToString();
+  auto barrier_fwd = barrier->Forward(local);
+  ASSERT_TRUE(barrier_fwd.ok());
+  const auto grads = f.Grads(*barrier, 3);
+  auto barrier_bwd = barrier->Backward(grads);
+  ASSERT_TRUE(barrier_bwd.ok());
+
+  for (uint32_t num_chunks : kChunkCounts) {
+    for (CoordinationMode mode :
+         {CoordinationMode::kDecentralized, CoordinationMode::kCentralized}) {
+      EngineOptions options;
+      options.coordination = mode;
+      options.overlap.num_chunks = num_chunks;
+      options.overlap.double_buffer = true;
+      options.overlap.consume_policy = ConsumePolicy::kEager;
+      auto engine = MakeEngine(f, options);
+      ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+      auto fwd = engine->Forward(local);
+      ASSERT_TRUE(fwd.ok()) << fwd.status().ToString();
+      auto bwd = engine->Backward(grads);
+      ASSERT_TRUE(bwd.ok()) << bwd.status().ToString();
+      for (uint32_t d = 0; d < f.relation.num_devices; ++d) {
+        EXPECT_EQ((*barrier_fwd)[d].data, (*fwd)[d].data)
+            << strategy << " fwd device " << d << " chunks " << num_chunks << " mode "
+            << static_cast<int>(mode);
+        EXPECT_EQ((*barrier_bwd)[d].data, (*bwd)[d].data)
+            << strategy << " bwd device " << d << " chunks " << num_chunks << " mode "
+            << static_cast<int>(mode);
+      }
+    }
+  }
+}
+
+std::vector<std::string> RegistryStrategies() { return PlannerRegistry::Global().Names(); }
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegistryPlanners, PlannerOverlapSweep,
+    ::testing::Combine(::testing::ValuesIn(RegistryStrategies()), ::testing::Values(4u, 8u)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param) + "_g" + std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-' || c == '.') c = '_';
+      }
+      return name;
+    });
+
+TEST(OverlapConformanceTest, ConsumePoliciesAndBufferingAgreeBitwise) {
+  Fixture f = Fixture::Make(4, 29);
+  const auto local = f.Local(6);
+  auto barrier = MakeEngine(f);
+  ASSERT_TRUE(barrier.ok());
+  auto reference = barrier->Forward(local);
+  ASSERT_TRUE(reference.ok());
+  const auto grads = f.Grads(*barrier, 4);
+  auto reference_bwd = barrier->Backward(grads);
+  ASSERT_TRUE(reference_bwd.ok());
+
+  for (uint32_t num_chunks : kChunkCounts) {
+    for (ConsumePolicy policy : {ConsumePolicy::kEager, ConsumePolicy::kInOrder}) {
+      for (bool double_buffer : {false, true}) {
+        EngineOptions options;
+        options.overlap.num_chunks = num_chunks;
+        options.overlap.consume_policy = policy;
+        options.overlap.double_buffer = double_buffer;
+        auto engine = MakeEngine(f, options);
+        ASSERT_TRUE(engine.ok());
+        auto fwd = engine->Forward(local);
+        ASSERT_TRUE(fwd.ok());
+        auto bwd = engine->Backward(grads);
+        ASSERT_TRUE(bwd.ok());
+        for (uint32_t d = 0; d < f.relation.num_devices; ++d) {
+          EXPECT_EQ((*reference)[d].data, (*fwd)[d].data) << "device " << d;
+          EXPECT_EQ((*reference_bwd)[d].data, (*bwd)[d].data) << "device " << d;
+        }
+      }
+    }
+  }
+}
+
+TEST(OverlapConformanceTest, ManyMoreChunksThanRowsStillExact) {
+  Fixture f = Fixture::Make(4, 31);
+  const auto local = f.Local(2);
+  auto barrier = MakeEngine(f);
+  ASSERT_TRUE(barrier.ok());
+  auto reference = barrier->Forward(local);
+  ASSERT_TRUE(reference.ok());
+  // More chunks than any op has rows: most chunks are empty, flags must
+  // still publish and consumption must still cover every row once.
+  EngineOptions options;
+  options.overlap.num_chunks = 64;
+  options.overlap.double_buffer = true;
+  auto engine = MakeEngine(f, options);
+  ASSERT_TRUE(engine.ok());
+  auto fwd = engine->Forward(local);
+  ASSERT_TRUE(fwd.ok());
+  for (uint32_t d = 0; d < f.relation.num_devices; ++d) {
+    EXPECT_EQ((*reference)[d].data, (*fwd)[d].data) << "device " << d;
+  }
+}
+
+TEST(OverlapConformanceTest, RejectsZeroAndAbsurdChunkCounts) {
+  Fixture f = Fixture::Make(2, 37);
+  EngineOptions options;
+  options.overlap.num_chunks = 0;
+  EXPECT_FALSE(MakeEngine(f, options).ok());
+  options.overlap.num_chunks = 100000;
+  EXPECT_FALSE(MakeEngine(f, options).ok());
+}
+
+// --- Chunk-consumer callback contract -------------------------------------
+
+TEST(OverlapConformanceTest, ConsumerSeesEveryContractRemoteRowExactlyOnce) {
+  Fixture f = Fixture::Make(4, 41);
+  const uint32_t dim = 3;
+  const auto local = f.Local(dim);
+
+  EngineOptions options;
+  options.overlap.num_chunks = 4;
+  options.overlap.double_buffer = true;
+  auto engine = MakeEngine(f, options);
+  ASSERT_TRUE(engine.ok());
+
+  // Per device: assembled slot matrix + per-slot arrival count. Callbacks
+  // fire on the receiving device's pass thread and only touch that device's
+  // rows, so plain vectors are race-free.
+  std::vector<EmbeddingMatrix> assembled;
+  std::vector<std::vector<uint32_t>> arrivals(f.relation.num_devices);
+  for (uint32_t d = 0; d < f.relation.num_devices; ++d) {
+    assembled.push_back(EmbeddingMatrix::Zero(engine->NumContractSlots(d), dim));
+    arrivals[d].assign(engine->NumSlots(d), 0);
+  }
+  auto on_chunk = [&](const ChunkArrival& a) {
+    const TransferOp& op = engine->plan().ops[a.op];
+    EXPECT_EQ(a.dim, dim);
+    EXPECT_LE(a.row_begin, a.row_end);
+    for (uint32_t i = a.row_begin; i < a.row_end; ++i) {
+      const uint32_t slot = engine->SlotOf(a.device, op.vertices[i]);
+      ASSERT_NE(slot, kInvalidId);
+      ++arrivals[a.device][slot];
+      if (slot < assembled[a.device].rows) {
+        std::memcpy(assembled[a.device].Row(slot), a.output->Row(slot),
+                    static_cast<size_t>(dim) * sizeof(float));
+      }
+    }
+  };
+  auto out = engine->Forward(local, on_chunk);
+  ASSERT_TRUE(out.ok());
+
+  for (uint32_t d = 0; d < f.relation.num_devices; ++d) {
+    const uint32_t locals = static_cast<uint32_t>(f.relation.local_vertices[d].size());
+    for (uint32_t slot = 0; slot < engine->NumSlots(d); ++slot) {
+      if (slot < locals) {
+        EXPECT_EQ(arrivals[d][slot], 0u) << "local slot delivered over the wire";
+      } else {
+        EXPECT_EQ(arrivals[d][slot], 1u) << "device " << d << " slot " << slot;
+      }
+    }
+    // Assembled remote rows match the returned table byte for byte; local
+    // rows were never the consumer's to fill.
+    for (uint32_t slot = locals; slot < assembled[d].rows; ++slot) {
+      EXPECT_EQ(0, std::memcmp(assembled[d].Row(slot), (*out)[d].Row(slot),
+                               static_cast<size_t>(dim) * sizeof(float)))
+          << "device " << d << " slot " << slot;
+    }
+  }
+}
+
+TEST(OverlapConformanceTest, ConsumerFiresOncePerOpInBarrierMode) {
+  Fixture f = Fixture::Make(4, 43);
+  auto engine = MakeEngine(f);  // num_chunks == 1
+  ASSERT_TRUE(engine.ok());
+  std::atomic<uint32_t> calls{0};
+  auto out = engine->Forward(f.Local(2), [&](const ChunkArrival& a) {
+    EXPECT_EQ(a.chunk, 0u);
+    calls.fetch_add(1, std::memory_order_relaxed);
+  });
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(calls.load(), engine->plan().ops.size());
+}
+
+// --- Trained weights: end-to-end bitwise equivalence ----------------------
+
+TEST(OverlapConformanceTest, TrainedWeightsBitwiseIdenticalAcrossChunkCounts) {
+  Rng rng(53);
+  CsrGraph graph = GenerateCommunityGraph(120, 4, 9.0, 0.5, rng);
+  Topology topo = BuildPaperTopology(4);
+  MultilevelPartitioner metis;
+  CommRelation relation = *BuildCommRelation(graph, *metis.Partition(graph, 4));
+  PlannerOptions planner_options;
+  auto planner = PlannerRegistry::Global().Create("spst", planner_options);
+  CompiledPlan plan = CompilePlan(*(*planner)->Plan(relation, topo, 64), topo);
+  AssignBackwardSubstages(plan);
+
+  EmbeddingMatrix features = EmbeddingMatrix::Zero(120, 6);
+  std::vector<uint32_t> labels(120);
+  for (VertexId v = 0; v < 120; ++v) {
+    labels[v] = std::min<uint32_t>(v / 30, 3);
+    for (uint32_t c = 0; c < 6; ++c) {
+      features.Row(v)[c] = rng.UniformFloat(-0.3f, 0.3f);
+    }
+    features.Row(v)[labels[v]] += 1.0f;
+  }
+
+  auto train = [&](uint32_t num_chunks) -> std::pair<std::vector<double>, ReplicaWeights> {
+    EngineOptions engine_options;
+    engine_options.overlap.num_chunks = num_chunks;
+    engine_options.overlap.double_buffer = num_chunks > 1;
+    auto engine = AllgatherEngine::Create(relation, plan, topo, engine_options);
+    EXPECT_TRUE(engine.ok());
+    TrainerOptions opts;
+    opts.model = GnnModel::kGcn;
+    opts.hidden_dim = 8;
+    opts.learning_rate = 0.4f;
+    auto trainer =
+        DistributedTrainer::Create(graph, relation, *engine, features, labels, 4, opts);
+    EXPECT_TRUE(trainer.ok());
+    std::vector<double> losses;
+    for (int epoch = 0; epoch < 4; ++epoch) {
+      auto r = trainer->TrainEpoch();
+      EXPECT_TRUE(r.ok());
+      losses.push_back(r->loss);
+    }
+    return {losses, trainer->ExportReplica()};
+  };
+
+  const auto [barrier_losses, barrier_weights] = train(1);
+  for (uint32_t num_chunks : {2u, 4u, 7u}) {
+    const auto [losses, weights] = train(num_chunks);
+    EXPECT_EQ(barrier_losses, losses) << "chunks " << num_chunks;
+    ASSERT_EQ(barrier_weights.layers.size(), weights.layers.size());
+    for (size_t l = 0; l < weights.layers.size(); ++l) {
+      ASSERT_EQ(barrier_weights.layers[l].size(), weights.layers[l].size());
+      for (size_t p = 0; p < weights.layers[l].size(); ++p) {
+        EXPECT_EQ(barrier_weights.layers[l][p].data, weights.layers[l][p].data)
+            << "chunks " << num_chunks << " layer " << l << " param " << p;
+      }
+    }
+    EXPECT_EQ(barrier_weights.head.data, weights.head.data) << "chunks " << num_chunks;
+  }
+}
+
+}  // namespace
+}  // namespace dgcl
