@@ -1,0 +1,235 @@
+// Serving tier under open-loop load: latency percentiles, cache hit rate and
+// throughput vs shard count, plus a mid-load shard kill.
+//
+// An open-loop generator submits mini-batch sample+inference requests on a
+// fixed schedule regardless of completions (so a saturated service shows up
+// as shed requests and fat tails, not as a silently slowed generator), round-
+// robin across shards, while a drain thread collects responses. For each
+// (shard count, cache policy) the bench reports p50/p99/p999 end-to-end
+// latency, the feature cache's measured hit rate (the number EXPERIMENTS.md
+// feeds back into EpochOptions::cache_hit_rate), and completed throughput.
+// The final phase kills one shard mid-load and checks the failure contract:
+// every request touching the dead shard completes kUnavailable naming it as
+// suspect — no hangs, no drops.
+//
+// Usage: bench_serving [--json out.json] [--trace out.json]
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/percentile.h"
+#include "common/table_printer.h"
+#include "service/service.h"
+
+namespace dgcl {
+namespace {
+
+constexpr uint32_t kRequestsPerConfig = 1200;
+constexpr double kOfferedRps = 3000.0;  // open-loop schedule, per config
+
+struct LoadResult {
+  uint64_t completed = 0;
+  uint64_t unavailable = 0;
+  uint64_t shed = 0;
+  uint64_t suspect_named = 0;  // kUnavailable responses naming a suspect
+  std::vector<double> latencies_ms;  // OK responses
+  double max_unavailable_ms = 0.0;
+  double wall_seconds = 0.0;
+};
+
+// Offers `num_requests` requests at kOfferedRps, round-robin over the alive
+// shards (dead ones keep receiving traffic — that is the point of the kill
+// phase). `kill_shard` != kInvalidId kills that shard after half the load.
+LoadResult OfferLoad(GraphService& service, uint32_t num_requests, uint64_t seed_base,
+                     uint32_t kill_shard) {
+  LoadResult result;
+  std::vector<SampleResponse> responses;
+  responses.reserve(num_requests);
+  std::thread drainer([&] {
+    // The generator stops producing once every accepted request is answered;
+    // a bounded pop keeps the drainer from hanging if the contract breaks.
+    while (true) {
+      std::optional<SampleResponse> response = service.PopResponse(200'000);
+      if (!response) {
+        break;
+      }
+      responses.push_back(std::move(*response));
+    }
+  });
+
+  const uint32_t num_shards = service.options().num_shards;
+  const auto start = std::chrono::steady_clock::now();
+  const double period_s = 1.0 / kOfferedRps;
+  uint64_t accepted = 0;
+  for (uint32_t i = 0; i < num_requests; ++i) {
+    // Open loop: wait until this request's scheduled offset, never earlier.
+    const auto due = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                 std::chrono::duration<double>(i * period_s));
+    std::this_thread::sleep_until(due);
+    if (kill_shard != kInvalidId && i == num_requests / 2) {
+      Status killed = service.KillShard(kill_shard);
+      if (!killed.ok()) {
+        std::printf("KillShard failed: %s\n", killed.ToString().c_str());
+      }
+    }
+    SampleRequest request;
+    request.request_id = i;
+    request.shard = i % num_shards;
+    request.num_seeds = 16;
+    request.sample.seed = seed_base + i;
+    request.run_inference = (i % 8) == 0;
+    Status status = service.Submit(std::move(request));
+    if (status.ok()) {
+      ++accepted;
+    } else {
+      ++result.shed;
+    }
+  }
+  // Every accepted request must produce exactly one response; wait for them.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (responses.size() + 0 < accepted && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  service.Stop();  // closes the response queue; drainer exits after draining
+  drainer.join();
+
+  for (const SampleResponse& response : responses) {
+    if (response.status.ok()) {
+      ++result.completed;
+      result.latencies_ms.push_back(response.latency_seconds * 1e3);
+    } else if (response.status.code() == StatusCode::kUnavailable) {
+      ++result.unavailable;
+      if (!response.suspects.empty()) {
+        ++result.suspect_named;
+      }
+      result.max_unavailable_ms =
+          std::max(result.max_unavailable_ms, response.latency_seconds * 1e3);
+    }
+  }
+  return result;
+}
+
+int Run(int argc, char** argv) {
+  auto json_path = bench::ConsumeJsonFlag(&argc, argv);
+  auto trace_path = bench::ConsumeTraceFlag(&argc, argv);
+  bench::PrintHeader("Graph service tier: open-loop serving latency vs shard count");
+
+  Dataset dataset = MakeDataset(DatasetId::kReddit, bench::InverseScale(DatasetId::kReddit) * 4);
+  std::printf("dataset %s: %u vertices, %llu edges\n\n", dataset.name.c_str(),
+              dataset.graph.num_vertices(),
+              static_cast<unsigned long long>(dataset.graph.num_edges()));
+
+  const uint32_t kShardCounts[] = {2, 4, 8};
+  const char* kPolicies[] = {"lru", "lfu"};
+
+  TablePrinter table({"Shards", "Policy", "Offered", "Shed", "p50 ms", "p99 ms", "p999 ms",
+                      "Hit rate", "req/s"});
+  std::vector<bench::JsonRecord> records;
+  for (uint32_t shards : kShardCounts) {
+    for (const char* policy : kPolicies) {
+      ServiceOptions options;
+      options.num_shards = shards;
+      options.samplers_per_shard = 2;
+      options.cache_policy = policy;
+      options.cache_capacity_rows = 256;  // well under the remote set: evictions happen
+      auto service = GraphService::Create(dataset.graph, options);
+      if (!service.ok()) {
+        std::printf("Create(%u, %s) failed: %s\n", shards, policy,
+                    service.status().ToString().c_str());
+        return 1;
+      }
+      (*service)->Start();
+      LoadResult load = OfferLoad(**service, kRequestsPerConfig, 1000ull * shards, kInvalidId);
+      const FeatureCache::Stats cache = (*service)->cache().stats();
+      const double p50 = Percentile(load.latencies_ms, 0.50);
+      const double p99 = Percentile(load.latencies_ms, 0.99);
+      const double p999 = Percentile(load.latencies_ms, 0.999);
+      const double rps = load.wall_seconds > 0
+                             ? static_cast<double>(load.completed) / load.wall_seconds
+                             : 0.0;
+      table.AddRow({std::to_string(shards), policy, std::to_string(kRequestsPerConfig),
+                    std::to_string(load.shed), TablePrinter::Fmt(p50, 3),
+                    TablePrinter::Fmt(p99, 3), TablePrinter::Fmt(p999, 3),
+                    TablePrinter::Fmt(cache.HitRate(), 3), TablePrinter::Fmt(rps, 0)});
+      bench::JsonRecord record;
+      record.AddString("phase", "steady");
+      record.AddInt("shards", shards);
+      record.AddString("cache_policy", policy);
+      record.AddInt("offered", kRequestsPerConfig);
+      record.AddInt("completed", load.completed);
+      record.AddInt("shed", load.shed);
+      record.AddNumber("p50_ms", p50);
+      record.AddNumber("p99_ms", p99);
+      record.AddNumber("p999_ms", p999);
+      record.AddNumber("cache_hit_rate", cache.HitRate());
+      record.AddInt("cache_evictions", cache.evictions);
+      record.AddNumber("throughput_rps", rps);
+      records.push_back(std::move(record));
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  // ---- kill phase: one shard dies under load --------------------------------
+  {
+    ServiceOptions options;
+    options.num_shards = 4;
+    options.samplers_per_shard = 2;
+    options.cache_capacity_rows = 256;
+    auto service = GraphService::Create(dataset.graph, options);
+    if (!service.ok()) {
+      std::printf("kill-phase Create failed: %s\n", service.status().ToString().c_str());
+      return 1;
+    }
+    (*service)->Start();
+    const uint32_t kill_shard = 1;
+    LoadResult load = OfferLoad(**service, kRequestsPerConfig, 7000, kill_shard);
+    const bool contract_held = load.unavailable > 0 && load.suspect_named == load.unavailable;
+    std::printf(
+        "kill phase (4 shards, shard %u dies mid-load): %llu ok, %llu unavailable "
+        "(%llu naming a suspect), %llu shed, slowest failure %.3f ms — contract %s\n",
+        kill_shard, static_cast<unsigned long long>(load.completed),
+        static_cast<unsigned long long>(load.unavailable),
+        static_cast<unsigned long long>(load.suspect_named),
+        static_cast<unsigned long long>(load.shed), load.max_unavailable_ms,
+        contract_held ? "HELD" : "VIOLATED");
+    bench::JsonRecord record;
+    record.AddString("phase", "kill");
+    record.AddInt("shards", 4);
+    record.AddInt("killed_shard", kill_shard);
+    record.AddInt("completed", load.completed);
+    record.AddInt("unavailable", load.unavailable);
+    record.AddInt("suspect_named", load.suspect_named);
+    record.AddInt("shed", load.shed);
+    record.AddNumber("max_unavailable_ms", load.max_unavailable_ms);
+    record.AddString("contract", contract_held ? "held" : "violated");
+    records.push_back(std::move(record));
+    if (!contract_held) {
+      return 1;
+    }
+  }
+
+  if (json_path) {
+    if (Status status = bench::WriteJsonRecords(*json_path, records); !status.ok()) {
+      std::printf("json write failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (trace_path) {
+    if (Status status = bench::FinishTrace(*trace_path); !status.ok()) {
+      std::printf("trace write failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dgcl
+
+int main(int argc, char** argv) { return dgcl::Run(argc, argv); }

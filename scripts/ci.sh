@@ -13,15 +13,22 @@
 #                             under dead peers, and the chunked fault-schedule
 #                             fuzz — a subset of unit+fuzz, runnable alone
 #                             when iterating on the overlap engine)
-#   4. fuzz tier              ctest -L fuzz   (fault-schedule fuzzing, fixed
+#   4. serving tier           ctest -L serving (the graph service tier:
+#                             sharded store, bounded-queue backpressure,
+#                             LRU/LFU cache conformance, shard-death
+#                             fail-fast, and sampler determinism across pool
+#                             widths — a subset of `unit`, runnable alone
+#                             when iterating on src/service/)
+#   5. fuzz tier              ctest -L fuzz   (fault-schedule fuzzing, fixed
 #                             seed budget so wall time is bounded and every
 #                             run covers the same schedules)
-#   5. sanitizers             scripts/check_sanitizers.sh (TSan + ASan trees
+#   6. sanitizers             scripts/check_sanitizers.sh (TSan + ASan trees
 #                             over the concurrency-sensitive suites, with a
 #                             reduced fuzz budget; TSan is the gate for the
-#                             per-chunk ready-flag protocol)
+#                             per-chunk ready-flag protocol and the serving
+#                             tier's MPMC queues)
 #
-# Usage: scripts/ci.sh [unit|planner|overlap|fuzz|sanitizers|all]   (default: all)
+# Usage: scripts/ci.sh [unit|planner|overlap|serving|fuzz|sanitizers|all]   (default: all)
 # Env:   DGCL_CI_FUZZ_SEEDS  fuzz-tier seed budget (default 200)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -49,6 +56,11 @@ overlap_tier() {
     ctest --test-dir build -L overlap --output-on-failure -j "$(nproc)"
 }
 
+serving_tier() {
+  echo "=== CI tier: serving ==="
+  ctest --test-dir build -L serving --output-on-failure -j "$(nproc)"
+}
+
 fuzz_tier() {
   echo "=== CI tier: fuzz (DGCL_CI_FUZZ_SEEDS=${DGCL_CI_FUZZ_SEEDS:-200}) ==="
   DGCL_FUZZ_SEEDS="${DGCL_CI_FUZZ_SEEDS:-200}" \
@@ -73,6 +85,10 @@ case "$TIER" in
     build
     overlap_tier
     ;;
+  serving)
+    build
+    serving_tier
+    ;;
   fuzz)
     build
     fuzz_tier
@@ -85,7 +101,7 @@ case "$TIER" in
     sanitizer_tier
     ;;
   *)
-    echo "usage: $0 [unit|planner|overlap|fuzz|sanitizers|all]" >&2
+    echo "usage: $0 [unit|planner|overlap|serving|fuzz|sanitizers|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,38 @@
+// Percentiles over small sample sets (serving-latency reporting).
+//
+// One definition shared by bench_serving and `dgcl_trace summarize
+// --serving` so their p50/p99/p999 columns are comparable: nearest-rank on
+// the sorted samples (ceil(p * n) - 1, clamped), the convention most load
+// generators use. No interpolation — a reported percentile is always an
+// observed sample.
+
+#ifndef DGCL_COMMON_PERCENTILE_H_
+#define DGCL_COMMON_PERCENTILE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dgcl {
+
+// Nearest-rank percentile of ascending `sorted`; p in (0, 1]. 0 on empty.
+inline double PercentileSorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const double rank = std::ceil(p * static_cast<double>(sorted.size()));
+  const size_t index = rank < 1.0 ? 0 : static_cast<size_t>(rank) - 1;
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+// Convenience: sorts a copy.
+inline double Percentile(std::vector<double> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  return PercentileSorted(samples, p);
+}
+
+}  // namespace dgcl
+
+#endif  // DGCL_COMMON_PERCENTILE_H_

@@ -507,4 +507,15 @@ std::unique_ptr<GnnLayer> MakeLayer(GnnModel model, uint32_t dim_in, uint32_t di
   return nullptr;
 }
 
+EmbeddingMatrix InferenceForward(const LocalGraph& graph, const EmbeddingMatrix& inputs,
+                                 std::span<const std::unique_ptr<GnnLayer>> layers) {
+  DGCL_CHECK_EQ(graph.num_slots, graph.num_compute);
+  DGCL_CHECK_EQ(inputs.rows, graph.num_slots);
+  EmbeddingMatrix current = inputs;
+  for (const std::unique_ptr<GnnLayer>& layer : layers) {
+    current = layer->Forward(graph, current);
+  }
+  return current;
+}
+
 }  // namespace dgcl

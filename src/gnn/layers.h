@@ -14,6 +14,7 @@
 #define DGCL_GNN_LAYERS_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -50,6 +51,15 @@ class GnnLayer {
 // Factory: one layer of `model` mapping dim_in -> dim_out, weights drawn
 // from `rng` (pass identically-seeded Rngs to replicate weights).
 std::unique_ptr<GnnLayer> MakeLayer(GnnModel model, uint32_t dim_in, uint32_t dim_out, Rng& rng);
+
+// Forward-only pass over a layer stack on a fully-local graph (num_slots ==
+// num_compute, e.g. FullLocalGraph of a sampled mini-batch subgraph): each
+// layer's output rows feed the next layer's slots directly, no allgather.
+// Returns the last layer's rows. Layers still cache activations (Forward is
+// non-const), so a stack must not be shared across threads — the serving
+// tier gives each sampler worker its own replica (seeded identically).
+EmbeddingMatrix InferenceForward(const LocalGraph& graph, const EmbeddingMatrix& inputs,
+                                 std::span<const std::unique_ptr<GnnLayer>> layers);
 
 // --- aggregation primitives (exposed for tests) ---
 

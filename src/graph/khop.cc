@@ -1,8 +1,10 @@
 #include "graph/khop.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/logging.h"
+#include "common/rng.h"
 
 namespace dgcl {
 
@@ -31,6 +33,80 @@ std::vector<VertexId> ExpandKHop(const CsrGraph& graph, std::span<const VertexId
         }
       }
     }
+    std::swap(frontier, next);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+uint64_t MixSeed(uint64_t seed, uint64_t a, uint64_t b) {
+  // splitmix64 finalizer over the three words, chained so (seed, a, b) and
+  // (seed, b, a) diverge.
+  uint64_t x = seed;
+  for (uint64_t word : {a + 0x9E3779B97F4A7C15ULL, b + 0xBF58476D1CE4E5B9ULL}) {
+    x += word;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+  }
+  return x;
+}
+
+std::vector<VertexId> SampleNeighbors(const CsrGraph& graph, VertexId v, uint32_t fanout,
+                                      uint64_t seed, uint32_t hop) {
+  DGCL_CHECK_LT(v, graph.num_vertices());
+  std::span<const VertexId> nbrs = graph.Neighbors(v);
+  const uint64_t n = nbrs.size();
+  if (n <= fanout) {
+    return std::vector<VertexId>(nbrs.begin(), nbrs.end());
+  }
+  // Sparse Fisher–Yates: draw `fanout` distinct indices in [0, n) touching
+  // only O(fanout) state, so hub vertices don't cost O(degree) per sample.
+  Rng rng(MixSeed(seed, hop, v));
+  std::unordered_map<uint64_t, uint64_t> swapped;
+  std::vector<VertexId> chosen;
+  chosen.reserve(fanout);
+  for (uint32_t i = 0; i < fanout; ++i) {
+    const uint64_t j = i + rng.UniformInt(n - i);
+    auto at = [&](uint64_t k) {
+      auto it = swapped.find(k);
+      return it == swapped.end() ? k : it->second;
+    };
+    const uint64_t pick = at(j);
+    swapped[j] = at(i);
+    chosen.push_back(nbrs[pick]);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+std::vector<VertexId> SampleKHop(const CsrGraph& graph, std::span<const VertexId> seeds,
+                                 const SampleKHopOptions& options) {
+  std::vector<uint8_t> visited(graph.num_vertices(), 0);
+  std::vector<VertexId> frontier;
+  std::vector<VertexId> result;
+  for (VertexId s : seeds) {
+    DGCL_CHECK_LT(s, graph.num_vertices());
+    if (!visited[s]) {
+      visited[s] = 1;
+      frontier.push_back(s);
+      result.push_back(s);
+    }
+  }
+  std::sort(frontier.begin(), frontier.end());
+  std::vector<VertexId> next;
+  for (uint32_t hop = 0; hop < options.hops && !frontier.empty(); ++hop) {
+    next.clear();
+    for (VertexId v : frontier) {
+      for (VertexId nbr : SampleNeighbors(graph, v, options.fanout, options.seed, hop)) {
+        if (!visited[nbr]) {
+          visited[nbr] = 1;
+          next.push_back(nbr);
+          result.push_back(nbr);
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
     std::swap(frontier, next);
   }
   std::sort(result.begin(), result.end());

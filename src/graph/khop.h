@@ -1,9 +1,13 @@
-// K-hop neighborhood expansion.
+// K-hop neighborhood expansion and seeded (fanout-capped) sampling.
 //
-// Used by the Replication baseline (§3 of the paper): a device that must
-// train its local partition without communication needs the K-hop neighbors
-// of its local vertices replicated locally. ExpandKHop computes that closure;
-// ReplicationFactor reproduces the metric of Figure 4.
+// ExpandKHop is used by the Replication baseline (§3 of the paper): a device
+// that must train its local partition without communication needs the K-hop
+// neighbors of its local vertices replicated locally; ReplicationFactor
+// reproduces the metric of Figure 4. SampleKHop is the GraphSAGE-style
+// mini-batch variant serving the graph-service tier (src/service/): each hop
+// keeps at most `fanout` neighbors per frontier vertex, chosen by a counter-
+// hashed RNG keyed on (seed, hop, vertex) — the sampled set is a pure
+// function of the request, independent of thread count or visit order.
 
 #ifndef DGCL_GRAPH_KHOP_H_
 #define DGCL_GRAPH_KHOP_H_
@@ -25,6 +29,31 @@ std::vector<VertexId> ExpandKHop(const CsrGraph& graph, std::span<const VertexId
 // the part id of vertex v; part ids are dense in [0, num_parts).
 double ReplicationFactor(const CsrGraph& graph, std::span<const uint32_t> parts,
                          uint32_t num_parts, uint32_t hops);
+
+// splitmix64-style mix of a seed with per-draw coordinates; the sampling
+// primitives below derive every per-vertex RNG from this, so two samplers
+// expanding the same vertex under the same request seed make the same choice.
+uint64_t MixSeed(uint64_t seed, uint64_t a, uint64_t b);
+
+// At most `fanout` neighbors of `v`, ascending ids. Degree <= fanout returns
+// all neighbors; otherwise a uniform sample without replacement drawn from
+// an Rng seeded with MixSeed(seed, hop, v). O(fanout) extra space (sparse
+// Fisher–Yates).
+std::vector<VertexId> SampleNeighbors(const CsrGraph& graph, VertexId v, uint32_t fanout,
+                                      uint64_t seed, uint32_t hop);
+
+struct SampleKHopOptions {
+  uint32_t hops = 2;
+  uint32_t fanout = 10;   // per-vertex neighbor cap per hop
+  uint64_t seed = 0x5eed;
+};
+
+// Fanout-capped variant of ExpandKHop: the union of seeds and sampled
+// neighbors across `hops` rounds, ascending ids. Deterministic for a given
+// (graph, seeds, options); frontier vertices are expanded in ascending order
+// so the first-visit dedup is order-independent too.
+std::vector<VertexId> SampleKHop(const CsrGraph& graph, std::span<const VertexId> seeds,
+                                 const SampleKHopOptions& options);
 
 }  // namespace dgcl
 

@@ -259,4 +259,8 @@ const Connection* ConnectionTable::Find(DeviceId src, DeviceId dst) const {
   return it->get();
 }
 
+Connection* ConnectionTable::FindMutable(DeviceId src, DeviceId dst) {
+  return const_cast<Connection*>(static_cast<const ConnectionTable*>(this)->Find(src, dst));
+}
+
 }  // namespace dgcl

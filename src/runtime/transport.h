@@ -203,6 +203,10 @@ class ConnectionTable {
 
   // nullptr when the ordered pair carries no traffic in the plan.
   const Connection* Find(DeviceId src, DeviceId dst) const;
+  // Non-const lookup for callers that Transmit outside an engine pass (the
+  // serving tier's remote-feature fetches). Same single-sender-per-connection
+  // contract as engine use; such callers serialize externally.
+  Connection* FindMutable(DeviceId src, DeviceId dst);
 
  private:
   std::vector<std::unique_ptr<Connection>> connections_;  // sorted by (src, dst)

@@ -1,0 +1,124 @@
+#include "service/feature_cache.h"
+
+#include "common/logging.h"
+#include "telemetry/trace.h"
+
+namespace dgcl {
+
+// ---- LRU --------------------------------------------------------------------
+
+void LruPolicy::OnInsert(VertexId v) {
+  DGCL_CHECK(where_.find(v) == where_.end());
+  order_.push_front(v);
+  where_[v] = order_.begin();
+}
+
+void LruPolicy::OnAccess(VertexId v) {
+  auto it = where_.find(v);
+  DGCL_CHECK(it != where_.end());
+  order_.splice(order_.begin(), order_, it->second);
+}
+
+VertexId LruPolicy::ChooseVictim() {
+  DGCL_CHECK(!order_.empty());
+  return order_.back();
+}
+
+void LruPolicy::OnErase(VertexId v) {
+  auto it = where_.find(v);
+  DGCL_CHECK(it != where_.end());
+  order_.erase(it->second);
+  where_.erase(it);
+}
+
+// ---- LFU --------------------------------------------------------------------
+
+void LfuPolicy::OnInsert(VertexId v) {
+  DGCL_CHECK(entries_.find(v) == entries_.end());
+  Entry e{0, next_tick_++};
+  entries_[v] = e;
+  by_freq_[{e.freq, e.tick}] = v;
+}
+
+void LfuPolicy::OnAccess(VertexId v) {
+  auto it = entries_.find(v);
+  DGCL_CHECK(it != entries_.end());
+  by_freq_.erase({it->second.freq, it->second.tick});
+  ++it->second.freq;
+  by_freq_[{it->second.freq, it->second.tick}] = v;
+}
+
+VertexId LfuPolicy::ChooseVictim() {
+  DGCL_CHECK(!by_freq_.empty());
+  return by_freq_.begin()->second;
+}
+
+void LfuPolicy::OnErase(VertexId v) {
+  auto it = entries_.find(v);
+  DGCL_CHECK(it != entries_.end());
+  by_freq_.erase({it->second.freq, it->second.tick});
+  entries_.erase(it);
+}
+
+Result<std::unique_ptr<EvictionPolicy>> MakeEvictionPolicy(const std::string& name) {
+  if (name == "lru") {
+    return std::unique_ptr<EvictionPolicy>(new LruPolicy());
+  }
+  if (name == "lfu") {
+    return std::unique_ptr<EvictionPolicy>(new LfuPolicy());
+  }
+  return Status::InvalidArgument("unknown eviction policy '" + name + "' (want lru or lfu)");
+}
+
+// ---- FeatureCache -----------------------------------------------------------
+
+FeatureCache::FeatureCache(size_t capacity_rows, std::unique_ptr<EvictionPolicy> policy)
+    : capacity_(capacity_rows == 0 ? 1 : capacity_rows), policy_(std::move(policy)) {
+  DGCL_CHECK(policy_ != nullptr);
+}
+
+bool FeatureCache::Lookup(VertexId v, std::vector<float>& row) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = rows_.find(v);
+  if (it == rows_.end()) {
+    ++stats_.misses;
+    DGCL_TCOUNT("service", "cache.miss", 1);
+    return false;
+  }
+  ++stats_.hits;
+  DGCL_TCOUNT("service", "cache.hit", 1);
+  policy_->OnAccess(v);
+  row = it->second;
+  return true;
+}
+
+void FeatureCache::Insert(VertexId v, std::vector<float> row) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = rows_.find(v);
+  if (it != rows_.end()) {
+    it->second = std::move(row);
+    policy_->OnAccess(v);
+    return;
+  }
+  if (rows_.size() >= capacity_) {
+    const VertexId victim = policy_->ChooseVictim();
+    policy_->OnErase(victim);
+    rows_.erase(victim);
+    ++stats_.evictions;
+    DGCL_TCOUNT("service", "cache.evict", 1);
+  }
+  rows_.emplace(v, std::move(row));
+  policy_->OnInsert(v);
+}
+
+size_t FeatureCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rows_.size();
+}
+
+FeatureCache::Stats FeatureCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace dgcl

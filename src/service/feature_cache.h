@@ -1,0 +1,129 @@
+// Feature/embedding cache fronting remote-feature fetches (§3 option (1),
+// made real).
+//
+// The epoch simulator's Method::kDgclCache prices the idealized version of
+// this cache — every remote layer-0 feature pinned locally. The serving tier
+// needs the real thing: a bounded row cache in front of the remote-fetch
+// path whose *measured* hit rate feeds back into that estimate
+// (EpochOptions::cache_hit_rate). Eviction is pluggable behind one
+// interface; LRU (recency, the GraphMix default) and LFU (frequency, better
+// for power-law access skew where hub vertices are resampled constantly)
+// ship built in, and the conformance contract both must satisfy is tested in
+// service_test.cc.
+//
+// Thread model: the cache is shared by every sampler worker; one mutex
+// guards map + policy (row copies happen under the lock — rows are small,
+// feature_dim floats). Hits and misses are DGCL_TCOUNT'd under the
+// "service" category so a trace shows the hit rate the bench reports.
+
+#ifndef DGCL_SERVICE_FEATURE_CACHE_H_
+#define DGCL_SERVICE_FEATURE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/csr_graph.h"
+
+namespace dgcl {
+
+// Eviction bookkeeping for one cache. Implementations are NOT thread-safe;
+// FeatureCache calls them under its lock. The contract (conformance-tested):
+//  * OnInsert(v) registers a resident key (v was not resident).
+//  * OnAccess(v) records a hit on a resident key.
+//  * ChooseVictim() names a resident key to evict (cache erases it and then
+//    calls OnErase). Deterministic: ties broken by oldest insertion.
+//  * OnErase(v) forgets a resident key.
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+  virtual void OnInsert(VertexId v) = 0;
+  virtual void OnAccess(VertexId v) = 0;
+  virtual VertexId ChooseVictim() = 0;  // precondition: at least one resident key
+  virtual void OnErase(VertexId v) = 0;
+  virtual const char* name() const = 0;
+};
+
+// Least-recently-used: victim is the key untouched the longest.
+class LruPolicy final : public EvictionPolicy {
+ public:
+  void OnInsert(VertexId v) override;
+  void OnAccess(VertexId v) override;
+  VertexId ChooseVictim() override;
+  void OnErase(VertexId v) override;
+  const char* name() const override { return "lru"; }
+
+ private:
+  std::list<VertexId> order_;  // front = most recent
+  std::unordered_map<VertexId, std::list<VertexId>::iterator> where_;
+};
+
+// Least-frequently-used with FIFO tie-break: victim is the key with the
+// fewest accesses since insertion; among equals, the earliest inserted.
+class LfuPolicy final : public EvictionPolicy {
+ public:
+  void OnInsert(VertexId v) override;
+  void OnAccess(VertexId v) override;
+  VertexId ChooseVictim() override;
+  void OnErase(VertexId v) override;
+  const char* name() const override { return "lfu"; }
+
+ private:
+  struct Entry {
+    uint64_t freq = 0;
+    uint64_t tick = 0;  // insertion order, the tie-break
+  };
+  // (freq, tick) -> v, ordered so begin() is the victim.
+  std::map<std::pair<uint64_t, uint64_t>, VertexId> by_freq_;
+  std::unordered_map<VertexId, Entry> entries_;
+  uint64_t next_tick_ = 0;
+};
+
+// "lru" | "lfu"; error on anything else.
+Result<std::unique_ptr<EvictionPolicy>> MakeEvictionPolicy(const std::string& name);
+
+// Bounded cache of feature rows keyed by global vertex id.
+class FeatureCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    double HitRate() const {
+      const uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+
+  // `capacity_rows` > 0; the cache never holds more rows than that.
+  FeatureCache(size_t capacity_rows, std::unique_ptr<EvictionPolicy> policy);
+
+  // Copies v's row into `row` and returns true on a hit; false (row
+  // untouched) on a miss. Both outcomes are counted.
+  bool Lookup(VertexId v, std::vector<float>& row);
+
+  // Inserts (or refreshes) v's row, evicting per policy when full.
+  void Insert(VertexId v, std::vector<float> row);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  Stats stats() const;
+  const char* policy_name() const { return policy_->name(); }
+
+ private:
+  const size_t capacity_;
+  std::unique_ptr<EvictionPolicy> policy_;
+  mutable std::mutex mutex_;
+  std::unordered_map<VertexId, std::vector<float>> rows_;
+  Stats stats_;
+};
+
+}  // namespace dgcl
+
+#endif  // DGCL_SERVICE_FEATURE_CACHE_H_

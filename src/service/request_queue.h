@@ -1,0 +1,137 @@
+// Bounded MPMC queue with backpressure — the request/response channel of the
+// graph service tier.
+//
+// Design goals, in order:
+//  * Backpressure is explicit: TryPush fails (rather than blocks) when the
+//    queue is full, so an open-loop load generator sees shed requests
+//    instead of silently serializing, and Push takes a deadline so a
+//    producer can never hang on a stalled consumer.
+//  * Shutdown is a first-class state: Close() wakes every waiter; pending
+//    items stay poppable (the service drains a killed shard's queue to fail
+//    its requests with kUnavailable instead of dropping them on the floor).
+//  * Simplicity over throughput: one mutex and two condition variables. The
+//    per-request work (k-hop sampling + feature assembly) dwarfs queue
+//    costs at this reproduction's scale, and the mutex keeps the structure
+//    trivially TSan-clean (scripts/check_sanitizers.sh gates it).
+
+#ifndef DGCL_SERVICE_REQUEST_QUEUE_H_
+#define DGCL_SERVICE_REQUEST_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace dgcl {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Non-blocking enqueue; false when full or closed (the backpressure
+  // signal). Item is untouched on failure.
+  bool TryPush(T& item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) {
+      return false;
+    }
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+  bool TryPush(T&& item) {
+    T moved = std::move(item);
+    return TryPush(moved);
+  }
+
+  // Blocking enqueue with a deadline: false when the queue stayed full for
+  // `timeout_micros` or was closed while waiting.
+  bool Push(T item, uint64_t timeout_micros) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::microseconds(timeout_micros);
+    if (!not_full_.wait_until(lock, deadline,
+                              [&] { return closed_ || items_.size() < capacity_; })) {
+      return false;
+    }
+    if (closed_) {
+      return false;
+    }
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocking dequeue with a deadline. nullopt on timeout, or when the queue
+  // is closed *and* drained (pending items of a closed queue still pop).
+  std::optional<T> Pop(uint64_t timeout_micros) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::microseconds(timeout_micros);
+    if (!not_empty_.wait_until(lock, deadline, [&] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
+    if (items_.empty()) {
+      return std::nullopt;  // closed and drained
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Non-blocking dequeue; nullopt when empty.
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Rejects new pushes and wakes every waiter. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace dgcl
+
+#endif  // DGCL_SERVICE_REQUEST_QUEUE_H_

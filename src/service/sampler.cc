@@ -1,0 +1,87 @@
+#include "service/sampler.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace dgcl {
+
+std::vector<VertexId> SampleLocalNodes(const GraphShard& shard, uint32_t count, uint64_t seed) {
+  const std::vector<VertexId>& locals = shard.local_vertices();
+  const uint64_t n = locals.size();
+  if (count >= n) {
+    return locals;
+  }
+  Rng rng(MixSeed(seed, shard.id(), 0));
+  std::unordered_map<uint64_t, uint64_t> swapped;
+  std::vector<VertexId> chosen;
+  chosen.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint64_t j = i + rng.UniformInt(n - i);
+    auto at = [&](uint64_t k) {
+      auto it = swapped.find(k);
+      return it == swapped.end() ? k : it->second;
+    };
+    const uint64_t pick = at(j);
+    swapped[j] = at(i);
+    chosen.push_back(locals[pick]);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+Result<SampleResult> NeighborSampler::Sample(uint32_t home_shard, std::span<const VertexId> seeds,
+                                             const SampleKHopOptions& options, DeviceMask alive,
+                                             uint32_t* dead_shard) const {
+  const CsrGraph& graph = store_->graph();
+  SampleResult result;
+  std::vector<uint8_t> visited(graph.num_vertices(), 0);
+  std::vector<VertexId> frontier;
+  for (VertexId s : seeds) {
+    if (s >= graph.num_vertices()) {
+      return Status::OutOfRange("sample seed " + std::to_string(s) + " >= num_vertices");
+    }
+    if (!visited[s]) {
+      visited[s] = 1;
+      frontier.push_back(s);
+      result.nodes.push_back(s);
+    }
+  }
+  std::sort(frontier.begin(), frontier.end());
+  std::vector<VertexId> next;
+  // Mirrors SampleKHop (graph/khop.cc) exactly, with ownership resolution on
+  // every expansion — keep the hop numbering and visit order in lockstep or
+  // the all-alive byte-identity contract breaks.
+  for (uint32_t hop = 0; hop < options.hops && !frontier.empty(); ++hop) {
+    next.clear();
+    for (VertexId v : frontier) {
+      const uint32_t owner = store_->OwnerOf(v);
+      if (((alive >> owner) & 1) == 0) {
+        if (dead_shard != nullptr) {
+          *dead_shard = owner;
+        }
+        return Status::Unavailable("shard " + std::to_string(owner) +
+                                   " is dead; cannot expand vertex " + std::to_string(v));
+      }
+      result.shards_touched |= DeviceMask{1} << owner;
+      if (owner != home_shard) {
+        ++result.remote_expansions;
+      }
+      for (VertexId nbr : SampleNeighbors(graph, v, options.fanout, options.seed, hop)) {
+        if (!visited[nbr]) {
+          visited[nbr] = 1;
+          next.push_back(nbr);
+          result.nodes.push_back(nbr);
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    std::swap(frontier, next);
+  }
+  std::sort(result.nodes.begin(), result.nodes.end());
+  return result;
+}
+
+}  // namespace dgcl

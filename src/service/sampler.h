@@ -1,0 +1,68 @@
+// Seeded, deterministic samplers over the sharded store.
+//
+// Two samplers, mirroring the GraphMix/DistDGL split:
+//  * LocalNode — uniform local vertices of one shard (mini-batch seed
+//    selection; every training step starts here).
+//  * NeighborSampler — GraphSAGE-style fanout-capped k-hop expansion from
+//    the seeds, walking shard boundaries through the store's ownership map.
+//
+// The determinism contract (sampler_determinism_test, mirroring
+// plan_determinism_test's): the sampled set is a pure function of
+// (graph, seeds, options.seed) — NOT of the sampler-pool width, queue order,
+// or which worker thread picks the request up. It holds because every
+// random choice is drawn from an Rng keyed by MixSeed(seed, hop, vertex)
+// (graph/khop.h), never from shared mutable RNG state. With every shard
+// alive, NeighborSampler::Sample is byte-identical to the single-machine
+// SampleKHop over the same graph.
+//
+// A frontier vertex owned by a dead shard cannot be expanded (its adjacency
+// lives there); Sample fails with kUnavailable naming that shard as the
+// suspect, which the service surfaces in the response.
+
+#ifndef DGCL_SERVICE_SAMPLER_H_
+#define DGCL_SERVICE_SAMPLER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "comm/relation.h"
+#include "common/status.h"
+#include "graph/khop.h"
+#include "service/graph_shard.h"
+
+namespace dgcl {
+
+// `count` distinct local vertices of `shard`, ascending global ids, drawn
+// uniformly without replacement from Rng(MixSeed(seed, shard.id(), 0)).
+// count >= num_local returns all locals.
+std::vector<VertexId> SampleLocalNodes(const GraphShard& shard, uint32_t count, uint64_t seed);
+
+struct SampleResult {
+  std::vector<VertexId> nodes;    // sampled set, ascending global ids
+  uint64_t remote_expansions = 0; // frontier expansions owned by another shard
+  DeviceMask shards_touched = 0;  // every shard that owned an expanded vertex
+};
+
+class NeighborSampler {
+ public:
+  explicit NeighborSampler(const ShardedGraphStore* store) : store_(store) {}
+
+  // Fanout-capped k-hop sample from `seeds`, as served by `home_shard`.
+  // `alive` is the live-shard mask (bit s = shard s alive); expanding a
+  // vertex owned by a dead shard returns kUnavailable with the shard named
+  // in the message (and in `*dead_shard` when non-null). All-alive output
+  // equals SampleKHop(graph, seeds, opts).
+  Result<SampleResult> Sample(uint32_t home_shard, std::span<const VertexId> seeds,
+                              const SampleKHopOptions& options, DeviceMask alive,
+                              uint32_t* dead_shard = nullptr) const;
+
+  const ShardedGraphStore& store() const { return *store_; }
+
+ private:
+  const ShardedGraphStore* store_;  // not owned; outlives the sampler
+};
+
+}  // namespace dgcl
+
+#endif  // DGCL_SERVICE_SAMPLER_H_

@@ -1,0 +1,482 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/ids.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "partition/multilevel.h"
+#include "planner/baselines.h"
+#include "telemetry/trace.h"
+#include "topology/presets.h"
+
+namespace dgcl {
+
+namespace {
+
+// Worker poll granularity: short enough that Stop()/Close() is noticed
+// promptly, long enough to not spin.
+constexpr uint64_t kMaxPollMicros = 50'000;
+
+DeviceMask FullAliveMask(uint32_t num_shards) {
+  return num_shards >= 64 ? ~DeviceMask{0} : (DeviceMask{1} << num_shards) - 1;
+}
+
+}  // namespace
+
+Status ServiceOptions::Validate() const {
+  if (num_shards < 1 || num_shards > 16) {
+    return Status::InvalidArgument("num_shards must be in [1, 16], got " +
+                                   std::to_string(num_shards));
+  }
+  if (samplers_per_shard < 1) {
+    return Status::InvalidArgument("samplers_per_shard must be >= 1");
+  }
+  if (request_queue_capacity < 1 || response_queue_capacity < 1) {
+    return Status::InvalidArgument("queue capacities must be >= 1");
+  }
+  if (request_deadline_micros == 0) {
+    return Status::InvalidArgument("request_deadline_micros must be > 0");
+  }
+  if (sample.fanout < 1) {
+    return Status::InvalidArgument("sample.fanout must be >= 1");
+  }
+  if (partitioner != "multilevel" && partitioner != "hash") {
+    return Status::InvalidArgument("unknown partitioner '" + partitioner +
+                                   "' (want multilevel|hash)");
+  }
+  if (cache_capacity_rows < 1) {
+    return Status::InvalidArgument("cache_capacity_rows must be >= 1");
+  }
+  if (cache_policy != "lru" && cache_policy != "lfu") {
+    return Status::InvalidArgument("unknown cache_policy '" + cache_policy + "' (want lru|lfu)");
+  }
+  if (feature_dim < 1) {
+    return Status::InvalidArgument("feature_dim must be >= 1");
+  }
+  if (num_layers < 1 || hidden_dim < 1) {
+    return Status::InvalidArgument("num_layers and hidden_dim must be >= 1");
+  }
+  DGCL_RETURN_IF_ERROR(transport.Validate());
+  DGCL_RETURN_IF_ERROR(faults.Validate());
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<GraphService>> GraphService::Create(const CsrGraph& graph,
+                                                           ServiceOptions options) {
+  DGCL_RETURN_IF_ERROR(options.Validate());
+  if (graph.num_vertices() == 0) {
+    return Status::InvalidArgument("cannot serve an empty graph");
+  }
+
+  std::unique_ptr<GraphService> service(new GraphService());
+  service->options_ = options;
+  service->graph_ = &graph;
+
+  if (options.partitioner == "hash") {
+    HashPartitioner partitioner;
+    DGCL_ASSIGN_OR_RETURN(service->partitioning_,
+                          partitioner.Partition(graph, options.num_shards));
+  } else {
+    MultilevelPartitioner partitioner;
+    DGCL_ASSIGN_OR_RETURN(service->partitioning_,
+                          partitioner.Partition(graph, options.num_shards));
+  }
+  DGCL_ASSIGN_OR_RETURN(service->store_,
+                        ShardedGraphStore::Build(graph, service->partitioning_));
+  DGCL_ASSIGN_OR_RETURN(service->relation_,
+                        BuildCommRelation(graph, service->partitioning_));
+  service->topology_ = BuildPaperTopology(options.num_shards);
+
+  // Remote-feature fetches are point-to-point row pulls, so the serving plan
+  // is the P2P baseline over the relation; what matters is the per-pair
+  // transport decision table the connections inherit from it.
+  PeerToPeerPlanner planner;
+  DGCL_ASSIGN_OR_RETURN(
+      CommPlan plan,
+      planner.Plan(service->relation_, service->topology_,
+                   static_cast<double>(options.feature_dim) * sizeof(float)));
+  service->plan_ = CompilePlan(plan, service->topology_);
+  DGCL_ASSIGN_OR_RETURN(service->connections_,
+                        ConnectionTable::Build(service->topology_, service->plan_,
+                                               options.transport, options.faults, {}));
+  service->connection_mutexes_.reserve(static_cast<size_t>(options.num_shards) *
+                                       options.num_shards);
+  for (uint32_t i = 0; i < options.num_shards * options.num_shards; ++i) {
+    service->connection_mutexes_.push_back(std::make_unique<std::mutex>());
+  }
+
+  // Deterministic feature store stand-in: every shard would hold its locals'
+  // rows; here one read-only matrix plays all of them.
+  service->features_.rows = graph.num_vertices();
+  service->features_.dim = options.feature_dim;
+  service->features_.data.resize(static_cast<size_t>(graph.num_vertices()) * options.feature_dim);
+  Rng feature_rng(options.feature_seed);
+  for (float& x : service->features_.data) {
+    x = feature_rng.UniformFloat(-1.0f, 1.0f);
+  }
+
+  DGCL_ASSIGN_OR_RETURN(std::unique_ptr<EvictionPolicy> policy,
+                        MakeEvictionPolicy(options.cache_policy));
+  service->cache_ =
+      std::make_unique<FeatureCache>(options.cache_capacity_rows, std::move(policy));
+
+  service->membership_ = std::make_unique<MembershipService>(options.num_shards);
+  service->alive_.store(FullAliveMask(options.num_shards), std::memory_order_release);
+
+  service->request_queues_.reserve(options.num_shards);
+  for (uint32_t s = 0; s < options.num_shards; ++s) {
+    service->request_queues_.push_back(
+        std::make_unique<BoundedQueue<SampleRequest>>(options.request_queue_capacity));
+  }
+  service->responses_ =
+      std::make_unique<BoundedQueue<SampleResponse>>(options.response_queue_capacity);
+
+  service->sampler_ = NeighborSampler(&service->store_);
+  service->sync_layers_ = service->MakeLayerStack();
+  return service;
+}
+
+GraphService::~GraphService() { Stop(); }
+
+void GraphService::Start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true) ||
+      stopping_.load(std::memory_order_acquire)) {
+    return;
+  }
+  const size_t num_workers =
+      static_cast<size_t>(options_.num_shards) * options_.samplers_per_shard;
+  workers_.reserve(num_workers);
+  for (uint32_t shard = 0; shard < options_.num_shards; ++shard) {
+    for (uint32_t i = 0; i < options_.samplers_per_shard; ++i) {
+      workers_.push_back(Worker{std::thread(&GraphService::WorkerLoop, this, shard)});
+    }
+  }
+}
+
+void GraphService::Stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  for (auto& queue : request_queues_) {
+    queue->Close();
+  }
+  for (Worker& worker : workers_) {
+    if (worker.thread.joinable()) {
+      worker.thread.join();
+    }
+  }
+  workers_.clear();
+  if (responses_ != nullptr) {
+    responses_->Close();
+  }
+}
+
+Status GraphService::Submit(SampleRequest request) {
+  if (request.shard >= options_.num_shards) {
+    return Status::OutOfRange("shard " + std::to_string(request.shard) + " >= num_shards " +
+                              std::to_string(options_.num_shards));
+  }
+  request.submit_ns = telemetry::Telemetry::NowNs();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.submitted;
+  }
+  const DeviceMask alive = AliveMask();
+  if (((alive >> request.shard) & 1) == 0) {
+    PushResponse(DeadHomeResponse(request));
+    return Status::Ok();
+  }
+  if (!request_queues_[request.shard]->TryPush(request)) {
+    if (request_queues_[request.shard]->closed()) {
+      // Lost the race with KillShard: the request was never queued, answer
+      // it the way the drain answers pending ones.
+      PushResponse(DeadHomeResponse(request));
+      return Status::Ok();
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.shed;
+    }
+    DGCL_TCOUNT1("service", "request.shed", 1, "shard", request.shard);
+    return Status::ResourceExhausted("shard " + std::to_string(request.shard) +
+                                     " request queue is full");
+  }
+  return Status::Ok();
+}
+
+std::optional<SampleResponse> GraphService::PopResponse(uint64_t timeout_micros) {
+  return responses_->Pop(timeout_micros);
+}
+
+SampleResponse GraphService::Serve(SampleRequest request) {
+  request.submit_ns = telemetry::Telemetry::NowNs();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.submitted;
+  }
+  SampleResponse response;
+  if (request.shard >= options_.num_shards) {
+    response.request_id = request.request_id;
+    response.shard = request.shard;
+    response.status = Status::OutOfRange("shard " + std::to_string(request.shard) +
+                                         " >= num_shards " + std::to_string(options_.num_shards));
+    return response;
+  }
+  {
+    std::lock_guard<std::mutex> lock(sync_mutex_);
+    response = Process(request, sync_layers_);
+  }
+  CountOutcome(response.status);
+  return response;
+}
+
+Status GraphService::KillShard(uint32_t shard) {
+  if (shard >= options_.num_shards) {
+    return Status::OutOfRange("shard " + std::to_string(shard) + " >= num_shards " +
+                              std::to_string(options_.num_shards));
+  }
+  {
+    std::lock_guard<std::mutex> lock(membership_mutex_);
+    DGCL_ASSIGN_OR_RETURN(MembershipView view,
+                          membership_->CommitFailure(DeviceMask{1} << shard));
+    alive_.store(view.alive, std::memory_order_release);
+  }
+  DGCL_TCOUNT1("service", "shard.killed", 1, "shard", shard);
+  // Fail everything still queued on the dead shard; workers parked on the
+  // queue wake via Close and exit. In-flight requests see the new alive mask
+  // at their next membership check.
+  BoundedQueue<SampleRequest>& queue = *request_queues_[shard];
+  queue.Close();
+  while (std::optional<SampleRequest> pending = queue.TryPop()) {
+    PushResponse(DeadHomeResponse(*pending));
+  }
+  return Status::Ok();
+}
+
+MembershipView GraphService::membership() const {
+  std::lock_guard<std::mutex> lock(membership_mutex_);
+  return membership_->view();
+}
+
+ServiceStats GraphService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void GraphService::WorkerLoop(uint32_t shard) {
+  std::vector<std::unique_ptr<GnnLayer>> layers = MakeLayerStack();
+  BoundedQueue<SampleRequest>& queue = *request_queues_[shard];
+  const uint64_t poll_micros = std::min<uint64_t>(options_.request_deadline_micros, kMaxPollMicros);
+  while (true) {
+    std::optional<SampleRequest> request = queue.Pop(poll_micros);
+    if (!request) {
+      if (queue.closed() || stopping_.load(std::memory_order_acquire)) {
+        return;
+      }
+      continue;
+    }
+    SampleResponse response = Process(*request, layers);
+    const Status status = response.status;
+    if (!PushResponse(std::move(response))) {
+      continue;  // dropped; already counted
+    }
+    (void)status;
+  }
+}
+
+SampleResponse GraphService::Process(SampleRequest& request,
+                                     std::vector<std::unique_ptr<GnnLayer>>& layers) {
+  const uint64_t pop_ns = telemetry::Telemetry::NowNs();
+  const uint64_t start_ns = request.submit_ns != 0 ? request.submit_ns : pop_ns;
+  const uint32_t home = request.shard;
+
+  SampleResponse response;
+  response.request_id = request.request_id;
+  response.shard = home;
+  if (pop_ns > start_ns) {
+    response.queue_seconds = static_cast<double>(pop_ns - start_ns) * 1e-9;
+    if (telemetry::Telemetry::Enabled()) {
+      telemetry::Telemetry::Get().RecorderForThisThread().RecordSpan(
+          "service", "serve.queue", start_ns, pop_ns - start_ns, "shard", home);
+    }
+  }
+
+  Status status;
+  do {
+    const DeviceMask alive = AliveMask();
+    if (((alive >> home) & 1) == 0) {
+      response.suspects.push_back(home);
+      status = Status::Unavailable("home shard " + std::to_string(home) + " is dead");
+      break;
+    }
+
+    std::vector<VertexId> seeds = std::move(request.seeds);
+    if (seeds.empty()) {
+      seeds = SampleLocalNodes(store_.shard(home), request.num_seeds, request.sample.seed);
+    }
+
+    uint32_t dead_shard = kInvalidId;
+    Result<SampleResult> sampled = [&]() -> Result<SampleResult> {
+      DGCL_TSPAN1("service", "serve.sample", "shard", home);
+      return sampler_.Sample(home, seeds, request.sample, alive, &dead_shard);
+    }();
+    if (!sampled.ok()) {
+      if (dead_shard != kInvalidId) {
+        response.suspects.push_back(dead_shard);
+      }
+      status = sampled.status();
+      break;
+    }
+    response.nodes = std::move(sampled->nodes);
+
+    EmbeddingMatrix slots;
+    {
+      DGCL_TSPAN2("service", "serve.features", "shard", home, "nodes", response.nodes.size());
+      status = AssembleFeatures(home, response.nodes, slots, response);
+    }
+    if (!status.ok()) {
+      break;
+    }
+
+    if (request.run_inference) {
+      DGCL_TSPAN2("service", "serve.infer", "shard", home, "nodes", response.nodes.size());
+      CsrGraph subgraph = graph_->InducedSubgraph(response.nodes);
+      LocalGraph local = FullLocalGraph(subgraph);
+      response.embeddings = InferenceForward(local, slots, layers);
+    }
+  } while (false);
+
+  response.status = std::move(status);
+  const uint64_t end_ns = telemetry::Telemetry::NowNs();
+  response.latency_seconds = end_ns > start_ns ? static_cast<double>(end_ns - start_ns) * 1e-9 : 0.0;
+  if (telemetry::Telemetry::Enabled()) {
+    telemetry::Telemetry::Get().RecorderForThisThread().RecordSpan(
+        "service", "serve.request", start_ns, end_ns - start_ns, "shard", home, "nodes",
+        response.nodes.size(), "ok", response.status.ok() ? 1 : 0);
+  }
+  return response;
+}
+
+Status GraphService::AssembleFeatures(uint32_t home, const std::vector<VertexId>& nodes,
+                                      EmbeddingMatrix& slots, SampleResponse& response) {
+  const uint32_t dim = options_.feature_dim;
+  slots.rows = static_cast<uint32_t>(nodes.size());
+  slots.dim = dim;
+  slots.data.assign(nodes.size() * static_cast<size_t>(dim), 0.0f);
+
+  std::vector<float> row(dim);
+  // owner shard -> slot rows still needing its feature rows.
+  std::map<uint32_t, std::vector<size_t>> missing_by_owner;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const VertexId v = nodes[i];
+    const uint32_t owner = store_.OwnerOf(v);
+    if (owner == home) {
+      std::copy_n(features_.Row(v), dim, slots.Row(static_cast<uint32_t>(i)));
+      continue;
+    }
+    ++response.remote_rows;
+    if (cache_->Lookup(v, row)) {
+      ++response.cache_hits;
+      std::copy_n(row.data(), dim, slots.Row(static_cast<uint32_t>(i)));
+      continue;
+    }
+    ++response.cache_misses;
+    missing_by_owner[owner].push_back(i);
+  }
+
+  const DeviceMask alive = AliveMask();
+  for (const auto& [owner, slots_needed] : missing_by_owner) {
+    if (((alive >> owner) & 1) == 0) {
+      response.suspects.push_back(owner);
+      return Status::Unavailable("feature owner shard " + std::to_string(owner) + " is dead");
+    }
+    const uint64_t bytes = slots_needed.size() * static_cast<uint64_t>(dim) * sizeof(float);
+    // The fetch is priced on the pair's connection (transport selection,
+    // faults, retry) when the P2P plan routed traffic owner->home; pairs the
+    // relation never linked have no connection and the fetch is free wire-wise
+    // (counted, so a trace shows how often sampling out-runs the plan).
+    if (Connection* connection = connections_.FindMutable(owner, home)) {
+      std::mutex& transmit_mutex =
+          *connection_mutexes_[static_cast<size_t>(owner) * options_.num_shards + home];
+      std::lock_guard<std::mutex> lock(transmit_mutex);
+      const Status transmitted = connection->Transmit(bytes);
+      if (!transmitted.ok()) {
+        response.suspects.push_back(owner);
+        return transmitted;
+      }
+    } else {
+      DGCL_TCOUNT1("service", "fetch.unplanned", 1, "owner", owner);
+    }
+    for (const size_t i : slots_needed) {
+      const VertexId v = nodes[i];
+      std::copy_n(features_.Row(v), dim, slots.Row(static_cast<uint32_t>(i)));
+      cache_->Insert(v, std::vector<float>(features_.Row(v), features_.Row(v) + dim));
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<std::unique_ptr<GnnLayer>> GraphService::MakeLayerStack() const {
+  // Every stack is seeded identically, so all workers (and the sync path)
+  // hold replica weights — inference output is a pure function of the
+  // request, whichever worker serves it.
+  Rng rng(options_.weight_seed);
+  std::vector<std::unique_ptr<GnnLayer>> layers;
+  layers.reserve(options_.num_layers);
+  uint32_t dim_in = options_.feature_dim;
+  for (uint32_t layer = 0; layer < options_.num_layers; ++layer) {
+    layers.push_back(MakeLayer(options_.model, dim_in, options_.hidden_dim, rng));
+    dim_in = options_.hidden_dim;
+  }
+  return layers;
+}
+
+std::vector<uint32_t> GraphService::DeadSuspects() const {
+  const DeviceMask alive = AliveMask();
+  std::vector<uint32_t> dead;
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    if (((alive >> s) & 1) == 0) {
+      dead.push_back(s);
+    }
+  }
+  return dead;
+}
+
+SampleResponse GraphService::DeadHomeResponse(const SampleRequest& request) const {
+  SampleResponse response;
+  response.request_id = request.request_id;
+  response.shard = request.shard;
+  response.suspects.push_back(request.shard);
+  response.status =
+      Status::Unavailable("home shard " + std::to_string(request.shard) + " is dead");
+  const uint64_t now_ns = telemetry::Telemetry::NowNs();
+  if (request.submit_ns != 0 && now_ns > request.submit_ns) {
+    response.latency_seconds = static_cast<double>(now_ns - request.submit_ns) * 1e-9;
+  }
+  return response;
+}
+
+void GraphService::CountOutcome(const Status& status) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (status.ok()) {
+    ++stats_.completed;
+  } else if (status.code() == StatusCode::kUnavailable) {
+    ++stats_.unavailable;
+  }
+}
+
+bool GraphService::PushResponse(SampleResponse response) {
+  CountOutcome(response.status);
+  if (!responses_->Push(std::move(response), options_.request_deadline_micros)) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.responses_dropped;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dgcl

@@ -1,0 +1,246 @@
+// GraphService: the request-driven serving tier over the DGCL stack.
+//
+// Turns the batch-training machinery into a traffic-serving system (the
+// DistDGL architecture, scaled to this reproduction): a request names a home
+// shard and seed vertices; a sampler worker of that shard's pool pops it
+// from a bounded queue, draws a deterministic fanout-capped k-hop sample
+// (service/sampler.h over the sharded store), assembles the sampled nodes'
+// feature rows — local rows read directly, remote rows through the feature
+// cache, cache misses priced on the engine's per-pair Connection objects
+// (the same transport decision table and fault injection the trainer uses) —
+// and optionally runs a mini-batch GNN forward over the induced subgraph
+// (gnn/layers.h InferenceForward). Responses flow back through one bounded
+// MPMC response queue.
+//
+// Request lifecycle (every phase a "service" telemetry span, so
+// `dgcl_trace summarize --serving` reports serving percentiles the way
+// `--waits` reports coordination waits):
+//
+//   Submit --> [shard request queue] --> worker pop        (serve.queue)
+//          --> k-hop sample over the store                 (serve.sample)
+//          --> feature assembly via cache + connections    (serve.features)
+//          --> optional mini-batch forward                 (serve.infer)
+//          --> [response queue] --> PopResponse            (serve.request = total)
+//
+// Failure semantics reuse the PR-5 membership machinery: KillShard commits a
+// membership epoch (MembershipService), closes and drains the dead shard's
+// queue, and every request that touches the dead shard — queued on it,
+// routed to it later, or sampling/fetching across it — completes with
+// kUnavailable naming the shard as suspect, within one request deadline,
+// never a hang. Backpressure is explicit: Submit returns kResourceExhausted
+// when the home shard's queue is full (the open-loop generator counts these
+// as shed).
+//
+// Determinism: the sampled node set and inference output for a request are
+// pure functions of the request (see sampler.h); pool width and queue order
+// affect only latency and cache hit patterns, not payloads.
+
+#ifndef DGCL_SERVICE_SERVICE_H_
+#define DGCL_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "gnn/layers.h"
+#include "runtime/recovery.h"
+#include "runtime/transport.h"
+#include "service/feature_cache.h"
+#include "service/graph_shard.h"
+#include "service/request_queue.h"
+#include "service/sampler.h"
+#include "topology/topology.h"
+
+namespace dgcl {
+
+struct ServiceOptions {
+  // Shards = devices of the serving topology (BuildPaperTopology), so the
+  // transport decision table stays meaningful. 1..16.
+  uint32_t num_shards = 4;
+  uint32_t samplers_per_shard = 2;
+  size_t request_queue_capacity = 64;  // per shard; full queue = backpressure
+  size_t response_queue_capacity = 4096;
+  // Deadline budget for a request end to end; also bounds worker poll waits
+  // and response-queue pushes, so a stalled consumer cannot wedge a worker.
+  uint64_t request_deadline_micros = 2'000'000;
+
+  // Per-request defaults (a request's own SampleKHopOptions win when set).
+  SampleKHopOptions sample;
+
+  // "multilevel" (METIS-substitute, the serving default) or "hash".
+  std::string partitioner = "multilevel";
+
+  // Feature cache in front of remote-row fetches.
+  size_t cache_capacity_rows = 4096;
+  std::string cache_policy = "lru";  // "lru" | "lfu"
+
+  // Node features are generated deterministically at Create (stand-in for a
+  // real feature store, like the dataset generators elsewhere).
+  uint32_t feature_dim = 32;
+  uint64_t feature_seed = 29;
+
+  // Mini-batch inference stack (feature_dim -> hidden_dim -> ... per layer).
+  GnnModel model = GnnModel::kGcn;
+  uint32_t num_layers = 2;
+  uint32_t hidden_dim = 16;
+  uint64_t weight_seed = 31;
+
+  // Wire emulation / fault injection for remote-row fetches, same knobs as
+  // the training engine.
+  TransportPolicy transport;
+  FaultInjection faults;
+
+  uint64_t seed = 0x5eed;  // LocalNode + default sampling seed
+
+  Status Validate() const;
+};
+
+struct SampleRequest {
+  uint64_t request_id = 0;
+  uint32_t shard = 0;             // home shard
+  // Seed vertices; empty => LocalNode-sample `num_seeds` locals of the home
+  // shard (seeded by sample.seed, so still deterministic).
+  std::vector<VertexId> seeds;
+  uint32_t num_seeds = 16;
+  SampleKHopOptions sample;       // per-request seed/hops/fanout
+  bool run_inference = false;
+  uint64_t submit_ns = 0;         // stamped by Submit/Serve
+};
+
+struct SampleResponse {
+  uint64_t request_id = 0;
+  uint32_t shard = 0;
+  Status status;                      // Ok / kUnavailable / kOutOfRange
+  std::vector<uint32_t> suspects;     // dead shards implicated on kUnavailable
+  std::vector<VertexId> nodes;        // sampled set, ascending global ids
+  uint64_t cache_hits = 0;            // this request's remote-row cache hits
+  uint64_t cache_misses = 0;
+  uint64_t remote_rows = 0;           // rows needed from non-home shards
+  double queue_seconds = 0.0;         // submit -> worker pop
+  double latency_seconds = 0.0;       // submit -> response ready
+  EmbeddingMatrix embeddings;         // run_inference: last-layer rows for `nodes`
+};
+
+// Aggregate counters, readable at any time.
+struct ServiceStats {
+  uint64_t submitted = 0;
+  uint64_t shed = 0;         // rejected by backpressure (kResourceExhausted)
+  uint64_t completed = 0;    // responses pushed with OK status
+  uint64_t unavailable = 0;  // responses pushed with kUnavailable
+  uint64_t responses_dropped = 0;  // response queue full past deadline
+};
+
+class GraphService {
+ public:
+  // The graph must outlive the service. Partitions, builds the store, the
+  // connection table (P2P plan over the serving relation) and the cache;
+  // does not start workers — call Start().
+  static Result<std::unique_ptr<GraphService>> Create(const CsrGraph& graph,
+                                                      ServiceOptions options);
+  ~GraphService();
+
+  GraphService(const GraphService&) = delete;
+  GraphService& operator=(const GraphService&) = delete;
+
+  // Spawns the per-shard sampler pools. Idempotent.
+  void Start();
+  // Closes every queue and joins all workers. Idempotent; ~GraphService
+  // calls it.
+  void Stop();
+
+  // Non-blocking: routes the request to its home shard's queue.
+  //  * kOutOfRange    — bad shard id (request not accepted)
+  //  * kResourceExhausted — queue full (backpressure; request not accepted)
+  //  * Ok             — accepted; a response WILL appear on the response
+  //                     queue, kUnavailable when the home shard is dead.
+  Status Submit(SampleRequest request);
+
+  // Pops one response; nullopt after `timeout_micros`.
+  std::optional<SampleResponse> PopResponse(uint64_t timeout_micros);
+
+  // Synchronous path (no queues, calling thread does the work): for tests
+  // and single-request callers. Start() not required.
+  SampleResponse Serve(SampleRequest request);
+
+  // Commits shard death through the membership service, closes the shard's
+  // queue and fails everything pending on it with kUnavailable (suspect =
+  // `shard`). Requests in flight on its workers and later Submits to it
+  // also resolve to kUnavailable. Fails when the shard is already dead or
+  // it is the last one alive.
+  Status KillShard(uint32_t shard);
+
+  const ShardedGraphStore& store() const { return store_; }
+  const FeatureCache& cache() const { return *cache_; }
+  const CommRelation& relation() const { return relation_; }
+  MembershipView membership() const;
+  ServiceStats stats() const;
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  GraphService() = default;
+
+  struct Worker {
+    std::thread thread;
+  };
+
+  void WorkerLoop(uint32_t shard);
+  // Serves one request on the calling thread. `layers` is that thread's
+  // private inference stack.
+  SampleResponse Process(SampleRequest& request,
+                         std::vector<std::unique_ptr<GnnLayer>>& layers);
+  // Feature assembly: local rows from the feature store, remote rows via
+  // cache + connection-table fetch. Fails kUnavailable on a dead owner.
+  Status AssembleFeatures(uint32_t home, const std::vector<VertexId>& nodes,
+                          EmbeddingMatrix& slots, SampleResponse& response);
+  std::vector<std::unique_ptr<GnnLayer>> MakeLayerStack() const;
+  DeviceMask AliveMask() const { return alive_.load(std::memory_order_acquire); }
+  std::vector<uint32_t> DeadSuspects() const;
+  // kUnavailable response for a request whose home shard is dead.
+  SampleResponse DeadHomeResponse(const SampleRequest& request) const;
+  void CountOutcome(const Status& status);
+  // Counts the outcome and enqueues; false when the response queue stayed
+  // full past the deadline (counted as dropped).
+  bool PushResponse(SampleResponse response);
+
+  ServiceOptions options_;
+  const CsrGraph* graph_ = nullptr;
+  Partitioning partitioning_;
+  ShardedGraphStore store_;
+  CommRelation relation_;
+  Topology topology_;
+  CompiledPlan plan_;
+  ConnectionTable connections_;
+  // Serializes Transmit per connection (the engine's single-sender-per-pass
+  // contract, upheld here across concurrent sampler workers).
+  std::vector<std::unique_ptr<std::mutex>> connection_mutexes_;
+  NeighborSampler sampler_{nullptr};
+  std::unique_ptr<FeatureCache> cache_;
+  EmbeddingMatrix features_;  // [num_vertices x feature_dim], read-only
+
+  std::unique_ptr<MembershipService> membership_;
+  mutable std::mutex membership_mutex_;
+  std::atomic<DeviceMask> alive_{0};
+
+  std::vector<std::unique_ptr<BoundedQueue<SampleRequest>>> request_queues_;
+  std::unique_ptr<BoundedQueue<SampleResponse>> responses_;
+  std::vector<Worker> workers_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+
+  // Sync-path layer stack (Serve), guarded: Serve may race with itself.
+  std::mutex sync_mutex_;
+  std::vector<std::unique_ptr<GnnLayer>> sync_layers_;
+
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+};
+
+}  // namespace dgcl
+
+#endif  // DGCL_SERVICE_SERVICE_H_

@@ -5,6 +5,7 @@
 //   dgcl_trace summarize <trace.json>...         per-(category,name) table
 //   dgcl_trace summarize --waits <trace.json>... per-peer wait-time histogram
 //   dgcl_trace summarize --recovery <trace.json>... per-phase recovery MTTR
+//   dgcl_trace summarize --serving <trace.json>...  per-shard serving latency
 //   dgcl_trace merge -o <out.json> <in.json>...  merge traces into one file
 //   dgcl_trace convert <in.json> <out.json>      re-emit in canonical form
 //
@@ -18,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/percentile.h"
 #include "common/table_printer.h"
 
 #include "telemetry/chrome_trace.h"
@@ -29,7 +31,7 @@ namespace {
 
 void PrintUsage() {
   std::printf(
-      "usage: dgcl_trace summarize [--waits|--recovery] <trace.json>...\n"
+      "usage: dgcl_trace summarize [--waits|--recovery|--serving] <trace.json>...\n"
       "       dgcl_trace merge -o <out.json> <in.json>...\n"
       "       dgcl_trace convert <in.json> <out.json>\n");
 }
@@ -145,6 +147,115 @@ int SummarizeRecovery(const telemetry::Trace& trace) {
   return 0;
 }
 
+// Per-shard latency table over the serving tier's "serve.request" spans
+// (GraphService::Process), using the same nearest-rank percentile definition
+// as bench_serving (common/percentile.h) so the two reports are comparable.
+// Follows with a phase breakdown (serve.queue / serve.sample / serve.features
+// / serve.infer) and the FeatureCache's hit/miss/evict counter totals.
+int SummarizeServing(const telemetry::Trace& trace) {
+  struct ShardStats {
+    std::vector<double> latency_ms;
+    uint64_t ok = 0;
+    uint64_t failed = 0;
+  };
+  struct Phase {
+    uint64_t count = 0;
+    double total_seconds = 0.0;
+    double max_seconds = 0.0;
+  };
+  std::map<uint64_t, ShardStats> shards;
+  std::map<std::string, Phase> phases;
+  std::map<std::string, double> counters;
+  for (const telemetry::TraceEvent& ev : trace.events) {
+    if (ev.category != "service") {
+      continue;
+    }
+    if (ev.kind == telemetry::TraceEventKind::kCounter) {
+      counters[ev.name] += ev.value;
+      continue;
+    }
+    if (ev.kind != telemetry::TraceEventKind::kSpan) {
+      continue;
+    }
+    if (ev.name == "serve.request") {
+      uint64_t shard = ~uint64_t{0};
+      uint64_t ok = 1;
+      for (size_t i = 0; i < ev.arg_key.size(); ++i) {
+        if (ev.arg_key[i] == "shard") {
+          shard = ev.arg_val[i];
+        } else if (ev.arg_key[i] == "ok") {
+          ok = ev.arg_val[i];
+        }
+      }
+      ShardStats& s = shards[shard];
+      s.latency_ms.push_back(ev.dur_ns / 1e6);
+      ++(ok != 0 ? s.ok : s.failed);
+    } else {
+      Phase& p = phases[ev.name];
+      ++p.count;
+      const double seconds = ev.dur_ns / 1e9;
+      p.total_seconds += seconds;
+      p.max_seconds = std::max(p.max_seconds, seconds);
+    }
+  }
+  if (shards.empty()) {
+    std::printf("no serve.request spans in trace (run bench_serving --trace, or serve "
+                "with telemetry enabled)\n");
+    return 0;
+  }
+  TablePrinter table(
+      {"Shard", "Requests", "OK", "Failed", "p50 ms", "p99 ms", "p999 ms", "Max ms"});
+  std::vector<double> all_ms;
+  uint64_t all_ok = 0;
+  uint64_t all_failed = 0;
+  for (auto& [shard, s] : shards) {
+    all_ms.insert(all_ms.end(), s.latency_ms.begin(), s.latency_ms.end());
+    all_ok += s.ok;
+    all_failed += s.failed;
+    std::sort(s.latency_ms.begin(), s.latency_ms.end());
+    table.AddRow({shard == ~uint64_t{0} ? "-" : TablePrinter::FmtInt(shard),
+                  TablePrinter::FmtInt(s.latency_ms.size()), TablePrinter::FmtInt(s.ok),
+                  TablePrinter::FmtInt(s.failed),
+                  TablePrinter::Fmt(PercentileSorted(s.latency_ms, 0.50), 3),
+                  TablePrinter::Fmt(PercentileSorted(s.latency_ms, 0.99), 3),
+                  TablePrinter::Fmt(PercentileSorted(s.latency_ms, 0.999), 3),
+                  TablePrinter::Fmt(s.latency_ms.back(), 3)});
+  }
+  std::sort(all_ms.begin(), all_ms.end());
+  table.AddRow({"all", TablePrinter::FmtInt(all_ms.size()), TablePrinter::FmtInt(all_ok),
+                TablePrinter::FmtInt(all_failed),
+                TablePrinter::Fmt(PercentileSorted(all_ms, 0.50), 3),
+                TablePrinter::Fmt(PercentileSorted(all_ms, 0.99), 3),
+                TablePrinter::Fmt(PercentileSorted(all_ms, 0.999), 3),
+                TablePrinter::Fmt(all_ms.back(), 3)});
+  std::printf("%s", table.Render("serving latency by shard (serve.request)").c_str());
+
+  if (!phases.empty()) {
+    TablePrinter phase_table({"Phase", "Count", "Total ms", "Mean ms", "Max ms"});
+    for (const auto& [name, p] : phases) {
+      phase_table.AddRow(
+          {name, TablePrinter::FmtInt(p.count), TablePrinter::Fmt(p.total_seconds * 1e3, 3),
+           TablePrinter::Fmt(p.total_seconds / p.count * 1e3, 3),
+           TablePrinter::Fmt(p.max_seconds * 1e3, 3)});
+    }
+    std::printf("%s", phase_table.Render("serving phases").c_str());
+  }
+
+  const double hits = counters["cache.hit"];
+  const double misses = counters["cache.miss"];
+  if (hits + misses > 0.0) {
+    std::printf("feature cache: %.0f hits, %.0f misses, %.0f evictions (hit rate %.3f)\n",
+                hits, misses, counters["cache.evict"], hits / (hits + misses));
+  }
+  for (const char* name : {"request.shed", "fetch.unplanned", "shard.killed"}) {
+    const auto it = counters.find(name);
+    if (it != counters.end() && it->second > 0.0) {
+      std::printf("%s: %.0f\n", name, it->second);
+    }
+  }
+  return 0;
+}
+
 // Planner auto-selection scorecard: the "planner" category's
 // "auto.<strategy>.cost_us" / "auto.<strategy>.sim_us" counters recorded per
 // candidate by PlanWithStrategy, plus the "auto.selected.<strategy>" marker.
@@ -192,7 +303,7 @@ void SummarizeAutoSelect(const telemetry::Trace& trace) {
   std::printf("%s", table.Render("planner auto-select candidates (last sample)").c_str());
 }
 
-int Summarize(const std::vector<std::string>& paths, bool waits, bool recovery) {
+int Summarize(const std::vector<std::string>& paths, bool waits, bool recovery, bool serving) {
   Result<telemetry::Trace> loaded = LoadMerged(paths);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
@@ -204,6 +315,9 @@ int Summarize(const std::vector<std::string>& paths, bool waits, bool recovery) 
   }
   if (recovery) {
     return SummarizeRecovery(merged);
+  }
+  if (serving) {
+    return SummarizeServing(merged);
   }
   std::string title = paths.size() == 1 ? paths[0] : std::to_string(paths.size()) + " traces";
   std::printf("%s", telemetry::RenderTraceSummary(merged, title).c_str());
@@ -263,12 +377,15 @@ int main(int argc, char** argv) {
   if (cmd == "summarize" && argc >= 3) {
     bool waits = false;
     bool recovery = false;
+    bool serving = false;
     std::vector<std::string> paths;
     for (int i = 2; i < argc; ++i) {
       if (std::strcmp(argv[i], "--waits") == 0) {
         waits = true;
       } else if (std::strcmp(argv[i], "--recovery") == 0) {
         recovery = true;
+      } else if (std::strcmp(argv[i], "--serving") == 0) {
+        serving = true;
       } else {
         paths.emplace_back(argv[i]);
       }
@@ -277,7 +394,7 @@ int main(int argc, char** argv) {
       PrintUsage();
       return 2;
     }
-    return Summarize(paths, waits, recovery);
+    return Summarize(paths, waits, recovery, serving);
   }
   if (cmd == "merge") {
     std::string out_path;
