@@ -14,7 +14,11 @@
 # fault-schedule fuzz suite (DGCL_FUZZ_SEEDS below; the full 200-seed sweep
 # runs in the plain build via ctest -L fuzz), and the serving tier (TSan is
 # the gate for the bounded MPMC request/response queues, the concurrent
-# sampler pools sharing the feature cache, and KillShard racing Submit).
+# sampler pools sharing the feature cache, KillShard racing Submit, and the
+# cross-request fetch-batching window — leader/joiner handoff on the
+# condition variable, batch close racing late joiners, and the atomic wire
+# accounting — exercised by minibatch_trainer_test's concurrent-coalescing
+# case and the conformance suite's pooled fleets).
 # Separate build trees (build-tsan/, build-asan/) so the main build stays
 # untouched.
 #
@@ -22,7 +26,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TESTS_REGEX='thread_pool_test|plan_determinism_test|planner_property_test|planner_conformance_test|spst_test|transport_test|allgather_engine_test|coordination_test|overlap_conformance_test|straggler_test|network_sim_test|epoch_sim_test|cost_audit_test|trainer_test|telemetry_test|recovery_test|service_test|sampler_determinism_test|fault_schedule_fuzz_test'
+TESTS_REGEX='thread_pool_test|plan_determinism_test|planner_property_test|planner_conformance_test|spst_test|transport_test|allgather_engine_test|coordination_test|overlap_conformance_test|straggler_test|network_sim_test|epoch_sim_test|cost_audit_test|trainer_test|telemetry_test|recovery_test|service_test|sampler_determinism_test|sampler_conformance_test|minibatch_trainer_test|fault_schedule_fuzz_test'
 
 # Sanitizer runs are 5-20x slower; trim the fuzz budget accordingly.
 export DGCL_FUZZ_SEEDS="${DGCL_FUZZ_SEEDS:-25}"
@@ -39,7 +43,8 @@ run_one() {
     transport_test allgather_engine_test coordination_test \
     overlap_conformance_test straggler_test \
     network_sim_test epoch_sim_test cost_audit_test trainer_test telemetry_test \
-    recovery_test service_test sampler_determinism_test fault_schedule_fuzz_test
+    recovery_test service_test sampler_determinism_test sampler_conformance_test \
+    minibatch_trainer_test fault_schedule_fuzz_test
   echo "=== ${kind} sanitizer: running tests ==="
   ctest --test-dir "$dir" -R "$TESTS_REGEX" --output-on-failure
   echo "=== ${kind} sanitizer: OK ==="

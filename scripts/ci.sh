@@ -19,16 +19,24 @@
 #                             fail-fast, and sampler determinism across pool
 #                             widths — a subset of `unit`, runnable alone
 #                             when iterating on src/service/)
-#   5. fuzz tier              ctest -L fuzz   (fault-schedule fuzzing, fixed
+#   5. sampling tier          ctest -L sampling (the sampler family and the
+#                             mini-batch training path: registry conformance
+#                             over every strategy, determinism across pool
+#                             widths, loss-trajectory acceptance, checkpoint
+#                             recovery, and cross-request fetch batching — a
+#                             subset of `serving`, runnable alone when
+#                             iterating on samplers or the trainer feed)
+#   6. fuzz tier              ctest -L fuzz   (fault-schedule fuzzing, fixed
 #                             seed budget so wall time is bounded and every
 #                             run covers the same schedules)
-#   6. sanitizers             scripts/check_sanitizers.sh (TSan + ASan trees
+#   7. sanitizers             scripts/check_sanitizers.sh (TSan + ASan trees
 #                             over the concurrency-sensitive suites, with a
 #                             reduced fuzz budget; TSan is the gate for the
-#                             per-chunk ready-flag protocol and the serving
-#                             tier's MPMC queues)
+#                             per-chunk ready-flag protocol, the serving
+#                             tier's MPMC queues, and the fetch-batching
+#                             window's leader/joiner handoff)
 #
-# Usage: scripts/ci.sh [unit|planner|overlap|serving|fuzz|sanitizers|all]   (default: all)
+# Usage: scripts/ci.sh [unit|planner|overlap|serving|sampling|fuzz|sanitizers|all]   (default: all)
 # Env:   DGCL_CI_FUZZ_SEEDS  fuzz-tier seed budget (default 200)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -61,6 +69,11 @@ serving_tier() {
   ctest --test-dir build -L serving --output-on-failure -j "$(nproc)"
 }
 
+sampling_tier() {
+  echo "=== CI tier: sampling ==="
+  ctest --test-dir build -L sampling --output-on-failure -j "$(nproc)"
+}
+
 fuzz_tier() {
   echo "=== CI tier: fuzz (DGCL_CI_FUZZ_SEEDS=${DGCL_CI_FUZZ_SEEDS:-200}) ==="
   DGCL_FUZZ_SEEDS="${DGCL_CI_FUZZ_SEEDS:-200}" \
@@ -89,6 +102,10 @@ case "$TIER" in
     build
     serving_tier
     ;;
+  sampling)
+    build
+    sampling_tier
+    ;;
   fuzz)
     build
     fuzz_tier
@@ -101,7 +118,7 @@ case "$TIER" in
     sanitizer_tier
     ;;
   *)
-    echo "usage: $0 [unit|planner|overlap|serving|fuzz|sanitizers|all]" >&2
+    echo "usage: $0 [unit|planner|overlap|serving|sampling|fuzz|sanitizers|all]" >&2
     exit 2
     ;;
 esac

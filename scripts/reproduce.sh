@@ -15,6 +15,7 @@ for b in build/bench/*; do
     bench_recovery) "$b" --json BENCH_recovery.json ;;
     bench_overlap) "$b" --json BENCH_overlap.json ;;
     bench_serving) "$b" --json BENCH_serving.json ;;
+    bench_minibatch) "$b" --json BENCH_minibatch.json ;;
     bench_planner_family) "$b" --json BENCH_planner_family.json ;;
     bench_fig7_main_results) "$b" --trace TRACE_fig7.json ;;
     *) "$b" ;;
@@ -29,7 +30,9 @@ echo "BENCH_plan_parallel.json, BENCH_recovery.json (per-phase recovery MTTR"
 echo "vs full restart), BENCH_planner_family.json (strategy crossover map),"
 echo "BENCH_overlap.json (hidden vs exposed communication per chunk count),"
 echo "BENCH_serving.json (serving-tier tail latency, cache hit rates and"
-echo "throughput vs shard count, plus the mid-load shard-kill contract)"
+echo "throughput vs shard count, plus the mid-load shard-kill contract),"
+echo "BENCH_minibatch.json (batched vs unbatched remote-fetch p99 and"
+echo "bytes-on-wire, plus sampled mini-batch training per sampler strategy)"
 echo "and TRACE_fig7.json (Chrome-trace; load it at"
 echo "ui.perfetto.dev or summarize with build/tools/dgcl_trace). To vet the"
 echo "parallel planner under TSan/ASan, run scripts/check_sanitizers.sh"

@@ -46,13 +46,6 @@ Status DgclOptions::Validate() const {
 }
 
 Result<DgclContext> DgclContext::Init(Topology topology, DgclOptions options) {
-  // Legacy shim: callers that predate PlannerOptions set options.spst
-  // directly. Forward a customized legacy struct into planner.spst as long
-  // as the new field is untouched (both customized = the caller mixed the
-  // two spellings; the new one wins).
-  if (!(options.spst == SpstOptions{}) && options.planner.spst == SpstOptions{}) {
-    options.planner.spst = options.spst;
-  }
   DGCL_RETURN_IF_ERROR(options.Validate());
   if (topology.num_devices() == 0) {
     return Status::InvalidArgument("topology has no devices");

@@ -51,12 +51,11 @@ struct DgclOptions {
   // knobs, including max_class_units (the class-batching chunk bound; 0
   // recovers per-vertex planning for ablations) and num_threads (parallel
   // planning; the plan is bit-identical for every thread count).
+  // (The pre-PR-6 top-level `spst` spelling is gone; set planner.spst. Init
+  // validates the planner block and fails with an actionable error before
+  // any planning runs.)
   PlannerOptions planner;
 
-  // Deprecated spelling of planner.spst, kept so existing callers compile
-  // unchanged: when this is customized and planner.spst is untouched, Init
-  // forwards it into planner.spst. New code should set planner.spst.
-  SpstOptions spst;
   MultilevelOptions partition;
   double bytes_per_unit = 1024.0;  // embedding bytes used for planning
 

@@ -29,6 +29,136 @@ uint32_t CountLabeled(const std::vector<uint32_t>& labels) {
 
 }  // namespace
 
+Result<MiniBatchModel> MiniBatchModel::Create(uint32_t feature_dim, uint32_t num_classes,
+                                              TrainerOptions options) {
+  if (feature_dim == 0 || num_classes == 0 || options.num_layers == 0) {
+    return Status::InvalidArgument("need feature_dim, num_classes and num_layers >= 1");
+  }
+  MiniBatchModel model;
+  model.options_ = options;
+  model.num_classes_ = num_classes;
+  Rng rng(options.weight_seed);
+  uint32_t dim_in = feature_dim;
+  for (uint32_t l = 0; l < options.num_layers; ++l) {
+    model.layers_.push_back(MakeLayer(options.model, dim_in, options.hidden_dim, rng));
+    dim_in = options.hidden_dim;
+  }
+  model.head_w_ = RandomWeights(options.hidden_dim, num_classes, rng);
+  model.head_dw_ = EmbeddingMatrix::Zero(options.hidden_dim, num_classes);
+  return model;
+}
+
+Result<EpochResult> MiniBatchModel::Pass(bool train, const LocalGraph& block,
+                                         const EmbeddingMatrix& inputs,
+                                         const std::vector<uint32_t>& labels) {
+  if (block.num_slots != block.num_compute) {
+    return Status::InvalidArgument(
+        "mini-batch blocks must be fully local (num_slots == num_compute); got " +
+        std::to_string(block.num_slots) + " slots for " + std::to_string(block.num_compute) +
+        " compute rows");
+  }
+  if (inputs.rows != block.num_slots || labels.size() != block.num_compute) {
+    return Status::InvalidArgument("inputs/labels must cover every block row");
+  }
+  if (CountLabeled(labels) == 0) {
+    return Status::FailedPrecondition("no labeled vertices in the block");
+  }
+  if (train) {
+    // Clear any partial accumulations a failed earlier step left behind.
+    for (auto& layer : layers_) {
+      for (EmbeddingMatrix* g : layer->Grads()) {
+        std::fill(g->data.begin(), g->data.end(), 0.0f);
+      }
+    }
+    std::fill(head_dw_.data.begin(), head_dw_.data.end(), 0.0f);
+  }
+  // Fully-local forward: each layer's output rows are the next layer's slot
+  // rows directly (the InferenceForward schedule, kept inline here because
+  // backward needs the stack's cached activations).
+  EmbeddingMatrix acts = inputs;
+  for (auto& layer : layers_) {
+    acts = layer->Forward(block, acts);
+  }
+
+  EpochResult result;
+  EmbeddingMatrix logits;
+  Gemm(acts, head_w_, logits);
+  EmbeddingMatrix dlogits;
+  result.loss = SoftmaxCrossEntropy(logits, labels, dlogits);
+  result.accuracy = Accuracy(logits, labels);
+  if (!train) {
+    return result;
+  }
+
+  EmbeddingMatrix dw;
+  GemmTransposeA(acts, dlogits, dw);
+  AddInPlace(head_dw_, dw);
+  EmbeddingMatrix dacts;
+  GemmTransposeB(dlogits, head_w_, dacts);
+  for (uint32_t l = static_cast<uint32_t>(layers_.size()); l-- > 0;) {
+    dacts = layers_[l]->Backward(block, dacts);
+  }
+  for (auto& layer : layers_) {
+    layer->Step(options_.learning_rate);
+  }
+  for (size_t i = 0; i < head_w_.data.size(); ++i) {
+    head_w_.data[i] -= options_.learning_rate * head_dw_.data[i];
+  }
+  std::fill(head_dw_.data.begin(), head_dw_.data.end(), 0.0f);
+  return result;
+}
+
+Result<EpochResult> MiniBatchModel::Step(const LocalGraph& block, const EmbeddingMatrix& inputs,
+                                         const std::vector<uint32_t>& labels) {
+  return Pass(/*train=*/true, block, inputs, labels);
+}
+
+Result<EpochResult> MiniBatchModel::Evaluate(const LocalGraph& block,
+                                             const EmbeddingMatrix& inputs,
+                                             const std::vector<uint32_t>& labels) {
+  return Pass(/*train=*/false, block, inputs, labels);
+}
+
+ReplicaWeights MiniBatchModel::ExportReplica() {
+  ReplicaWeights weights;
+  weights.layers.reserve(layers_.size());
+  for (auto& layer : layers_) {
+    std::vector<EmbeddingMatrix> params;
+    for (EmbeddingMatrix* p : layer->Params()) {
+      params.push_back(*p);
+    }
+    weights.layers.push_back(std::move(params));
+  }
+  weights.head = head_w_;
+  return weights;
+}
+
+Status MiniBatchModel::ImportReplica(const ReplicaWeights& weights) {
+  if (weights.layers.size() != layers_.size()) {
+    return Status::InvalidArgument("ImportReplica: layer count mismatch");
+  }
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    std::vector<EmbeddingMatrix*> params = layers_[l]->Params();
+    if (params.size() != weights.layers[l].size()) {
+      return Status::InvalidArgument("ImportReplica: param count mismatch at layer " +
+                                     std::to_string(l));
+    }
+    for (size_t g = 0; g < params.size(); ++g) {
+      if (params[g]->rows != weights.layers[l][g].rows ||
+          params[g]->dim != weights.layers[l][g].dim) {
+        return Status::InvalidArgument("ImportReplica: shape mismatch at layer " +
+                                       std::to_string(l));
+      }
+      *params[g] = weights.layers[l][g];
+    }
+  }
+  if (head_w_.rows != weights.head.rows || head_w_.dim != weights.head.dim) {
+    return Status::InvalidArgument("ImportReplica: head shape mismatch");
+  }
+  head_w_ = weights.head;
+  return Status::Ok();
+}
+
 Result<DistributedTrainer> DistributedTrainer::Create(
     const CsrGraph& graph, const CommRelation& relation, const AllgatherEngine& engine,
     const EmbeddingMatrix& features, const std::vector<uint32_t>& labels, uint32_t num_classes,

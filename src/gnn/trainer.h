@@ -75,6 +75,52 @@ struct EpochHooks {
   bool restore = false;
 };
 
+// Single-replica model for sampled mini-batch training: the same layer
+// stack + classification head as DistributedTrainer, but each Step runs
+// forward/backward/SGD on one fully-local sampled block (num_slots ==
+// num_compute, e.g. FullLocalGraph of an induced mini-batch subgraph)
+// instead of the whole partitioned graph — no allgather, no replica sync.
+// Weights round-trip through the same ReplicaWeights the recovery machinery
+// checkpoints, so mini-batch epochs snapshot/restore exactly like full-graph
+// ones (the serving-tier MiniBatchTrainer drives this; see
+// service/minibatch_trainer.h).
+class MiniBatchModel {
+ public:
+  // Same weight initialization as DistributedTrainer::Create with one
+  // device: identically-seeded stacks produce identical replicas, so a
+  // MiniBatchModel and a full-graph trainer with equal options start from
+  // the same weights.
+  static Result<MiniBatchModel> Create(uint32_t feature_dim, uint32_t num_classes,
+                                       TrainerOptions options);
+
+  // One SGD step on a sampled block. `inputs` has block.num_slots rows
+  // (the sampled nodes' feature rows); `labels` has block.num_compute
+  // entries, kInvalidId = unlabeled (masked). Returns loss/accuracy over
+  // the block's labeled rows.
+  Result<EpochResult> Step(const LocalGraph& block, const EmbeddingMatrix& inputs,
+                           const std::vector<uint32_t>& labels);
+
+  // Forward only; loss/accuracy over the block's labeled rows.
+  Result<EpochResult> Evaluate(const LocalGraph& block, const EmbeddingMatrix& inputs,
+                               const std::vector<uint32_t>& labels);
+
+  // PR-5 checkpoint machinery: same shapes as DistributedTrainer's replicas.
+  ReplicaWeights ExportReplica();
+  Status ImportReplica(const ReplicaWeights& weights);
+
+ private:
+  MiniBatchModel() = default;
+
+  Result<EpochResult> Pass(bool train, const LocalGraph& block, const EmbeddingMatrix& inputs,
+                           const std::vector<uint32_t>& labels);
+
+  TrainerOptions options_;
+  uint32_t num_classes_ = 0;
+  std::vector<std::unique_ptr<GnnLayer>> layers_;
+  EmbeddingMatrix head_w_;
+  EmbeddingMatrix head_dw_;
+};
+
 class DistributedTrainer {
  public:
   // `features`: one row per global vertex. `labels`: per global vertex, in

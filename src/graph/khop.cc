@@ -1,6 +1,7 @@
 #include "graph/khop.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -78,6 +79,60 @@ std::vector<VertexId> SampleNeighbors(const CsrGraph& graph, VertexId v, uint32_
   }
   std::sort(chosen.begin(), chosen.end());
   return chosen;
+}
+
+std::vector<VertexId> SampleNeighborsWeighted(const CsrGraph& graph, VertexId v, uint32_t fanout,
+                                              uint64_t seed, uint32_t hop) {
+  DGCL_CHECK_LT(v, graph.num_vertices());
+  std::span<const VertexId> nbrs = graph.Neighbors(v);
+  const size_t n = nbrs.size();
+  if (n <= fanout) {
+    return std::vector<VertexId>(nbrs.begin(), nbrs.end());
+  }
+  // Efraimidis–Spirakis: key_i = u_i^(1/w_i), keep the fanout largest keys.
+  // Keys are drawn sequentially over the ascending neighbor list from one
+  // per-(seed, hop, vertex) Rng, and ties break on neighbor id, so the
+  // selection is independent of which worker expands v.
+  Rng rng(MixSeed(seed, hop, v));
+  std::vector<std::pair<double, VertexId>> keyed;
+  keyed.reserve(n);
+  for (VertexId nbr : nbrs) {
+    // Weight = neighbor's degree; isolated neighbors still get a positive
+    // weight so every neighbor stays sampleable.
+    const double weight = static_cast<double>(graph.Degree(nbr)) + 1.0;
+    // UniformDouble is in [0, 1); clamp away from 0 so log stays finite.
+    const double u = std::max(rng.UniformDouble(), 1e-300);
+    keyed.emplace_back(std::log(u) / weight, nbr);
+  }
+  std::sort(keyed.begin(), keyed.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  std::vector<VertexId> chosen;
+  chosen.reserve(fanout);
+  for (uint32_t i = 0; i < fanout; ++i) {
+    chosen.push_back(keyed[i].second);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+std::vector<VertexId> SampleRandomWalk(const CsrGraph& graph, VertexId start, uint32_t steps,
+                                       uint64_t seed, uint64_t walk_index) {
+  DGCL_CHECK_LT(start, graph.num_vertices());
+  Rng rng(MixSeed(seed, start, walk_index));
+  std::vector<VertexId> path;
+  path.reserve(steps + 1);
+  path.push_back(start);
+  VertexId v = start;
+  for (uint32_t step = 0; step < steps; ++step) {
+    std::span<const VertexId> nbrs = graph.Neighbors(v);
+    if (nbrs.empty()) {
+      break;
+    }
+    v = nbrs[rng.UniformInt(nbrs.size())];
+    path.push_back(v);
+  }
+  return path;
 }
 
 std::vector<VertexId> SampleKHop(const CsrGraph& graph, std::span<const VertexId> seeds,

@@ -42,6 +42,23 @@ uint64_t MixSeed(uint64_t seed, uint64_t a, uint64_t b);
 std::vector<VertexId> SampleNeighbors(const CsrGraph& graph, VertexId v, uint32_t fanout,
                                       uint64_t seed, uint32_t hop);
 
+// Degree-biased variant of SampleNeighbors (GraphSage-style importance
+// sampling without edge weights: a neighbor's weight is its own degree, so
+// hubs are preferentially kept). Efraimidis–Spirakis weighted reservoir keys
+// drawn sequentially from Rng(MixSeed(seed, hop, v)) over the ascending
+// neighbor list, so the choice is a pure function of (graph, v, seed, hop)
+// like the uniform sampler. Ascending ids; degree <= fanout returns all.
+std::vector<VertexId> SampleNeighborsWeighted(const CsrGraph& graph, VertexId v, uint32_t fanout,
+                                              uint64_t seed, uint32_t hop);
+
+// One random walk of at most `steps` steps from `start` (stops early at a
+// dead end), uniform next-neighbor per step, all draws from one
+// Rng(MixSeed(seed, start, walk_index)). Returns the visited path including
+// `start`, in walk order (may revisit vertices). Walks are independent of
+// each other, so any union of walks is order-independent.
+std::vector<VertexId> SampleRandomWalk(const CsrGraph& graph, VertexId start, uint32_t steps,
+                                       uint64_t seed, uint64_t walk_index);
+
 struct SampleKHopOptions {
   uint32_t hops = 2;
   uint32_t fanout = 10;   // per-vertex neighbor cap per hop

@@ -67,7 +67,10 @@ Result<std::unique_ptr<EvictionPolicy>> MakeEvictionPolicy(const std::string& na
   if (name == "lfu") {
     return std::unique_ptr<EvictionPolicy>(new LfuPolicy());
   }
-  return Status::InvalidArgument("unknown eviction policy '" + name + "' (want lru or lfu)");
+  // Same unknown-name contract as the planner/sampler registries: the error
+  // lists every valid name.
+  return Status::InvalidArgument("eviction policy \"" + name +
+                                 "\" not registered (have: lfu, lru)");
 }
 
 // ---- FeatureCache -----------------------------------------------------------

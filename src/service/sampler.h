@@ -1,23 +1,36 @@
 // Seeded, deterministic samplers over the sharded store.
 //
-// Two samplers, mirroring the GraphMix/DistDGL split:
-//  * LocalNode — uniform local vertices of one shard (mini-batch seed
+// The sampler layer is a strategy family (mirroring the planner family in
+// src/planner/): every strategy derives from `Sampler` and is registered by
+// name in the process-wide SamplerRegistry (service/sampler_registry.h).
+// Built-ins, following the GraphMix/DistDGL split:
+//  * SampleLocalNodes — uniform local vertices of one shard (mini-batch seed
 //    selection; every training step starts here).
-//  * NeighborSampler — GraphSAGE-style fanout-capped k-hop expansion from
-//    the seeds, walking shard boundaries through the store's ownership map.
+//  * "uniform" (NeighborSampler) — GraphSAGE-style fanout-capped k-hop
+//    expansion from the seeds, uniform without replacement per frontier
+//    vertex, walking shard boundaries through the store's ownership map.
+//  * "weighted" (WeightedNeighborSampler) — same frontier walk, but each
+//    vertex keeps its fanout neighbors degree-biased (importance sampling
+//    toward hubs; the graph carries no edge weights, so a neighbor's weight
+//    is its degree).
+//  * "random-walk" (RandomWalkSampler) — `fanout` independent uniform random
+//    walks of `hops` steps from every seed; the sampled set is the union of
+//    the visited vertices.
 //
-// The determinism contract (sampler_determinism_test, mirroring
-// plan_determinism_test's): the sampled set is a pure function of
-// (graph, seeds, options.seed) — NOT of the sampler-pool width, queue order,
-// or which worker thread picks the request up. It holds because every
-// random choice is drawn from an Rng keyed by MixSeed(seed, hop, vertex)
-// (graph/khop.h), never from shared mutable RNG state. With every shard
-// alive, NeighborSampler::Sample is byte-identical to the single-machine
-// SampleKHop over the same graph.
+// The determinism contract (sampler_determinism_test + the registry-wide
+// sampler_conformance_test, mirroring plan_determinism_test's): the sampled
+// set is a pure function of (graph, seeds, options.seed) per strategy — NOT
+// of the sampler-pool width, queue order, or which worker thread picks the
+// request up. It holds because every random choice is drawn from an Rng
+// keyed by the counter-hashed MixSeed (graph/khop.h) — (seed, hop, vertex)
+// for the frontier strategies, (seed, start, walk) for walks — never from
+// shared mutable RNG state. With every shard alive, NeighborSampler::Sample
+// is byte-identical to the single-machine SampleKHop over the same graph.
 //
 // A frontier vertex owned by a dead shard cannot be expanded (its adjacency
 // lives there); Sample fails with kUnavailable naming that shard as the
-// suspect, which the service surfaces in the response.
+// suspect, which the service surfaces in the response. Random walks apply
+// the same rule to every vertex they step through.
 
 #ifndef DGCL_SERVICE_SAMPLER_H_
 #define DGCL_SERVICE_SAMPLER_H_
@@ -44,23 +57,69 @@ struct SampleResult {
   DeviceMask shards_touched = 0;  // every shard that owned an expanded vertex
 };
 
-class NeighborSampler {
+// Strategy interface. Implementations are stateless over a const store, so
+// one instance is shared by every worker of a service (Sample is const and
+// must be thread-safe).
+class Sampler {
  public:
-  explicit NeighborSampler(const ShardedGraphStore* store) : store_(store) {}
+  virtual ~Sampler() = default;
 
-  // Fanout-capped k-hop sample from `seeds`, as served by `home_shard`.
-  // `alive` is the live-shard mask (bit s = shard s alive); expanding a
-  // vertex owned by a dead shard returns kUnavailable with the shard named
-  // in the message (and in `*dead_shard` when non-null). All-alive output
-  // equals SampleKHop(graph, seeds, opts).
-  Result<SampleResult> Sample(uint32_t home_shard, std::span<const VertexId> seeds,
-                              const SampleKHopOptions& options, DeviceMask alive,
-                              uint32_t* dead_shard = nullptr) const;
+  // Sample from `seeds`, as served by `home_shard`. `alive` is the
+  // live-shard mask (bit s = shard s alive); expanding a vertex owned by a
+  // dead shard returns kUnavailable with the shard named in the message
+  // (and in `*dead_shard` when non-null).
+  virtual Result<SampleResult> Sample(uint32_t home_shard, std::span<const VertexId> seeds,
+                                      const SampleKHopOptions& options, DeviceMask alive,
+                                      uint32_t* dead_shard = nullptr) const = 0;
+
+  // The registered strategy name ("uniform", "weighted", "random-walk", ...).
+  virtual const char* name() const = 0;
 
   const ShardedGraphStore& store() const { return *store_; }
 
- private:
+ protected:
+  explicit Sampler(const ShardedGraphStore* store) : store_(store) {}
+
   const ShardedGraphStore* store_;  // not owned; outlives the sampler
+};
+
+// "uniform": fanout-capped k-hop, uniform per frontier vertex. All-alive
+// output equals SampleKHop(graph, seeds, opts) byte for byte.
+class NeighborSampler : public Sampler {
+ public:
+  explicit NeighborSampler(const ShardedGraphStore* store) : Sampler(store) {}
+
+  Result<SampleResult> Sample(uint32_t home_shard, std::span<const VertexId> seeds,
+                              const SampleKHopOptions& options, DeviceMask alive,
+                              uint32_t* dead_shard = nullptr) const override;
+  const char* name() const override { return "uniform"; }
+};
+
+// "weighted": fanout-capped k-hop with degree-biased neighbor choice
+// (SampleNeighborsWeighted). Same frontier walk and failure semantics as
+// "uniform"; only the per-vertex pick differs.
+class WeightedNeighborSampler : public Sampler {
+ public:
+  explicit WeightedNeighborSampler(const ShardedGraphStore* store) : Sampler(store) {}
+
+  Result<SampleResult> Sample(uint32_t home_shard, std::span<const VertexId> seeds,
+                              const SampleKHopOptions& options, DeviceMask alive,
+                              uint32_t* dead_shard = nullptr) const override;
+  const char* name() const override { return "weighted"; }
+};
+
+// "random-walk": options.fanout walks of options.hops steps from each seed;
+// nodes = union of visited vertices, ascending. Every vertex a walk steps
+// *from* needs its owner alive (its adjacency lives there), mirroring the
+// frontier strategies' dead-shard rule.
+class RandomWalkSampler : public Sampler {
+ public:
+  explicit RandomWalkSampler(const ShardedGraphStore* store) : Sampler(store) {}
+
+  Result<SampleResult> Sample(uint32_t home_shard, std::span<const VertexId> seeds,
+                              const SampleKHopOptions& options, DeviceMask alive,
+                              uint32_t* dead_shard = nullptr) const override;
+  const char* name() const override { return "random-walk"; }
 };
 
 }  // namespace dgcl

@@ -1,0 +1,97 @@
+#include "service/sampler_registry.h"
+
+#include <set>
+#include <utility>
+
+namespace dgcl {
+
+SamplerRegistry& SamplerRegistry::Global() {
+  static SamplerRegistry* registry = [] {
+    auto* r = new SamplerRegistry();
+    auto must = [r](const std::string& name, SamplerFactory factory) {
+      Status s = r->Register(name, std::move(factory));
+      (void)s;
+    };
+    must("uniform", [](const ShardedGraphStore* store) -> std::unique_ptr<Sampler> {
+      return std::make_unique<NeighborSampler>(store);
+    });
+    must("weighted", [](const ShardedGraphStore* store) -> std::unique_ptr<Sampler> {
+      return std::make_unique<WeightedNeighborSampler>(store);
+    });
+    must("random-walk", [](const ShardedGraphStore* store) -> std::unique_ptr<Sampler> {
+      return std::make_unique<RandomWalkSampler>(store);
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+Status SamplerRegistry::Register(const std::string& name, SamplerFactory factory) {
+  if (name.empty()) {
+    return Status::InvalidArgument("sampler name must be non-empty");
+  }
+  if (factory == nullptr) {
+    return Status::InvalidArgument("sampler factory must not be null");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = factories_.emplace(name, std::move(factory));
+  (void)it;
+  if (!inserted) {
+    return Status::InvalidArgument("sampler \"" + name + "\" already registered");
+  }
+  return Status::Ok();
+}
+
+bool SamplerRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(name) != 0;
+}
+
+Result<std::unique_ptr<Sampler>> SamplerRegistry::Create(const std::string& name,
+                                                         const ShardedGraphStore* store) const {
+  SamplerFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      std::string names;
+      for (const auto& [n, f] : factories_) {
+        names += names.empty() ? n : ", " + n;
+      }
+      return Status::NotFound("sampler \"" + name + "\" not registered (have: " + names + ")");
+    }
+    factory = it->second;
+  }
+  std::unique_ptr<Sampler> sampler = factory(store);
+  if (sampler == nullptr) {
+    return Status::Internal("sampler factory for \"" + name + "\" returned null");
+  }
+  return sampler;
+}
+
+std::vector<std::string> SamplerRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::string SamplerRegistry::NamesForError() {
+  std::string names;
+  for (const std::string& n : Global().Names()) {
+    names += names.empty() ? n : ", " + n;
+  }
+  return names;
+}
+
+const char* SamplerRegistry::InternedName(const std::string& s) {
+  static std::mutex intern_mutex;
+  static std::set<std::string>* interned = new std::set<std::string>();
+  std::lock_guard<std::mutex> lock(intern_mutex);
+  return interned->insert(s).first->c_str();
+}
+
+}  // namespace dgcl

@@ -1,0 +1,75 @@
+// Sampler strategy registry: the sampling strategy is data, not code.
+//
+// Mirror of the planner registry (src/planner/registry.h) for the serving
+// tier: every mini-batch sampling strategy is registered by name in the
+// process-wide SamplerRegistry and selected with ServiceOptions::sampler or
+// per request with SampleRequest::sampler, instead of instantiating a
+// concrete sampler class. Built-ins: "uniform", "weighted", "random-walk"
+// (service/sampler.h). GraphService resolves strategies through this
+// registry at Create, so a new strategy becomes servable (and shows up in
+// `dgcl_plan --list-samplers`) by registering one factory.
+//
+// Registered factories must produce samplers that honor the determinism
+// contract in sampler.h — Sample is const, thread-safe, and a pure function
+// of (graph, seeds, options) — because the service shares one instance per
+// strategy across every worker (sampler_conformance_test is parameterized
+// over this registry and checks exactly that).
+
+#ifndef DGCL_SERVICE_SAMPLER_REGISTRY_H_
+#define DGCL_SERVICE_SAMPLER_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "service/sampler.h"
+
+namespace dgcl {
+
+// The store is the service's sharded store; it outlives the sampler.
+using SamplerFactory = std::function<std::unique_ptr<Sampler>(const ShardedGraphStore*)>;
+
+class SamplerRegistry {
+ public:
+  // The process-wide registry, pre-populated with the built-in strategies:
+  // uniform, weighted, random-walk.
+  static SamplerRegistry& Global();
+
+  // Fails with kInvalidArgument on duplicate or empty names and null
+  // factories.
+  Status Register(const std::string& name, SamplerFactory factory);
+
+  bool Contains(const std::string& name) const;
+
+  // Instantiates the named strategy over `store`. Unknown names fail with
+  // kNotFound listing every registered name (the planner-registry error
+  // contract).
+  Result<std::unique_ptr<Sampler>> Create(const std::string& name,
+                                          const ShardedGraphStore* store) const;
+
+  // Registered strategy names, ascending.
+  std::vector<std::string> Names() const;
+
+  // Registered names joined with ", " — the spelling every unknown-name
+  // error message uses.
+  static std::string NamesForError();
+
+  // A static-lifetime copy of `s` (interned, never freed) — for telemetry
+  // event names derived from runtime strategy names (serve.sample.<name>),
+  // which the lock-free trace ring stores as raw pointers.
+  static const char* InternedName(const std::string& s);
+
+ private:
+  SamplerRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, SamplerFactory> factories_;
+};
+
+}  // namespace dgcl
+
+#endif  // DGCL_SERVICE_SAMPLER_REGISTRY_H_

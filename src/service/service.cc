@@ -43,6 +43,11 @@ Status ServiceOptions::Validate() const {
   if (sample.fanout < 1) {
     return Status::InvalidArgument("sample.fanout must be >= 1");
   }
+  if (!SamplerRegistry::Global().Contains(sampler)) {
+    return Status::InvalidArgument("unknown sampler \"" + sampler + "\"; registered samplers: " +
+                                   SamplerRegistry::NamesForError());
+  }
+  DGCL_RETURN_IF_ERROR(fetch.Validate());
   if (partitioner != "multilevel" && partitioner != "hash") {
     return Status::InvalidArgument("unknown partitioner '" + partitioner +
                                    "' (want multilevel|hash)");
@@ -66,9 +71,21 @@ Status ServiceOptions::Validate() const {
 
 Result<std::unique_ptr<GraphService>> GraphService::Create(const CsrGraph& graph,
                                                            ServiceOptions options) {
+  return Create(graph, std::move(options), nullptr);
+}
+
+Result<std::unique_ptr<GraphService>> GraphService::Create(const CsrGraph& graph,
+                                                           ServiceOptions options,
+                                                           const EmbeddingMatrix* features) {
   DGCL_RETURN_IF_ERROR(options.Validate());
   if (graph.num_vertices() == 0) {
     return Status::InvalidArgument("cannot serve an empty graph");
+  }
+  if (features != nullptr && (features->rows != graph.num_vertices() ||
+                              features->dim != options.feature_dim)) {
+    return Status::InvalidArgument(
+        "injected features must be [num_vertices x feature_dim], got " +
+        std::to_string(features->rows) + "x" + std::to_string(features->dim));
   }
 
   std::unique_ptr<GraphService> service(new GraphService());
@@ -108,15 +125,24 @@ Result<std::unique_ptr<GraphService>> GraphService::Create(const CsrGraph& graph
     service->connection_mutexes_.push_back(std::make_unique<std::mutex>());
   }
 
-  // Deterministic feature store stand-in: every shard would hold its locals'
-  // rows; here one read-only matrix plays all of them.
-  service->features_.rows = graph.num_vertices();
-  service->features_.dim = options.feature_dim;
-  service->features_.data.resize(static_cast<size_t>(graph.num_vertices()) * options.feature_dim);
-  Rng feature_rng(options.feature_seed);
-  for (float& x : service->features_.data) {
-    x = feature_rng.UniformFloat(-1.0f, 1.0f);
+  // Feature store stand-in: every shard would hold its locals' rows; here
+  // one read-only matrix plays all of them — the caller's, or rows generated
+  // deterministically from feature_seed.
+  if (features != nullptr) {
+    service->features_ = *features;
+  } else {
+    service->features_.rows = graph.num_vertices();
+    service->features_.dim = options.feature_dim;
+    service->features_.data.resize(static_cast<size_t>(graph.num_vertices()) *
+                                   options.feature_dim);
+    Rng feature_rng(options.feature_seed);
+    for (float& x : service->features_.data) {
+      x = feature_rng.UniformFloat(-1.0f, 1.0f);
+    }
   }
+  service->fetch_batcher_ = std::make_unique<FetchBatcher>(
+      options.num_shards, static_cast<uint64_t>(options.feature_dim) * sizeof(float),
+      options.request_deadline_micros, options.fetch);
 
   DGCL_ASSIGN_OR_RETURN(std::unique_ptr<EvictionPolicy> policy,
                         MakeEvictionPolicy(options.cache_policy));
@@ -134,7 +160,18 @@ Result<std::unique_ptr<GraphService>> GraphService::Create(const CsrGraph& graph
   service->responses_ =
       std::make_unique<BoundedQueue<SampleResponse>>(options.response_queue_capacity);
 
-  service->sampler_ = NeighborSampler(&service->store_);
+  // One shared instance per registered strategy (Sample is const +
+  // thread-safe), with the per-strategy telemetry span name interned up
+  // front so workers never intern on the hot path.
+  for (const std::string& name : SamplerRegistry::Global().Names()) {
+    DGCL_ASSIGN_OR_RETURN(std::unique_ptr<Sampler> sampler,
+                          SamplerRegistry::Global().Create(name, &service->store_));
+    SamplerEntry entry;
+    entry.sampler = std::move(sampler);
+    entry.span = SamplerRegistry::InternedName("serve.sample." + name);
+    service->samplers_.emplace(name, std::move(entry));
+  }
+  service->default_sampler_ = &service->samplers_.at(options.sampler);
   service->sync_layers_ = service->MakeLayerStack();
   return service;
 }
@@ -263,8 +300,17 @@ MembershipView GraphService::membership() const {
 }
 
 ServiceStats GraphService::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  ServiceStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out = stats_;
+  }
+  const FetchBatcher::Stats fetch = fetch_batcher_->stats();
+  out.fetch_messages = fetch.messages;
+  out.fetch_rows = fetch.rows;
+  out.fetch_bytes = fetch.bytes;
+  out.fetch_coalesced = fetch.coalesced;
+  return out;
 }
 
 void GraphService::WorkerLoop(uint32_t shard) {
@@ -314,6 +360,21 @@ SampleResponse GraphService::Process(SampleRequest& request,
       break;
     }
 
+    // Resolve the strategy: the request's name wins, the service default
+    // otherwise. Unknown names fail the request the way an unregistered
+    // planner fails Init — actionable, listing what IS registered.
+    const SamplerEntry* entry = default_sampler_;
+    if (!request.sampler.empty()) {
+      auto it = samplers_.find(request.sampler);
+      if (it == samplers_.end()) {
+        status = Status::InvalidArgument("sampler \"" + request.sampler +
+                                         "\" not registered (have: " +
+                                         SamplerRegistry::NamesForError() + ")");
+        break;
+      }
+      entry = &it->second;
+    }
+
     std::vector<VertexId> seeds = std::move(request.seeds);
     if (seeds.empty()) {
       seeds = SampleLocalNodes(store_.shard(home), request.num_seeds, request.sample.seed);
@@ -321,8 +382,8 @@ SampleResponse GraphService::Process(SampleRequest& request,
 
     uint32_t dead_shard = kInvalidId;
     Result<SampleResult> sampled = [&]() -> Result<SampleResult> {
-      DGCL_TSPAN1("service", "serve.sample", "shard", home);
-      return sampler_.Sample(home, seeds, request.sample, alive, &dead_shard);
+      DGCL_TSPAN1("service", entry->span, "shard", home);
+      return entry->sampler->Sample(home, seeds, request.sample, alive, &dead_shard);
     }();
     if (!sampled.ok()) {
       if (dead_shard != kInvalidId) {
@@ -347,6 +408,9 @@ SampleResponse GraphService::Process(SampleRequest& request,
       CsrGraph subgraph = graph_->InducedSubgraph(response.nodes);
       LocalGraph local = FullLocalGraph(subgraph);
       response.embeddings = InferenceForward(local, slots, layers);
+    }
+    if (request.return_features) {
+      response.features = std::move(slots);
     }
   } while (false);
 
@@ -394,16 +458,21 @@ Status GraphService::AssembleFeatures(uint32_t home, const std::vector<VertexId>
       response.suspects.push_back(owner);
       return Status::Unavailable("feature owner shard " + std::to_string(owner) + " is dead");
     }
-    const uint64_t bytes = slots_needed.size() * static_cast<uint64_t>(dim) * sizeof(float);
     // The fetch is priced on the pair's connection (transport selection,
     // faults, retry) when the P2P plan routed traffic owner->home; pairs the
     // relation never linked have no connection and the fetch is free wire-wise
-    // (counted, so a trace shows how often sampling out-runs the plan).
+    // (counted, so a trace shows how often sampling out-runs the plan). With
+    // batching enabled the batcher may merge this call's rows into another
+    // request's Transmit (fetch_batcher.h); either way exactly one member
+    // puts the batch on the wire, under the pair's connection mutex.
     if (Connection* connection = connections_.FindMutable(owner, home)) {
-      std::mutex& transmit_mutex =
-          *connection_mutexes_[static_cast<size_t>(owner) * options_.num_shards + home];
-      std::lock_guard<std::mutex> lock(transmit_mutex);
-      const Status transmitted = connection->Transmit(bytes);
+      const Status transmitted =
+          fetch_batcher_->Fetch(owner, home, slots_needed.size(), [&](uint64_t bytes) {
+            std::mutex& transmit_mutex =
+                *connection_mutexes_[static_cast<size_t>(owner) * options_.num_shards + home];
+            std::lock_guard<std::mutex> lock(transmit_mutex);
+            return connection->Transmit(bytes);
+          });
       if (!transmitted.ok()) {
         response.suspects.push_back(owner);
         return transmitted;

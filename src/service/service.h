@@ -40,6 +40,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -52,9 +53,11 @@
 #include "runtime/recovery.h"
 #include "runtime/transport.h"
 #include "service/feature_cache.h"
+#include "service/fetch_batcher.h"
 #include "service/graph_shard.h"
 #include "service/request_queue.h"
 #include "service/sampler.h"
+#include "service/sampler_registry.h"
 #include "topology/topology.h"
 
 namespace dgcl {
@@ -72,6 +75,14 @@ struct ServiceOptions {
 
   // Per-request defaults (a request's own SampleKHopOptions win when set).
   SampleKHopOptions sample;
+
+  // Default sampling strategy, resolved through SamplerRegistry::Global()
+  // ("uniform", "weighted", "random-walk", or any runtime-registered name).
+  // A request's own SampleRequest::sampler wins when non-empty.
+  std::string sampler = "uniform";
+
+  // Cross-request batching of remote feature fetches (fetch_batcher.h).
+  FetchBatchOptions fetch;
 
   // "multilevel" (METIS-substitute, the serving default) or "hash".
   std::string partitioner = "multilevel";
@@ -109,7 +120,14 @@ struct SampleRequest {
   std::vector<VertexId> seeds;
   uint32_t num_seeds = 16;
   SampleKHopOptions sample;       // per-request seed/hops/fanout
+  // Sampling strategy for this request; empty = ServiceOptions::sampler.
+  // Unknown names fail the request with kInvalidArgument listing the
+  // registered strategies.
+  std::string sampler;
   bool run_inference = false;
+  // Return the assembled feature rows for the sampled nodes (the training
+  // path: MiniBatchTrainer consumes them as the mini-batch inputs).
+  bool return_features = false;
   uint64_t submit_ns = 0;         // stamped by Submit/Serve
 };
 
@@ -125,6 +143,7 @@ struct SampleResponse {
   double queue_seconds = 0.0;         // submit -> worker pop
   double latency_seconds = 0.0;       // submit -> response ready
   EmbeddingMatrix embeddings;         // run_inference: last-layer rows for `nodes`
+  EmbeddingMatrix features;           // return_features: input rows for `nodes`
 };
 
 // Aggregate counters, readable at any time.
@@ -134,15 +153,28 @@ struct ServiceStats {
   uint64_t completed = 0;    // responses pushed with OK status
   uint64_t unavailable = 0;  // responses pushed with kUnavailable
   uint64_t responses_dropped = 0;  // response queue full past deadline
+  // Remote-fetch wire accounting (FetchBatcher::Stats, copied in by stats()):
+  uint64_t fetch_messages = 0;   // Transmits issued for remote feature rows
+  uint64_t fetch_rows = 0;       // rows those Transmits carried
+  uint64_t fetch_bytes = 0;      // bytes on wire incl. per-message header
+  uint64_t fetch_coalesced = 0;  // fetches that rode another fetch's Transmit
 };
 
 class GraphService {
  public:
   // The graph must outlive the service. Partitions, builds the store, the
-  // connection table (P2P plan over the serving relation) and the cache;
-  // does not start workers — call Start().
+  // connection table (P2P plan over the serving relation), the cache, and
+  // one sampler per registered strategy; does not start workers — call
+  // Start().
   static Result<std::unique_ptr<GraphService>> Create(const CsrGraph& graph,
                                                       ServiceOptions options);
+  // Same, but serve `features` (one row per vertex, dim must equal
+  // options.feature_dim) instead of generating rows from feature_seed — the
+  // training path feeds label-correlated features this way. `features` must
+  // be non-null and, like the graph, outlive the call (rows are copied).
+  static Result<std::unique_ptr<GraphService>> Create(const CsrGraph& graph,
+                                                      ServiceOptions options,
+                                                      const EmbeddingMatrix* features);
   ~GraphService();
 
   GraphService(const GraphService&) = delete;
@@ -178,6 +210,9 @@ class GraphService {
   const ShardedGraphStore& store() const { return store_; }
   const FeatureCache& cache() const { return *cache_; }
   const CommRelation& relation() const { return relation_; }
+  // The full feature matrix (row = global vertex id) — read-only; the
+  // mini-batch trainer evaluates against it.
+  const EmbeddingMatrix& features() const { return features_; }
   MembershipView membership() const;
   ServiceStats stats() const;
   const ServiceOptions& options() const { return options_; }
@@ -219,7 +254,17 @@ class GraphService {
   // Serializes Transmit per connection (the engine's single-sender-per-pass
   // contract, upheld here across concurrent sampler workers).
   std::vector<std::unique_ptr<std::mutex>> connection_mutexes_;
-  NeighborSampler sampler_{nullptr};
+  // One instance per registered strategy, instantiated at Create and shared
+  // by every worker (Sample is const + thread-safe). `span` is the interned
+  // per-strategy telemetry span name ("serve.sample.<strategy>").
+  struct SamplerEntry {
+    std::unique_ptr<Sampler> sampler;
+    const char* span = nullptr;
+  };
+  std::map<std::string, SamplerEntry> samplers_;
+  // samplers_[options_.sampler]; resolved once at Create.
+  const SamplerEntry* default_sampler_ = nullptr;
+  std::unique_ptr<FetchBatcher> fetch_batcher_;
   std::unique_ptr<FeatureCache> cache_;
   EmbeddingMatrix features_;  // [num_vertices x feature_dim], read-only
 

@@ -63,6 +63,10 @@ Result<EpochSimulator> EpochSimulator::Create(const Dataset& dataset, const Topo
     return Status::InvalidArgument("cache_hit_rate must be in [0, 1], got " +
                                    std::to_string(options.cache_hit_rate));
   }
+  if (!(options.fetch_batch_bytes_factor > 0.0 && options.fetch_batch_bytes_factor <= 1.0)) {
+    return Status::InvalidArgument("fetch_batch_bytes_factor must be in (0, 1], got " +
+                                   std::to_string(options.fetch_batch_bytes_factor));
+  }
   EpochSimulator sim;
   sim.dataset_ = &dataset;
   sim.topo_ = &topo;
@@ -355,9 +359,11 @@ Result<EpochReport> EpochSimulator::SimulatePlanned(Method method) const {
   // With the feature cache, layer 1 reads remote inputs locally and skips
   // the hit-rate share of the feature-width allgather (all of it at the
   // idealized default hit rate of 1.0; the serving tier's measured rate can
-  // be plugged in via EpochOptions::cache_hit_rate).
-  double comm_seconds =
-      cache_features ? (1.0 - options_.cache_hit_rate) * feature_pass : feature_pass;
+  // be plugged in via EpochOptions::cache_hit_rate). The miss share that IS
+  // paid shrinks further by the measured fetch-batching bytes ratio.
+  const double miss_share =
+      (1.0 - options_.cache_hit_rate) * options_.fetch_batch_bytes_factor;
+  double comm_seconds = cache_features ? miss_share * feature_pass : feature_pass;
   for (uint32_t layer = 1; layer < options_.num_layers; ++layer) {
     comm_seconds += transfer_seconds(hidden, PassDirection::kForward);
     comm_seconds += transfer_seconds(hidden, PassDirection::kBackward);
@@ -369,7 +375,7 @@ Result<EpochReport> EpochSimulator::SimulatePlanned(Method method) const {
   if (cache_features) {
     // Fractional hit rates need double math; the cast truncates like the
     // integer division below, so hit_rate == 1.0 matches it bit for bit.
-    const double feature_dims = (1.0 - options_.cache_hit_rate) * dataset_->feature_dim;
+    const double feature_dims = miss_share * dataset_->feature_dim;
     report.avg_comm_bytes_per_gpu = static_cast<uint64_t>(
         static_cast<double>(relation_.TotalTransfers()) * (feature_dims + hidden_dims) * 4.0 *
         options_.inverse_scale / relation_.num_devices);

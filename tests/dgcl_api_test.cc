@@ -226,20 +226,14 @@ TEST(DgclApiTest, AutoSelectCommitsWinnerAndRecordsScorecard) {
   EXPECT_TRUE(ctx->GraphAllgather(*local).ok());
 }
 
-TEST(DgclApiTest, LegacySpstOptionsForwardIntoPlanner) {
+TEST(DgclApiTest, PlannerSpstOptionsAreHonored) {
+  // The pre-PR-6 top-level `spst` spelling is gone; planner.spst is the one
+  // spelling and Init keeps whatever the caller set.
   DgclOptions options;
-  options.spst.max_class_units = 17;  // legacy spelling only
+  options.planner.spst.max_class_units = 33;
   auto ctx = DgclContext::Init(BuildPaperTopology(4), options);
   ASSERT_TRUE(ctx.ok());
-  EXPECT_EQ(ctx->options().planner.spst.max_class_units, 17u);
-
-  // When both spellings are customized, the new one wins.
-  DgclOptions both;
-  both.spst.max_class_units = 17;
-  both.planner.spst.max_class_units = 33;
-  auto ctx2 = DgclContext::Init(BuildPaperTopology(4), both);
-  ASSERT_TRUE(ctx2.ok());
-  EXPECT_EQ(ctx2->options().planner.spst.max_class_units, 33u);
+  EXPECT_EQ(ctx->options().planner.spst.max_class_units, 33u);
 }
 
 TEST(DgclApiTest, ArtifactsBundleAndEngineExposeThePipeline) {

@@ -8,12 +8,15 @@
 // Usage:
 //   dgcl_plan [--graph path] [--gpus N] [--no-nvlink] [--nvswitch]
 //             [--machines M] [--dim D] [--planner <name>|auto]
-//             [--list-planners] [--save-plan path] [--seed S]
+//             [--list-planners] [--list-samplers] [--save-plan path]
+//             [--seed S]
 //
 // --planner resolves through the PlannerRegistry, so any registered strategy
 // works by name; "auto" plans with every strategy and commits the cost-model
 // winner, printing the per-candidate scorecard. --list-planners prints the
-// registered names and exits.
+// registered planner names and exits; --list-samplers does the same for the
+// serving tier's SamplerRegistry (ServiceOptions::sampler /
+// SampleRequest::sampler take these names).
 
 #include <cstdio>
 #include <cstring>
@@ -31,6 +34,7 @@
 #include "planner/registry.h"
 #include "sim/network_sim.h"
 #include "sim/planner_select.h"
+#include "service/sampler_registry.h"
 #include "topology/presets.h"
 
 using namespace dgcl;
@@ -48,13 +52,15 @@ struct Args {
   bool nvlink = true;
   bool nvswitch = false;
   bool list_planners = false;
+  bool list_samplers = false;
 };
 
 void PrintUsage() {
   std::printf(
       "usage: dgcl_plan [--graph path] [--gpus N] [--machines M] [--no-nvlink]\n"
       "                 [--nvswitch] [--dim D] [--planner <name>|auto]\n"
-      "                 [--list-planners] [--save-plan path] [--seed S]\n");
+      "                 [--list-planners] [--list-samplers] [--save-plan path]\n"
+      "                 [--seed S]\n");
 }
 
 bool Parse(int argc, char** argv, Args& args) {
@@ -111,6 +117,8 @@ bool Parse(int argc, char** argv, Args& args) {
       args.seed = std::stoull(v);
     } else if (flag == "--list-planners") {
       args.list_planners = true;
+    } else if (flag == "--list-samplers") {
+      args.list_samplers = true;
     } else if (flag == "--no-nvlink") {
       args.nvlink = false;
     } else if (flag == "--nvswitch") {
@@ -154,6 +162,13 @@ int main(int argc, char** argv) {
       std::printf("  %s\n", name.c_str());
     }
     std::printf("  auto (cost-model selection over the above)\n");
+    return 0;
+  }
+  if (args.list_samplers) {
+    std::printf("registered sampler strategies:\n");
+    for (const std::string& name : SamplerRegistry::Global().Names()) {
+      std::printf("  %s\n", name.c_str());
+    }
     return 0;
   }
 

@@ -239,6 +239,26 @@ int SummarizeServing(const telemetry::Trace& trace) {
            TablePrinter::Fmt(p.max_seconds * 1e3, 3)});
     }
     std::printf("%s", phase_table.Render("serving phases").c_str());
+
+    // The sample phase is recorded per strategy (serve.sample.<name>, the
+    // SamplerRegistry name) — break it out so strategy cost is comparable at
+    // a glance.
+    TablePrinter sample_table({"Sampler", "Samples", "Total ms", "Mean ms", "Max ms"});
+    bool any_strategy = false;
+    const std::string prefix = "serve.sample.";
+    for (const auto& [name, p] : phases) {
+      if (name.rfind(prefix, 0) != 0) {
+        continue;
+      }
+      any_strategy = true;
+      sample_table.AddRow({name.substr(prefix.size()), TablePrinter::FmtInt(p.count),
+                           TablePrinter::Fmt(p.total_seconds * 1e3, 3),
+                           TablePrinter::Fmt(p.total_seconds / p.count * 1e3, 3),
+                           TablePrinter::Fmt(p.max_seconds * 1e3, 3)});
+    }
+    if (any_strategy) {
+      std::printf("%s", sample_table.Render("sample phase by strategy").c_str());
+    }
   }
 
   const double hits = counters["cache.hit"];
@@ -246,6 +266,12 @@ int SummarizeServing(const telemetry::Trace& trace) {
   if (hits + misses > 0.0) {
     std::printf("feature cache: %.0f hits, %.0f misses, %.0f evictions (hit rate %.3f)\n",
                 hits, misses, counters["cache.evict"], hits / (hits + misses));
+  }
+  const double flushes = counters["fetch.batch.flush"];
+  if (flushes > 0.0) {
+    const double rows = counters["fetch.batch.rows"];
+    std::printf("batched fetches: %.0f transmits carrying %.0f rows (%.1f rows/transmit)\n",
+                flushes, rows, rows / flushes);
   }
   for (const char* name : {"request.shed", "fetch.unplanned", "shard.killed"}) {
     const auto it = counters.find(name);
