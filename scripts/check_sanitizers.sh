@@ -18,7 +18,11 @@
 # cross-request fetch-batching window — leader/joiner handoff on the
 # condition variable, batch close racing late joiners, and the atomic wire
 # accounting — exercised by minibatch_trainer_test's concurrent-coalescing
-# case and the conformance suite's pooled fleets).
+# case and the conformance suite's pooled fleets). The replica layer rides
+# the same gate: replica_conformance_test and the serving kill-schedule fuzz
+# put the lock-free router (alive-mask/cursor/in-flight atomics) under
+# concurrent Submit while KillReplica drains queues onto survivors, and
+# fetch_batcher_test hammers the gap-close leader loop directly.
 # Separate build trees (build-tsan/, build-asan/) so the main build stays
 # untouched.
 #
@@ -26,7 +30,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TESTS_REGEX='thread_pool_test|plan_determinism_test|planner_property_test|planner_conformance_test|spst_test|transport_test|allgather_engine_test|coordination_test|overlap_conformance_test|straggler_test|network_sim_test|epoch_sim_test|cost_audit_test|trainer_test|telemetry_test|recovery_test|service_test|sampler_determinism_test|sampler_conformance_test|minibatch_trainer_test|fault_schedule_fuzz_test'
+TESTS_REGEX='thread_pool_test|plan_determinism_test|planner_property_test|planner_conformance_test|spst_test|transport_test|allgather_engine_test|coordination_test|overlap_conformance_test|straggler_test|network_sim_test|epoch_sim_test|cost_audit_test|trainer_test|telemetry_test|recovery_test|service_test|sampler_determinism_test|sampler_conformance_test|minibatch_trainer_test|replica_conformance_test|fetch_batcher_test|fault_schedule_fuzz_test'
 
 # Sanitizer runs are 5-20x slower; trim the fuzz budget accordingly.
 export DGCL_FUZZ_SEEDS="${DGCL_FUZZ_SEEDS:-25}"
@@ -44,7 +48,8 @@ run_one() {
     overlap_conformance_test straggler_test \
     network_sim_test epoch_sim_test cost_audit_test trainer_test telemetry_test \
     recovery_test service_test sampler_determinism_test sampler_conformance_test \
-    minibatch_trainer_test fault_schedule_fuzz_test
+    minibatch_trainer_test replica_conformance_test fetch_batcher_test \
+    fault_schedule_fuzz_test
   echo "=== ${kind} sanitizer: running tests ==="
   ctest --test-dir "$dir" -R "$TESTS_REGEX" --output-on-failure
   echo "=== ${kind} sanitizer: OK ==="

@@ -26,17 +26,25 @@
 #                             recovery, and cross-request fetch batching — a
 #                             subset of `serving`, runnable alone when
 #                             iterating on samplers or the trainer feed)
-#   6. fuzz tier              ctest -L fuzz   (fault-schedule fuzzing, fixed
+#   6. replicas tier          ctest -L replicas (the shard-replica layer:
+#                             byte-identity conformance over R × routing ×
+#                             pool width, replica-aware failover and
+#                             last-replica death, and the serving
+#                             kill-schedule fuzz — a subset of serving+fuzz,
+#                             runnable alone when iterating on replica_set
+#                             or the kill/drain paths)
+#   7. fuzz tier              ctest -L fuzz   (fault-schedule fuzzing, fixed
 #                             seed budget so wall time is bounded and every
 #                             run covers the same schedules)
-#   7. sanitizers             scripts/check_sanitizers.sh (TSan + ASan trees
+#   8. sanitizers             scripts/check_sanitizers.sh (TSan + ASan trees
 #                             over the concurrency-sensitive suites, with a
 #                             reduced fuzz budget; TSan is the gate for the
 #                             per-chunk ready-flag protocol, the serving
-#                             tier's MPMC queues, and the fetch-batching
+#                             tier's MPMC queues, the replica router and
+#                             kill/drain handoff, and the fetch-batching
 #                             window's leader/joiner handoff)
 #
-# Usage: scripts/ci.sh [unit|planner|overlap|serving|sampling|fuzz|sanitizers|all]   (default: all)
+# Usage: scripts/ci.sh [unit|planner|overlap|serving|sampling|replicas|fuzz|sanitizers|all]   (default: all)
 # Env:   DGCL_CI_FUZZ_SEEDS  fuzz-tier seed budget (default 200)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -74,6 +82,12 @@ sampling_tier() {
   ctest --test-dir build -L sampling --output-on-failure -j "$(nproc)"
 }
 
+replicas_tier() {
+  echo "=== CI tier: replicas (DGCL_CI_FUZZ_SEEDS=${DGCL_CI_FUZZ_SEEDS:-200}) ==="
+  DGCL_FUZZ_SEEDS="${DGCL_CI_FUZZ_SEEDS:-200}" \
+    ctest --test-dir build -L replicas --output-on-failure -j "$(nproc)"
+}
+
 fuzz_tier() {
   echo "=== CI tier: fuzz (DGCL_CI_FUZZ_SEEDS=${DGCL_CI_FUZZ_SEEDS:-200}) ==="
   DGCL_FUZZ_SEEDS="${DGCL_CI_FUZZ_SEEDS:-200}" \
@@ -106,6 +120,10 @@ case "$TIER" in
     build
     sampling_tier
     ;;
+  replicas)
+    build
+    replicas_tier
+    ;;
   fuzz)
     build
     fuzz_tier
@@ -118,7 +136,7 @@ case "$TIER" in
     sanitizer_tier
     ;;
   *)
-    echo "usage: $0 [unit|planner|overlap|serving|sampling|fuzz|sanitizers|all]" >&2
+    echo "usage: $0 [unit|planner|overlap|serving|sampling|replicas|fuzz|sanitizers|all]" >&2
     exit 2
     ;;
 esac

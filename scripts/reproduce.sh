@@ -30,7 +30,9 @@ echo "BENCH_plan_parallel.json, BENCH_recovery.json (per-phase recovery MTTR"
 echo "vs full restart), BENCH_planner_family.json (strategy crossover map),"
 echo "BENCH_overlap.json (hidden vs exposed communication per chunk count),"
 echo "BENCH_serving.json (serving-tier tail latency, cache hit rates and"
-echo "throughput vs shard count, plus the mid-load shard-kill contract),"
+echo "throughput vs shard count, the mid-load shard-kill contract, the"
+echo "replica read-scaling sweep — throughput vs R with byte-identical"
+echo "digests — and the kill-one-replica-per-shard-under-load contract),"
 echo "BENCH_minibatch.json (batched vs unbatched remote-fetch p99 and"
 echo "bytes-on-wire, plus sampled mini-batch training per sampler strategy)"
 echo "and TRACE_fig7.json (Chrome-trace; load it at"

@@ -55,16 +55,35 @@ Status FetchBatcher::Fetch(uint32_t owner, uint32_t home, size_t rows,
   } else {
     batch->rows += rows;
     coalesced_.fetch_add(1, std::memory_order_relaxed);
-    if (batch->rows >= options_.max_rows) {
-      ch.cv.notify_all();  // wake the leader early
-    }
+    // Every join wakes the leader: it either flushes (batch full) or restarts
+    // its arrival-gap clock.
+    ch.cv.notify_all();
   }
 
   if (leader) {
-    // Hold the batch open for joiners until the window closes or it fills.
+    // Hold the batch open for joiners until it fills, the hard window cap
+    // expires, or — with arrival-gap close — no new rows arrive for one gap.
     const auto flush_by =
         std::chrono::steady_clock::now() + std::chrono::microseconds(options_.window_micros);
-    ch.cv.wait_until(lock, flush_by, [&] { return batch->rows >= options_.max_rows; });
+    if (options_.close_gap_micros == 0) {
+      ch.cv.wait_until(lock, flush_by, [&] { return batch->rows >= options_.max_rows; });
+    } else {
+      size_t seen_rows = batch->rows;
+      while (batch->rows < options_.max_rows) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= flush_by) {
+          break;
+        }
+        const auto gap_by = now + std::chrono::microseconds(options_.close_gap_micros);
+        ch.cv.wait_until(lock, gap_by < flush_by ? gap_by : flush_by, [&] {
+          return batch->rows >= options_.max_rows || batch->rows != seen_rows;
+        });
+        if (batch->rows == seen_rows) {
+          break;  // one full gap with no arrivals: close the batch
+        }
+        seen_rows = batch->rows;
+      }
+    }
     // Close the batch: later arrivals start a fresh one (possibly while this
     // Transmit is still on the wire; the connection mutex inside `transmit`
     // serializes the wire itself).

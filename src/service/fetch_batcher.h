@@ -6,10 +6,12 @@
 // per-message wire cost (latency injection, retry state, and the
 // `header_bytes` request envelope). FetchBatcher coalesces: the first
 // fetcher to arrive at an idle (owner, home) channel becomes the batch
-// *leader* and holds the batch open for a short window; fetchers arriving
-// within the window join the open batch instead of transmitting themselves.
-// When the window expires — or the batch hits `max_rows` first — the leader
-// issues ONE Transmit for the whole batch (header + all rows) over the
+// *leader* and holds the batch open; fetchers arriving while it is open join
+// the batch instead of transmitting themselves. The leader flushes when the
+// arrival gap closes the batch (no new rows for `close_gap_micros` — so an
+// idle channel never pays the whole window, see FetchBatchOptions), when the
+// hard `window_micros` cap expires, or when the batch hits `max_rows`; it
+// then issues ONE Transmit for the whole batch (header + all rows) over the
 // pair's connection, still priced by the transport decision table and fault
 // injection like every other transfer, and publishes the outcome to every
 // joiner. p99 under load and bytes-on-wire both win (bench_minibatch
@@ -48,8 +50,14 @@ struct FetchBatchOptions {
   // window trades a bounded latency add on idle channels for a large p99 and
   // bytes win under load, so the caller opts in.
   bool enabled = false;
-  // How long a batch leader holds the batch open for joiners.
+  // Hard cap on how long a batch leader holds the batch open for joiners.
   uint64_t window_micros = 200;
+  // Arrival-gap close: the leader flushes as soon as no new rows have
+  // arrived for this long, instead of sitting out the full window — an idle
+  // channel pays ~one gap of latency, not one window (the 500µs-window
+  // latency cliff in BENCH_minibatch.json was exactly that fixed hold).
+  // 0 = legacy behavior: hold the batch open for the whole window.
+  uint64_t close_gap_micros = 50;
   // A batch reaching this many rows flushes immediately.
   size_t max_rows = 256;
   // Per-Transmit request envelope (row keys, request ids) — the fixed

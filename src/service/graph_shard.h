@@ -62,6 +62,34 @@ class GraphShard {
   std::vector<VertexId> locals_;     // ascending
 };
 
+// One read replica's copy of a shard's serving data: the shard's local
+// vertex ids (its CSR slice index) and their feature rows, materialized per
+// replica so every replica answers local reads from its own storage — the
+// information boundary a real multi-server deployment would have. Replicas
+// of a shard are byte-identical copies by construction, which is what lets
+// the router pick any of them without perturbing response payloads.
+struct ReplicaSlice {
+  uint32_t shard = 0;
+  uint32_t replica = 0;
+  uint32_t dim = 0;
+  std::vector<VertexId> locals;  // == the shard's locals, ascending
+  std::vector<float> rows;       // locals.size() * dim; row i = features of locals[i]
+
+  // Feature row of an owned global id; nullptr when this shard does not own
+  // it. Binary search over the sorted locals, like GraphShard::LocalRank.
+  const float* RowOf(VertexId global) const;
+
+  uint64_t BytesHeld() const {
+    return rows.size() * sizeof(float) + locals.size() * sizeof(VertexId);
+  }
+};
+
+// Materializes replica `replica` of `shard` by copying its locals' rows out
+// of the global feature matrix (`features` has one dim-wide row per global
+// vertex id, densely packed).
+ReplicaSlice MakeReplicaSlice(const GraphShard& shard, uint32_t replica, uint32_t dim,
+                              const float* features);
+
 // The full store: every shard plus the global ownership map.
 class ShardedGraphStore {
  public:

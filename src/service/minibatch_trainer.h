@@ -66,9 +66,11 @@ class MiniBatchTrainer {
 
   // Runs one epoch of sampled mini-batch SGD. Returns the labeled-row-
   // weighted mean loss/accuracy over the epoch's batches, and snapshots the
-  // epoch-boundary checkpoint on success. On failure (dead shard, deadline)
-  // the model may be partially stepped — call RestoreCheckpoint before
-  // retrying.
+  // epoch-boundary checkpoint on success. A replica dying mid-epoch while
+  // survivors remain is ridden through: the batch retries once on a
+  // survivor and reproduces byte-identically (counted in ride_throughs()),
+  // no rewind. On real failure (shard dead, deadline) the model may be
+  // partially stepped — call RestoreCheckpoint before retrying.
   Result<EpochResult> TrainEpoch();
 
   // Full-graph evaluation of the current weights over the service's feature
@@ -82,6 +84,8 @@ class MiniBatchTrainer {
   Status RestoreCheckpoint();
 
   uint64_t epochs() const { return epochs_; }
+  // Batches that hit a dying replica and were retried on a survivor.
+  uint64_t ride_throughs() const { return ride_throughs_; }
 
  private:
   explicit MiniBatchTrainer(MiniBatchModel model) : model_(std::move(model)) {}
@@ -92,6 +96,7 @@ class MiniBatchTrainer {
   MiniBatchModel model_;
   ReplicaWeights checkpoint_;
   uint64_t epochs_ = 0;
+  uint64_t ride_throughs_ = 0;
 };
 
 }  // namespace dgcl

@@ -1,6 +1,7 @@
 #include "service/service.h"
 
 #include <algorithm>
+#include <bit>
 #include <map>
 #include <utility>
 
@@ -34,6 +35,7 @@ Status ServiceOptions::Validate() const {
   if (samplers_per_shard < 1) {
     return Status::InvalidArgument("samplers_per_shard must be >= 1");
   }
+  DGCL_RETURN_IF_ERROR(replication.Validate());
   if (request_queue_capacity < 1 || response_queue_capacity < 1) {
     return Status::InvalidArgument("queue capacities must be >= 1");
   }
@@ -149,11 +151,18 @@ Result<std::unique_ptr<GraphService>> GraphService::Create(const CsrGraph& graph
   service->cache_ =
       std::make_unique<FeatureCache>(options.cache_capacity_rows, std::move(policy));
 
-  service->membership_ = std::make_unique<MembershipService>(options.num_shards);
+  // Replica slices are copied out of the (now final) feature matrix, so
+  // every replica of a shard answers local reads from byte-identical rows.
+  DGCL_ASSIGN_OR_RETURN(
+      service->replicas_,
+      ReplicaSet::Build(service->store_, options.feature_dim,
+                        service->features_.data.data(), options.replication));
   service->alive_.store(FullAliveMask(options.num_shards), std::memory_order_release);
 
-  service->request_queues_.reserve(options.num_shards);
-  for (uint32_t s = 0; s < options.num_shards; ++s) {
+  const size_t num_queues =
+      static_cast<size_t>(options.num_shards) * options.replication.replicas;
+  service->request_queues_.reserve(num_queues);
+  for (size_t q = 0; q < num_queues; ++q) {
     service->request_queues_.push_back(
         std::make_unique<BoundedQueue<SampleRequest>>(options.request_queue_capacity));
   }
@@ -184,12 +193,16 @@ void GraphService::Start() {
       stopping_.load(std::memory_order_acquire)) {
     return;
   }
-  const size_t num_workers =
-      static_cast<size_t>(options_.num_shards) * options_.samplers_per_shard;
+  const uint32_t replicas = options_.replication.replicas;
+  const size_t num_workers = static_cast<size_t>(options_.num_shards) * replicas *
+                             options_.samplers_per_shard;
   workers_.reserve(num_workers);
   for (uint32_t shard = 0; shard < options_.num_shards; ++shard) {
-    for (uint32_t i = 0; i < options_.samplers_per_shard; ++i) {
-      workers_.push_back(Worker{std::thread(&GraphService::WorkerLoop, this, shard)});
+    for (uint32_t replica = 0; replica < replicas; ++replica) {
+      for (uint32_t i = 0; i < options_.samplers_per_shard; ++i) {
+        workers_.push_back(
+            Worker{std::thread(&GraphService::WorkerLoop, this, shard, replica)});
+      }
     }
   }
 }
@@ -222,18 +235,11 @@ Status GraphService::Submit(SampleRequest request) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.submitted;
   }
-  const DeviceMask alive = AliveMask();
-  if (((alive >> request.shard) & 1) == 0) {
-    PushResponse(DeadHomeResponse(request));
+  bool shed = false;
+  if (RouteToQueue(request, /*count_first_as_failover=*/false, &shed)) {
     return Status::Ok();
   }
-  if (!request_queues_[request.shard]->TryPush(request)) {
-    if (request_queues_[request.shard]->closed()) {
-      // Lost the race with KillShard: the request was never queued, answer
-      // it the way the drain answers pending ones.
-      PushResponse(DeadHomeResponse(request));
-      return Status::Ok();
-    }
+  if (shed) {
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.shed;
@@ -242,7 +248,46 @@ Status GraphService::Submit(SampleRequest request) {
     return Status::ResourceExhausted("shard " + std::to_string(request.shard) +
                                      " request queue is full");
   }
+  // No live replica: accepted, fails asynchronously like the drain answers
+  // pending requests.
+  PushResponse(DeadHomeResponse(request));
   return Status::Ok();
+}
+
+bool GraphService::RouteToQueue(SampleRequest& request, bool count_first_as_failover,
+                                bool* shed, uint64_t block_micros) {
+  if (shed != nullptr) {
+    *shed = false;
+  }
+  bool is_failover = count_first_as_failover;
+  while (true) {
+    Result<uint32_t> routed = replicas_->Route(request.shard);
+    if (!routed.ok()) {
+      return false;  // shard has no live replicas
+    }
+    const uint32_t replica = *routed;
+    request.replica = replica;
+    BoundedQueue<SampleRequest>& queue = *request_queues_[QueueIndex(request.shard, replica)];
+    const bool pushed =
+        block_micros > 0 ? queue.Push(request, block_micros) : queue.TryPush(request);
+    if (pushed) {
+      if (is_failover) {
+        replicas_->CountFailover();
+      }
+      return true;
+    }
+    replicas_->Finish(request.shard, replica);
+    if (queue.closed() || !replicas_->ReplicaAlive(request.shard, replica)) {
+      // Lost the race with a kill between Route and push: retry on a
+      // survivor (or fall out kUnavailable when none remain).
+      is_failover = true;
+      continue;
+    }
+    if (shed != nullptr) {
+      *shed = true;  // alive replica, full queue: backpressure
+    }
+    return false;
+  }
 }
 
 std::optional<SampleResponse> GraphService::PopResponse(uint64_t timeout_micros) {
@@ -263,9 +308,18 @@ SampleResponse GraphService::Serve(SampleRequest request) {
                                          " >= num_shards " + std::to_string(options_.num_shards));
     return response;
   }
+  // Route exactly like Submit so the sync path exercises (and load-accounts
+  // on) the same replica selection; a dead shard leaves replica unset and
+  // Process answers kUnavailable.
+  Result<uint32_t> routed = replicas_->Route(request.shard);
+  const uint32_t replica = routed.ok() ? *routed : kInvalidId;
+  request.replica = replica;
   {
     std::lock_guard<std::mutex> lock(sync_mutex_);
-    response = Process(request, sync_layers_);
+    response = Process(request, replica, sync_layers_);
+  }
+  if (routed.ok()) {
+    replicas_->Finish(request.shard, replica);
   }
   CountOutcome(response.status);
   return response;
@@ -276,28 +330,86 @@ Status GraphService::KillShard(uint32_t shard) {
     return Status::OutOfRange("shard " + std::to_string(shard) + " >= num_shards " +
                               std::to_string(options_.num_shards));
   }
-  {
-    std::lock_guard<std::mutex> lock(membership_mutex_);
-    DGCL_ASSIGN_OR_RETURN(MembershipView view,
-                          membership_->CommitFailure(DeviceMask{1} << shard));
-    alive_.store(view.alive, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(kill_mutex_);
+  uint32_t mask = replicas_->AliveReplicaMask(shard);
+  if (mask == 0) {
+    return Status::InvalidArgument("shard " + std::to_string(shard) + " is already dead");
+  }
+  // Atomicity pre-check: killing this shard's last replica would commit the
+  // device death, which membership vetoes when it is the last shard alive.
+  // Check up front so a doomed KillShard fails before killing ANY replica.
+  const MembershipView view = replicas_->membership_view();
+  if ((view.alive & ~(DeviceMask{1} << shard)) == 0) {
+    return Status::FailedPrecondition("KillShard(" + std::to_string(shard) +
+                                      ") would leave no shard alive");
+  }
+  while (mask != 0) {
+    const uint32_t replica = static_cast<uint32_t>(std::countr_zero(mask));
+    mask &= mask - 1;
+    DGCL_RETURN_IF_ERROR(KillReplicaLocked(shard, replica));
   }
   DGCL_TCOUNT1("service", "shard.killed", 1, "shard", shard);
-  // Fail everything still queued on the dead shard; workers parked on the
-  // queue wake via Close and exit. In-flight requests see the new alive mask
-  // at their next membership check.
-  BoundedQueue<SampleRequest>& queue = *request_queues_[shard];
-  queue.Close();
-  while (std::optional<SampleRequest> pending = queue.TryPop()) {
-    PushResponse(DeadHomeResponse(*pending));
+  return Status::Ok();
+}
+
+Status GraphService::KillReplica(uint32_t shard, uint32_t replica) {
+  if (shard >= options_.num_shards) {
+    return Status::OutOfRange("shard " + std::to_string(shard) + " >= num_shards " +
+                              std::to_string(options_.num_shards));
+  }
+  if (replica >= options_.replication.replicas) {
+    return Status::OutOfRange("replica " + std::to_string(replica) + " >= replicas " +
+                              std::to_string(options_.replication.replicas));
+  }
+  std::lock_guard<std::mutex> lock(kill_mutex_);
+  DGCL_RETURN_IF_ERROR(KillReplicaLocked(shard, replica));
+  if (!replicas_->ShardAlive(shard)) {
+    // Killing the last replica IS a shard kill; keep the counter stream the
+    // one KillShard emits so traces agree on shard deaths.
+    DGCL_TCOUNT1("service", "shard.killed", 1, "shard", shard);
   }
   return Status::Ok();
 }
 
-MembershipView GraphService::membership() const {
-  std::lock_guard<std::mutex> lock(membership_mutex_);
-  return membership_->view();
+Status GraphService::KillReplicaLocked(uint32_t shard, uint32_t replica) {
+  // The membership commit is the atomic decision point: already-dead
+  // replicas and no-survivor kills are rejected there before any state here
+  // mutates.
+  DGCL_ASSIGN_OR_RETURN(MembershipView view, replicas_->KillReplica(shard, replica));
+  alive_.store(view.alive, std::memory_order_release);
+  DGCL_TCOUNT1("service", "replica.killed", 1, "shard", shard);
+  const bool survivors = replicas_->ShardAlive(shard);
+  // Close the dead replica's queue (its workers drain what they already
+  // popped, then exit) and hand its pending requests over: to survivors
+  // while any remain — counted as failovers, never failed — or to
+  // kUnavailable responses when this was the shard's last replica.
+  BoundedQueue<SampleRequest>& queue = *request_queues_[QueueIndex(shard, replica)];
+  queue.Close();
+  while (std::optional<SampleRequest> pending = queue.TryPop()) {
+    replicas_->Finish(shard, replica);
+    if (!survivors) {
+      PushResponse(DeadHomeResponse(*pending));
+      continue;
+    }
+    bool shed = false;
+    if (RouteToQueue(*pending, /*count_first_as_failover=*/true, &shed,
+                     options_.request_deadline_micros)) {
+      continue;
+    }
+    // Survivors exist but none took it within the deadline (only reachable
+    // when their queues stay full that long, e.g. workers never started):
+    // answer backpressure, not a false shard death.
+    SampleResponse response;
+    response.request_id = pending->request_id;
+    response.shard = pending->shard;
+    response.status = Status::ResourceExhausted(
+        "shard " + std::to_string(shard) + " survivors could not absorb rerouted request");
+    PushResponse(std::move(response));
+  }
+  return Status::Ok();
 }
+
+MembershipView GraphService::membership() const { return replicas_->membership_view(); }
 
 ServiceStats GraphService::stats() const {
   ServiceStats out;
@@ -310,12 +422,15 @@ ServiceStats GraphService::stats() const {
   out.fetch_rows = fetch.rows;
   out.fetch_bytes = fetch.bytes;
   out.fetch_coalesced = fetch.coalesced;
+  const ReplicaSet::Stats replicas = replicas_->stats();
+  out.failovers = replicas.failovers;
+  out.replica_kills = replicas.replica_kills;
   return out;
 }
 
-void GraphService::WorkerLoop(uint32_t shard) {
+void GraphService::WorkerLoop(uint32_t shard, uint32_t replica) {
   std::vector<std::unique_ptr<GnnLayer>> layers = MakeLayerStack();
-  BoundedQueue<SampleRequest>& queue = *request_queues_[shard];
+  BoundedQueue<SampleRequest>& queue = *request_queues_[QueueIndex(shard, replica)];
   const uint64_t poll_micros = std::min<uint64_t>(options_.request_deadline_micros, kMaxPollMicros);
   while (true) {
     std::optional<SampleRequest> request = queue.Pop(poll_micros);
@@ -325,16 +440,15 @@ void GraphService::WorkerLoop(uint32_t shard) {
       }
       continue;
     }
-    SampleResponse response = Process(*request, layers);
-    const Status status = response.status;
-    if (!PushResponse(std::move(response))) {
-      continue;  // dropped; already counted
-    }
-    (void)status;
+    SampleResponse response = Process(*request, replica, layers);
+    PushResponse(std::move(response));
+    // Exactly one Finish per routed request: the kill drain Finishes what it
+    // reroutes, workers Finish what they serve.
+    replicas_->Finish(shard, replica);
   }
 }
 
-SampleResponse GraphService::Process(SampleRequest& request,
+SampleResponse GraphService::Process(SampleRequest& request, uint32_t replica,
                                      std::vector<std::unique_ptr<GnnLayer>>& layers) {
   const uint64_t pop_ns = telemetry::Telemetry::NowNs();
   const uint64_t start_ns = request.submit_ns != 0 ? request.submit_ns : pop_ns;
@@ -343,6 +457,7 @@ SampleResponse GraphService::Process(SampleRequest& request,
   SampleResponse response;
   response.request_id = request.request_id;
   response.shard = home;
+  response.replica = replica;
   if (pop_ns > start_ns) {
     response.queue_seconds = static_cast<double>(pop_ns - start_ns) * 1e-9;
     if (telemetry::Telemetry::Enabled()) {
@@ -397,7 +512,7 @@ SampleResponse GraphService::Process(SampleRequest& request,
     EmbeddingMatrix slots;
     {
       DGCL_TSPAN2("service", "serve.features", "shard", home, "nodes", response.nodes.size());
-      status = AssembleFeatures(home, response.nodes, slots, response);
+      status = AssembleFeatures(home, replica, response.nodes, slots, response);
     }
     if (!status.ok()) {
       break;
@@ -419,18 +534,25 @@ SampleResponse GraphService::Process(SampleRequest& request,
   response.latency_seconds = end_ns > start_ns ? static_cast<double>(end_ns - start_ns) * 1e-9 : 0.0;
   if (telemetry::Telemetry::Enabled()) {
     telemetry::Telemetry::Get().RecorderForThisThread().RecordSpan(
-        "service", "serve.request", start_ns, end_ns - start_ns, "shard", home, "nodes",
-        response.nodes.size(), "ok", response.status.ok() ? 1 : 0);
+        "service", "serve.request", start_ns, end_ns - start_ns, "shard", home, "replica",
+        replica, "ok", response.status.ok() ? 1 : 0);
   }
   return response;
 }
 
-Status GraphService::AssembleFeatures(uint32_t home, const std::vector<VertexId>& nodes,
+Status GraphService::AssembleFeatures(uint32_t home, uint32_t replica,
+                                      const std::vector<VertexId>& nodes,
                                       EmbeddingMatrix& slots, SampleResponse& response) {
   const uint32_t dim = options_.feature_dim;
   slots.rows = static_cast<uint32_t>(nodes.size());
   slots.dim = dim;
   slots.data.assign(nodes.size() * static_cast<size_t>(dim), 0.0f);
+
+  // Local rows come out of the serving replica's own slice (byte-identical
+  // to the global matrix by construction); the sync path with a dead home
+  // has no replica and falls back to the global matrix.
+  const ReplicaSlice* slice =
+      replica < options_.replication.replicas ? &replicas_->slice(home, replica) : nullptr;
 
   std::vector<float> row(dim);
   // owner shard -> slot rows still needing its feature rows.
@@ -439,7 +561,11 @@ Status GraphService::AssembleFeatures(uint32_t home, const std::vector<VertexId>
     const VertexId v = nodes[i];
     const uint32_t owner = store_.OwnerOf(v);
     if (owner == home) {
-      std::copy_n(features_.Row(v), dim, slots.Row(static_cast<uint32_t>(i)));
+      const float* src = slice != nullptr ? slice->RowOf(v) : nullptr;
+      if (src == nullptr) {
+        src = features_.Row(v);
+      }
+      std::copy_n(src, dim, slots.Row(static_cast<uint32_t>(i)));
       continue;
     }
     ++response.remote_rows;

@@ -22,18 +22,31 @@
 //          --> optional mini-batch forward                 (serve.infer)
 //          --> [response queue] --> PopResponse            (serve.request = total)
 //
-// Failure semantics reuse the PR-5 membership machinery: KillShard commits a
-// membership epoch (MembershipService), closes and drains the dead shard's
-// queue, and every request that touches the dead shard — queued on it,
-// routed to it later, or sampling/fetching across it — completes with
-// kUnavailable naming the shard as suspect, within one request deadline,
-// never a hang. Backpressure is explicit: Submit returns kResourceExhausted
-// when the home shard's queue is full (the open-loop generator counts these
-// as shed).
+// Read scaling (replica_set.h): every shard runs R read replicas, each with
+// its own request queue, sampler pool, and copy of the shard's serving data
+// (ReplicaSlice). Submit routes a request to one replica per the configured
+// policy (round-robin / least-loaded / primary-only); a response carries the
+// serving replica. KillReplica folds one replica away — its queued requests
+// are rerouted to survivors (counted as failovers), never failed — and the
+// shard keeps serving until its LAST replica dies, which commits the
+// device-level membership epoch exactly like KillShard (which itself now
+// kills all R replicas).
+//
+// Failure semantics reuse the PR-5 membership machinery: exhausting a
+// shard's replicas commits a membership epoch (ReplicaMembershipService),
+// closes and drains the dead shard's queues, and every request that touches
+// the dead shard — queued on it, routed to it later, or sampling/fetching
+// across it — completes with kUnavailable naming the shard as suspect,
+// within one request deadline, never a hang. Backpressure is explicit:
+// Submit returns kResourceExhausted when the routed replica's queue is full
+// (the open-loop generator counts these as shed).
 //
 // Determinism: the sampled node set and inference output for a request are
-// pure functions of the request (see sampler.h); pool width and queue order
-// affect only latency and cache hit patterns, not payloads.
+// pure functions of the request (see sampler.h); pool width, queue order,
+// replica count, routing policy, and which replica serves affect only
+// latency and cache hit patterns, not payloads — responses are byte-
+// identical to the R=1 run under any kill schedule that leaves a survivor
+// (replica_conformance_test pins this).
 
 #ifndef DGCL_SERVICE_SERVICE_H_
 #define DGCL_SERVICE_SERVICE_H_
@@ -55,6 +68,7 @@
 #include "service/feature_cache.h"
 #include "service/fetch_batcher.h"
 #include "service/graph_shard.h"
+#include "service/replica_set.h"
 #include "service/request_queue.h"
 #include "service/sampler.h"
 #include "service/sampler_registry.h"
@@ -66,8 +80,11 @@ struct ServiceOptions {
   // Shards = devices of the serving topology (BuildPaperTopology), so the
   // transport decision table stays meaningful. 1..16.
   uint32_t num_shards = 4;
-  uint32_t samplers_per_shard = 2;
-  size_t request_queue_capacity = 64;  // per shard; full queue = backpressure
+  uint32_t samplers_per_shard = 2;  // per replica
+  // Read replicas per shard and the routing policy across them
+  // (replica_set.h). replicas = 1 keeps the pre-replica behavior.
+  ReplicationOptions replication;
+  size_t request_queue_capacity = 64;  // per replica; full queue = backpressure
   size_t response_queue_capacity = 4096;
   // Deadline budget for a request end to end; also bounds worker poll waits
   // and response-queue pushes, so a stalled consumer cannot wedge a worker.
@@ -129,11 +146,15 @@ struct SampleRequest {
   // path: MiniBatchTrainer consumes them as the mini-batch inputs).
   bool return_features = false;
   uint64_t submit_ns = 0;         // stamped by Submit/Serve
+  // Serving replica, stamped by the router at Submit/Serve; requests
+  // rerouted off a dying replica are re-stamped. Callers leave it unset.
+  uint32_t replica = kInvalidId;
 };
 
 struct SampleResponse {
   uint64_t request_id = 0;
   uint32_t shard = 0;
+  uint32_t replica = kInvalidId;      // replica that served the request
   Status status;                      // Ok / kUnavailable / kOutOfRange
   std::vector<uint32_t> suspects;     // dead shards implicated on kUnavailable
   std::vector<VertexId> nodes;        // sampled set, ascending global ids
@@ -153,6 +174,10 @@ struct ServiceStats {
   uint64_t completed = 0;    // responses pushed with OK status
   uint64_t unavailable = 0;  // responses pushed with kUnavailable
   uint64_t responses_dropped = 0;  // response queue full past deadline
+  // Replica routing/failover accounting (ReplicaSet::Stats, copied in by
+  // stats()):
+  uint64_t failovers = 0;      // requests rerouted off a dying replica
+  uint64_t replica_kills = 0;  // committed replica deaths (KillReplica + KillShard)
   // Remote-fetch wire accounting (FetchBatcher::Stats, copied in by stats()):
   uint64_t fetch_messages = 0;   // Transmits issued for remote feature rows
   uint64_t fetch_rows = 0;       // rows those Transmits carried
@@ -200,14 +225,24 @@ class GraphService {
   // and single-request callers. Start() not required.
   SampleResponse Serve(SampleRequest request);
 
-  // Commits shard death through the membership service, closes the shard's
-  // queue and fails everything pending on it with kUnavailable (suspect =
-  // `shard`). Requests in flight on its workers and later Submits to it
-  // also resolve to kUnavailable. Fails when the shard is already dead or
-  // it is the last one alive.
+  // Kills every remaining replica of the shard: commits shard death through
+  // the membership epochs, closes the shard's queues and fails everything
+  // pending on them with kUnavailable (suspect = `shard`). Requests in
+  // flight on its workers and later Submits to it also resolve to
+  // kUnavailable. Fails when the shard is already dead or it is the last
+  // one alive.
   Status KillShard(uint32_t shard);
 
+  // Kills one replica. While survivors remain the shard keeps serving: the
+  // dead replica's queued requests are rerouted to survivors (counted as
+  // failovers in stats()), in-flight ones complete, and future Submits
+  // route around it. Killing the last replica is KillShard for that shard.
+  // Fails when the replica is already dead or it is the last replica of the
+  // last alive shard.
+  Status KillReplica(uint32_t shard, uint32_t replica);
+
   const ShardedGraphStore& store() const { return store_; }
+  const ReplicaSet& replicas() const { return *replicas_; }
   const FeatureCache& cache() const { return *cache_; }
   const CommRelation& relation() const { return relation_; }
   // The full feature matrix (row = global vertex id) — read-only; the
@@ -224,20 +259,39 @@ class GraphService {
     std::thread thread;
   };
 
-  void WorkerLoop(uint32_t shard);
-  // Serves one request on the calling thread. `layers` is that thread's
+  void WorkerLoop(uint32_t shard, uint32_t replica);
+  // Serves one request on the calling thread. `replica` is the serving
+  // replica (local reads go to its slice); `layers` is that thread's
   // private inference stack.
-  SampleResponse Process(SampleRequest& request,
+  SampleResponse Process(SampleRequest& request, uint32_t replica,
                          std::vector<std::unique_ptr<GnnLayer>>& layers);
-  // Feature assembly: local rows from the feature store, remote rows via
-  // cache + connection-table fetch. Fails kUnavailable on a dead owner.
-  Status AssembleFeatures(uint32_t home, const std::vector<VertexId>& nodes,
+  // Feature assembly: local rows from the serving replica's slice, remote
+  // rows via cache + connection-table fetch. Fails kUnavailable on a dead
+  // owner.
+  Status AssembleFeatures(uint32_t home, uint32_t replica, const std::vector<VertexId>& nodes,
                           EmbeddingMatrix& slots, SampleResponse& response);
   std::vector<std::unique_ptr<GnnLayer>> MakeLayerStack() const;
   DeviceMask AliveMask() const { return alive_.load(std::memory_order_acquire); }
   std::vector<uint32_t> DeadSuspects() const;
   // kUnavailable response for a request whose home shard is dead.
   SampleResponse DeadHomeResponse(const SampleRequest& request) const;
+  // Kills one replica with kill_mutex_ held: commits the death, closes the
+  // replica's queue, and either reroutes its pending requests to survivors
+  // (failover) or — when it was the shard's last replica — fails them and
+  // everything else still queued on the shard with kUnavailable.
+  Status KillReplicaLocked(uint32_t shard, uint32_t replica);
+  // Routes `request` onto an alive replica's queue, rerouting across
+  // replicas that die mid-push. Counts a successful route as a failover when
+  // it was a reroute (or count_first_as_failover, the drain path). False when
+  // no replica could take it: `shed` distinguishes a full queue
+  // (backpressure) from a dead shard (caller answers kUnavailable).
+  // block_micros > 0 waits that long for queue room instead of TryPush —
+  // the drain path uses it so rerouted requests are never dropped.
+  bool RouteToQueue(SampleRequest& request, bool count_first_as_failover, bool* shed,
+                    uint64_t block_micros = 0);
+  size_t QueueIndex(uint32_t shard, uint32_t replica) const {
+    return static_cast<size_t>(shard) * options_.replication.replicas + replica;
+  }
   void CountOutcome(const Status& status);
   // Counts the outcome and enqueues; false when the response queue stayed
   // full past the deadline (counted as dropped).
@@ -268,10 +322,14 @@ class GraphService {
   std::unique_ptr<FeatureCache> cache_;
   EmbeddingMatrix features_;  // [num_vertices x feature_dim], read-only
 
-  std::unique_ptr<MembershipService> membership_;
-  mutable std::mutex membership_mutex_;
+  // Replica slices, routing, and the membership epochs (replica-aware; the
+  // device-level view is derived from replica exhaustion).
+  std::unique_ptr<ReplicaSet> replicas_;
+  // Serializes kill + queue-handoff sequences (KillShard / KillReplica).
+  std::mutex kill_mutex_;
   std::atomic<DeviceMask> alive_{0};
 
+  // One queue per (shard, replica): request_queues_[QueueIndex(s, r)].
   std::vector<std::unique_ptr<BoundedQueue<SampleRequest>>> request_queues_;
   std::unique_ptr<BoundedQueue<SampleResponse>> responses_;
   std::vector<Worker> workers_;

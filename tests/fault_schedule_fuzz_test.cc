@@ -19,6 +19,15 @@
 // flags of the same op, so the receiver must poison every outstanding chunk
 // wait (not just the current one) and still reach recovery in one deadline.
 //
+// The second fuzzer (ServingKillScheduleFuzzTest) points the same technique
+// at the serving tier's replica layer: random (shards, replicas, routing,
+// pool width) configs under random kill schedules mixing replica kills and
+// whole-shard kills, fired while requests are queued or in flight. The
+// invariant is the replica tier's contract: every request completes exactly
+// once, and its response is either BYTE-IDENTICAL to the all-alive R=1
+// baseline or a clean kUnavailable naming only dead shards as suspects —
+// nothing in between, no hangs, no drops.
+//
 // Failures print the seed; re-run a single schedule with
 //   DGCL_FUZZ_BASE_SEED=<seed> DGCL_FUZZ_SEEDS=1 ./fault_schedule_fuzz_test
 // The default budget is 200 schedules; CI tiers override DGCL_FUZZ_SEEDS.
@@ -26,6 +35,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -33,6 +43,7 @@
 #include "dgcl/elastic.h"
 #include "graph/generators.h"
 #include "random_topology.h"
+#include "service/service.h"
 #include "topology/topology.h"
 
 namespace dgcl {
@@ -246,6 +257,171 @@ TEST(FaultScheduleFuzzTest, EveryScheduleCompletesOrRecovers) {
   // budget; tiny overridden budgets (CI smoke) may legitimately see none.
   if (num_seeds >= 100) {
     EXPECT_GT(kills_triggered, 5u) << "fuzz budget produced almost no live kills";
+  }
+}
+
+// ---- serving-tier replica kill-schedule fuzzing -----------------------------
+
+struct ServingKill {
+  uint32_t at_request = 0;  // fire before submitting this request index
+  bool whole_shard = false;
+  uint32_t shard = 0;
+  uint32_t replica = 0;
+};
+
+struct ServingSchedule {
+  uint32_t shards = 2;
+  uint32_t replicas = 1;
+  std::string routing = "round-robin";
+  uint32_t pool = 1;
+  uint32_t vertices = 80;
+  uint32_t requests = 24;
+  bool start_before_kills = false;  // kills hit in-flight vs queued requests
+  std::vector<ServingKill> kills;
+
+  std::string Describe() const {
+    std::string s = "shards=" + std::to_string(shards) + " R=" + std::to_string(replicas) +
+                    " routing=" + routing + " pool=" + std::to_string(pool) +
+                    (start_before_kills ? " in-flight" : " queued");
+    for (const ServingKill& kill : kills) {
+      s += kill.whole_shard ? " kill-shard(" + std::to_string(kill.shard) + ")@"
+                            : " kill(" + std::to_string(kill.shard) + "," +
+                                  std::to_string(kill.replica) + ")@";
+      s += std::to_string(kill.at_request);
+    }
+    return s;
+  }
+};
+
+ServingSchedule DrawServingSchedule(Rng& rng) {
+  ServingSchedule s;
+  s.shards = 2 + static_cast<uint32_t>(rng.UniformInt(3));    // 2..4
+  s.replicas = 1 + static_cast<uint32_t>(rng.UniformInt(3));  // 1..3
+  static const char* kRoutings[] = {"round-robin", "least-loaded", "primary-only"};
+  s.routing = kRoutings[rng.UniformInt(3)];
+  s.pool = 1 + static_cast<uint32_t>(rng.UniformInt(2));
+  s.vertices = 60 + static_cast<uint32_t>(rng.UniformInt(60));
+  s.start_before_kills = rng.UniformInt(2) == 1;
+  const uint32_t num_kills = static_cast<uint32_t>(rng.UniformInt(4));  // 0..3
+  for (uint32_t k = 0; k < num_kills; ++k) {
+    ServingKill kill;
+    kill.at_request = static_cast<uint32_t>(rng.UniformInt(s.requests));
+    kill.whole_shard = rng.UniformInt(4) == 0;  // simultaneous all-replica kill
+    kill.shard = static_cast<uint32_t>(rng.UniformInt(s.shards));
+    kill.replica = static_cast<uint32_t>(rng.UniformInt(s.replicas));
+    s.kills.push_back(kill);
+  }
+  return s;
+}
+
+ServiceOptions ServingOptions(const ServingSchedule& s, bool baseline) {
+  ServiceOptions options;
+  options.num_shards = s.shards;
+  options.samplers_per_shard = baseline ? 1 : s.pool;
+  options.replication.replicas = baseline ? 1 : s.replicas;
+  options.replication.routing = baseline ? "round-robin" : s.routing;
+  options.partitioner = "hash";
+  options.cache_capacity_rows = 32;
+  options.feature_dim = 6;
+  options.hidden_dim = 4;
+  options.request_deadline_micros = 2'000'000;
+  return options;
+}
+
+SampleRequest ServingRequest(const ServingSchedule& s, uint64_t seed, uint32_t i) {
+  SampleRequest request;
+  request.request_id = i;
+  request.shard = i % s.shards;
+  request.num_seeds = 6;
+  request.sample = {2, 4, seed * 131 + i};
+  request.return_features = true;
+  request.run_inference = (i % 4) == 0;
+  return request;
+}
+
+TEST(ServingKillScheduleFuzzTest, ByteIdenticalOrCleanUnavailable) {
+  const uint64_t base_seed = EnvOr("DGCL_FUZZ_BASE_SEED", 1000);
+  const uint64_t num_seeds = EnvOr("DGCL_FUZZ_SEEDS", 200);
+  uint64_t kills_applied = 0;
+  uint64_t unavailable_seen = 0;
+  for (uint64_t seed = base_seed; seed < base_seed + num_seeds; ++seed) {
+    Rng rng(seed ^ 0x5e41);
+    const ServingSchedule schedule = DrawServingSchedule(rng);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " " + schedule.Describe());
+
+    Rng workload_rng(seed);
+    CsrGraph graph = GenerateErdosRenyi(schedule.vertices, schedule.vertices * 5, workload_rng);
+
+    // All-alive R=1 baseline over the synchronous path.
+    auto baseline = GraphService::Create(graph, ServingOptions(schedule, /*baseline=*/true));
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+    std::map<uint64_t, SampleResponse> expected;
+    for (uint32_t i = 0; i < schedule.requests; ++i) {
+      SampleResponse response = (*baseline)->Serve(ServingRequest(schedule, seed, i));
+      ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+      expected.emplace(response.request_id, std::move(response));
+    }
+
+    auto service = GraphService::Create(graph, ServingOptions(schedule, /*baseline=*/false));
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    if (schedule.start_before_kills) {
+      (*service)->Start();  // kills land on queued AND in-flight requests
+    }
+    for (uint32_t i = 0; i < schedule.requests; ++i) {
+      for (const ServingKill& kill : schedule.kills) {
+        if (kill.at_request != i) {
+          continue;
+        }
+        // Kills may legitimately fail (already dead, last alive shard); only
+        // committed ones count toward coverage.
+        const Status killed = kill.whole_shard
+                                  ? (*service)->KillShard(kill.shard)
+                                  : (*service)->KillReplica(kill.shard, kill.replica);
+        if (killed.ok()) {
+          ++kills_applied;
+        }
+      }
+      ASSERT_TRUE((*service)->Submit(ServingRequest(schedule, seed, i)).ok());
+    }
+    (*service)->Start();
+
+    std::map<uint64_t, uint32_t> delivered;
+    for (uint32_t i = 0; i < schedule.requests; ++i) {
+      std::optional<SampleResponse> response = (*service)->PopResponse(5'000'000);
+      ASSERT_TRUE(response.has_value()) << "response " << i << " never arrived (hang)";
+      ++delivered[response->request_id];
+      const SampleResponse& want = expected.at(response->request_id);
+      if (response->status.ok()) {
+        // Survivors served it: bytes must match the all-alive R=1 run.
+        EXPECT_EQ(response->nodes, want.nodes);
+        EXPECT_EQ(response->features.data, want.features.data);
+        EXPECT_EQ(response->embeddings.data, want.embeddings.data);
+      } else {
+        // The only clean failure is kUnavailable naming dead shards.
+        ++unavailable_seen;
+        const MembershipView view = (*service)->membership();
+        ASSERT_EQ(response->status.code(), StatusCode::kUnavailable)
+            << response->status.ToString();
+        ASSERT_FALSE(response->suspects.empty());
+        for (uint32_t suspect : response->suspects) {
+          ASSERT_LT(suspect, schedule.shards);
+          EXPECT_FALSE(view.IsAlive(suspect))
+              << "suspect " << suspect << " is still alive";
+        }
+      }
+    }
+    // Exactly-once delivery: each request id answered once, all of them.
+    ASSERT_EQ(delivered.size(), schedule.requests);
+    for (const auto& [id, count] : delivered) {
+      ASSERT_EQ(count, 1u) << "request " << id << " answered " << count << " times";
+    }
+    (*service)->Stop();
+  }
+  // Draw distribution sanity at the default budget: the fuzzer must exercise
+  // real kills and real shard exhaustion, not just happy paths.
+  if (num_seeds >= 100) {
+    EXPECT_GT(kills_applied, 20u) << "fuzz budget produced almost no committed kills";
+    EXPECT_GT(unavailable_seen, 0u) << "no schedule ever exhausted a shard";
   }
 }
 

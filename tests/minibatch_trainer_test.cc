@@ -259,6 +259,9 @@ TEST(FetchBatchingTest, ConcurrentFetchesCoalesce) {
   options.samplers_per_shard = 4;
   options.fetch.enabled = true;
   options.fetch.window_micros = 2000;
+  // Hold the full window (no arrival-gap close) so coalescing is a certainty
+  // under scheduler noise, not a race this test could lose.
+  options.fetch.close_gap_micros = 0;
   options.cache_capacity_rows = 1;
   auto service = GraphService::Create(w.graph, options, &w.features);
   ASSERT_TRUE(service.ok());

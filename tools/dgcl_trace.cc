@@ -17,6 +17,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/percentile.h"
@@ -163,7 +164,14 @@ int SummarizeServing(const telemetry::Trace& trace) {
     double total_seconds = 0.0;
     double max_seconds = 0.0;
   };
+  struct ReplicaStats {
+    uint64_t ok = 0;
+    uint64_t failed = 0;
+  };
   std::map<uint64_t, ShardStats> shards;
+  // (shard, replica) -> routed counts; only filled when spans carry the
+  // "replica" arg (replica-aware service).
+  std::map<std::pair<uint64_t, uint64_t>, ReplicaStats> replicas;
   std::map<std::string, Phase> phases;
   std::map<std::string, double> counters;
   for (const telemetry::TraceEvent& ev : trace.events) {
@@ -179,10 +187,15 @@ int SummarizeServing(const telemetry::Trace& trace) {
     }
     if (ev.name == "serve.request") {
       uint64_t shard = ~uint64_t{0};
+      uint64_t replica = ~uint64_t{0};
+      bool has_replica = false;
       uint64_t ok = 1;
       for (size_t i = 0; i < ev.arg_key.size(); ++i) {
         if (ev.arg_key[i] == "shard") {
           shard = ev.arg_val[i];
+        } else if (ev.arg_key[i] == "replica") {
+          replica = ev.arg_val[i];
+          has_replica = true;
         } else if (ev.arg_key[i] == "ok") {
           ok = ev.arg_val[i];
         }
@@ -190,6 +203,10 @@ int SummarizeServing(const telemetry::Trace& trace) {
       ShardStats& s = shards[shard];
       s.latency_ms.push_back(ev.dur_ns / 1e6);
       ++(ok != 0 ? s.ok : s.failed);
+      if (has_replica) {
+        ReplicaStats& r = replicas[{shard, replica}];
+        ++(ok != 0 ? r.ok : r.failed);
+      }
     } else {
       Phase& p = phases[ev.name];
       ++p.count;
@@ -229,6 +246,21 @@ int SummarizeServing(const telemetry::Trace& trace) {
                 TablePrinter::Fmt(PercentileSorted(all_ms, 0.999), 3),
                 TablePrinter::Fmt(all_ms.back(), 3)});
   std::printf("%s", table.Render("serving latency by shard (serve.request)").c_str());
+
+  // Per-replica routing: where each shard's requests actually landed. The
+  // 0xFFFFFFFF sentinel (kInvalidId) marks requests no replica served — the
+  // sync path answering for an exhausted shard.
+  if (!replicas.empty()) {
+    TablePrinter replica_table({"Shard", "Replica", "Requests", "OK", "Failed"});
+    for (const auto& [key, r] : replicas) {
+      const bool unserved = key.second == 0xFFFFFFFFull;
+      replica_table.AddRow({TablePrinter::FmtInt(key.first),
+                            unserved ? "-" : TablePrinter::FmtInt(key.second),
+                            TablePrinter::FmtInt(r.ok + r.failed), TablePrinter::FmtInt(r.ok),
+                            TablePrinter::FmtInt(r.failed)});
+    }
+    std::printf("%s", replica_table.Render("replica routing (serve.request)").c_str());
+  }
 
   if (!phases.empty()) {
     TablePrinter phase_table({"Phase", "Count", "Total ms", "Mean ms", "Max ms"});
@@ -273,7 +305,8 @@ int SummarizeServing(const telemetry::Trace& trace) {
     std::printf("batched fetches: %.0f transmits carrying %.0f rows (%.1f rows/transmit)\n",
                 flushes, rows, rows / flushes);
   }
-  for (const char* name : {"request.shed", "fetch.unplanned", "shard.killed"}) {
+  for (const char* name : {"request.shed", "fetch.unplanned", "shard.killed", "replica.killed",
+                           "train.ride_through"}) {
     const auto it = counters.find(name);
     if (it != counters.end() && it->second > 0.0) {
       std::printf("%s: %.0f\n", name, it->second);
